@@ -1,0 +1,118 @@
+// E13 — throughput of the Section 4.2 distributed dictionary: causal memory
+// (owner-wins conflict policy, rows shared at page granularity — the
+// Section 3.2 enhancement, one row = one page) vs the atomic baseline,
+// sweeping process count and injected message latency.
+//
+// The paper's claim is about synchronization, not raw hit rate: on causal
+// memory an insert or an owner-favored delete is a purely local write, while
+// every atomic-memory insert pays an invalidation round over the copyset of
+// readers that ever scanned the row. Injected latency makes that round
+// expensive; at zero latency atomic's push-invalidation keeps caches
+// fresher and can win on messages.
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+#include <thread>
+
+#include "bench_util.hpp"
+#include "causalmem/apps/dict/dictionary.hpp"
+#include "causalmem/common/rng.hpp"
+
+using namespace causalmem;
+using namespace causalmem::bench;
+
+namespace {
+
+constexpr std::size_t kSlots = 32;
+constexpr int kOpsPerProc = 300;
+
+struct DictResult {
+  double ops_per_ms{0};
+  std::uint64_t messages{0};
+};
+
+template <typename NodeT>
+DictResult run_dict(std::size_t procs, std::uint64_t latency,
+                    typename NodeT::Config cfg = {}) {
+  SystemOptions opts;
+  opts.latency = latency_us(latency);
+  DsmSystem<NodeT> sys(procs, cfg, opts,
+                       Dictionary::make_ownership(procs, kSlots));
+  std::vector<std::unique_ptr<Dictionary>> dicts;
+  for (NodeId i = 0; i < procs; ++i) {
+    dicts.push_back(
+        std::make_unique<Dictionary>(sys.memory(i), procs, kSlots));
+  }
+  const auto start = std::chrono::steady_clock::now();
+  {
+    std::vector<std::jthread> threads;
+    for (NodeId p = 0; p < procs; ++p) {
+      threads.emplace_back([&dicts, p, procs] {
+        Rng rng(321 + p);
+        Dictionary& d = *dicts[p];
+        std::vector<Value> mine;
+        for (int i = 0; i < kOpsPerProc; ++i) {
+          const double roll = rng.next_double();
+          if (roll < 0.3) {
+            const Value v = static_cast<Value>((p + 1) * 1000000 + i);
+            if (d.insert(v)) mine.push_back(v);
+          } else if (roll < 0.45 && !mine.empty()) {
+            (void)d.remove(mine.back());
+            mine.pop_back();
+          } else {
+            if (roll < 0.70) {
+              // A "fresh" lookup: discard cached rows first so the scan
+              // re-reads the owners (the paper's liveness use of discard —
+              // without it a causal replica may serve stale views forever,
+              // which would make this comparison a sham).
+              d.refresh();
+            }
+            (void)d.lookup(static_cast<Value>(
+                (rng.next_below(procs) + 1) * 1000000 +
+                rng.next_below(kSlots)));
+          }
+        }
+      });
+    }
+  }
+  const auto elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
+      std::chrono::steady_clock::now() - start);
+  DictResult r;
+  r.ops_per_ms = static_cast<double>(procs * kOpsPerProc) /
+                 std::max(0.001, static_cast<double>(elapsed.count()) / 1e3);
+  r.messages = sys.stats().total().messages_sent();
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E13: dictionary throughput, causal (owner-wins, row=page) vs "
+              "atomic (%d ops/process, 30%% insert / 15%% delete / 25%% "
+              "fresh lookup / 30%% cached lookup, %zu slots/row)\n\n",
+              kOpsPerProc, kSlots);
+  Table table({"procs", "latency us", "causal ops/ms", "causal msgs",
+               "atomic ops/ms", "atomic msgs", "causal/atomic"});
+  for (const std::size_t procs : {2u, 4u, 8u}) {
+    for (const std::uint64_t lat : {0ull, 200ull}) {
+      CausalConfig ccfg;
+      ccfg.conflict = ConflictPolicy::kOwnerWins;
+      ccfg.page_size = kSlots;  // one dictionary row = one sharing unit
+      const DictResult c = run_dict<CausalNode>(procs, lat, ccfg);
+      const DictResult a = run_dict<AtomicNode>(procs, lat);
+      table.add_row({std::to_string(procs), std::to_string(lat),
+                     Table::num(c.ops_per_ms, 1), std::to_string(c.messages),
+                     Table::num(a.ops_per_ms, 1), std::to_string(a.messages),
+                     Table::num(c.ops_per_ms / a.ops_per_ms, 2) + "x"});
+    }
+  }
+  table.print(std::cout);
+  std::printf(
+      "\nExpected: causal memory sends fewer messages throughout (inserts\n"
+      "and owner-favored deletes never trigger invalidation rounds) and\n"
+      "wins on throughput at small scale and under latency. With many\n"
+      "processes and a high fresh-lookup rate, the causal reader's\n"
+      "sequential row re-fetches approach atomic's costs — freshness is\n"
+      "exactly what causal memory lets applications *choose* to pay for.\n");
+  return 0;
+}

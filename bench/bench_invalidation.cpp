@@ -1,0 +1,137 @@
+// E9/E10 — ablations of the invalidation design choices the paper calls out.
+//
+// E9 (Section 3.2: the Figure 4 protocol "may invalidate more cached values
+// than strictly necessary but requires little bookkeeping"): compare the
+// Figure 4 invalidate-older rule against the maximally conservative
+// flush-all-on-introduce baseline. Invalidate-older must preserve more of
+// the cache (higher hit rate, fewer messages).
+//
+// E10 (footnote 2: "a simple enhancement ... can be used to avoid
+// invalidations of A and b"): the read-only-segment enhancement, measured as
+// saved messages on the solver.
+#include <cstdio>
+#include <iostream>
+#include <thread>
+
+#include "bench_util.hpp"
+#include "causalmem/common/rng.hpp"
+
+using namespace causalmem;
+using namespace causalmem::bench;
+
+namespace {
+
+struct WorkloadStats {
+  StatsSnapshot stats;
+
+  [[nodiscard]] double hit_rate() const {
+    const double hits = static_cast<double>(stats[Counter::kReadHit]);
+    const double misses = static_cast<double>(stats[Counter::kReadMiss]);
+    return hits / std::max(1.0, hits + misses);
+  }
+};
+
+/// Independent-writers workload: three writer nodes update their own
+/// (owned) regions and never communicate, while a reader scans all regions.
+/// The regions' writestamps stay pairwise *concurrent*, so the Figure 4
+/// invalidate-older rule keeps region B cached when a fresh region-A value
+/// arrives — flush-all throws everything away. This isolates exactly what
+/// the paper's per-stamp bookkeeping buys.
+WorkloadStats run_random_workload(InvalidationStrategy strategy) {
+  constexpr std::size_t kNodes = 4;  // node 0 reads; nodes 1..3 write
+  constexpr std::size_t kRegion = 16;
+  constexpr int kOps = 4000;
+  CausalConfig cfg;
+  cfg.invalidation = strategy;
+  DsmSystem<CausalNode> sys(kNodes, cfg);
+  // Addresses are striped: writer w owns {a : a % 4 == w}.
+  {
+    std::vector<std::jthread> threads;
+    for (NodeId w = 1; w < kNodes; ++w) {
+      threads.emplace_back([&sys, w] {
+        Rng rng(555 + w);
+        for (int i = 0; i < kOps / 4; ++i) {
+          const Addr a = rng.next_below(kRegion) * kNodes + w;  // owned
+          sys.memory(w).write(a, static_cast<Value>(rng.next() >> 8));
+        }
+      });
+    }
+    threads.emplace_back([&sys] {
+      Rng rng(999);
+      for (int i = 0; i < kOps; ++i) {
+        const NodeId w = static_cast<NodeId>(1 + rng.next_below(kNodes - 1));
+        const Addr a = rng.next_below(kRegion) * kNodes + w;
+        (void)sys.memory(0).read(a);
+      }
+    });
+  }
+  return WorkloadStats{sys.stats().total()};
+}
+
+const char* strategy_name(InvalidationStrategy s) {
+  return s == InvalidationStrategy::kInvalidateOlder ? "invalidate-older"
+                                                     : "flush-all";
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E9: invalidation strategy ablation (4 nodes, 64 locations, "
+              "15%% writes)\n\n");
+  {
+    Table table({"strategy", "hit rate", "messages", "invalidations"});
+    for (const auto strategy : {InvalidationStrategy::kInvalidateOlder,
+                                InvalidationStrategy::kFlushAll}) {
+      const WorkloadStats w = run_random_workload(strategy);
+      table.add_row(
+          {strategy_name(strategy), Table::num(w.hit_rate() * 100, 1) + "%",
+           std::to_string(w.stats.messages_sent()),
+           std::to_string(w.stats[Counter::kInvalidationApplied])});
+    }
+    table.print(std::cout);
+  }
+
+  std::printf("\nE9 (solver): same ablation on the Figure 6 solver\n\n");
+  {
+    constexpr std::size_t kN = 8;
+    constexpr std::size_t kIters = 15;
+    const SolverProblem problem = SolverProblem::random(kN, 42);
+    Table table({"strategy", "msgs/worker/iter", "invalidations"});
+    for (const auto strategy : {InvalidationStrategy::kInvalidateOlder,
+                                InvalidationStrategy::kFlushAll}) {
+      CausalConfig cfg;
+      cfg.invalidation = strategy;
+      const auto r = run_solver<CausalNode>(problem, kIters, false, cfg);
+      table.add_row({strategy_name(strategy),
+                     Table::num(r.effective_per_worker_iter(kN), 1),
+                     std::to_string(r.stats[Counter::kInvalidationApplied])});
+    }
+    table.print(std::cout);
+  }
+
+  std::printf("\nE10: read-only constants (footnote 2) on the solver\n\n");
+  {
+    constexpr std::size_t kN = 8;
+    constexpr std::size_t kIters = 15;
+    const SolverProblem problem = SolverProblem::random(kN, 43);
+    Table table({"A,b protected", "msgs/worker/iter", "total messages"});
+    for (const bool protect : {true, false}) {
+      const auto r =
+          run_solver<CausalNode>(problem, kIters, false, {}, {}, protect);
+      table.add_row({protect ? "yes" : "no",
+                     Table::num(r.effective_per_worker_iter(kN), 1),
+                     std::to_string(r.stats.messages_sent())});
+    }
+    table.print(std::cout);
+  }
+
+  std::printf(
+      "\nExpected: with independent writers, invalidate-older keeps the\n"
+      "concurrent regions cached and wins decisively on hit rate; on the\n"
+      "tightly synchronized solver every introduced stamp dominates all\n"
+      "cached x_j anyway, so the two rules send the same messages — the\n"
+      "paper's coarse rule is exactly right for that pattern. Protecting\n"
+      "A and b removes their per-phase refetch ((n+1) x 2 messages per\n"
+      "worker per iteration).\n");
+  return 0;
+}

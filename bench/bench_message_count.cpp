@@ -1,0 +1,60 @@
+// E1 — the paper's headline quantitative claim (Section 4.1):
+//
+//   "each phase of the synchronous linear solver requires at least 3n+5
+//    messages per processor when executed on atomic memory compared to
+//    2n+6 when executed on causal memory."
+//
+// We run the *same* Figure 6 solver binary on both memories across n and
+// report measured messages per worker per iteration:
+//   - "effective": total sends minus busy-wait re-fetch pairs (the paper's
+//     count assumes one fetch per flag transition);
+//   - "no-acks": additionally excluding INV_ACKs, matching the paper's
+//     convention of counting n-1 invalidation messages (not 2(n-1)).
+//
+// Expected shape: causal ~ 2n+6; atomic >= 3n+5; the gap grows ~ n.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.hpp"
+
+using namespace causalmem;
+using namespace causalmem::bench;
+
+int main() {
+  constexpr std::size_t kIterations = 20;
+  std::printf(
+      "E1: messages per worker per solver iteration (Fig. 6 solver, %zu "
+      "iterations)\n\n",
+      kIterations);
+
+  Table table({"n", "causal measured", "paper 2n+6", "atomic measured",
+               "atomic no-acks", "paper 3n+5", "atomic/causal"});
+
+  for (const std::size_t n : {2u, 4u, 8u, 12u, 16u, 24u}) {
+    const SolverProblem problem = SolverProblem::random(n, 1234 + n);
+
+    const auto causal = run_solver<CausalNode>(problem, kIterations);
+    const auto atomic = run_solver<AtomicNode>(problem, kIterations);
+
+    const double causal_per = causal.effective_per_worker_iter(n);
+    const double atomic_per = atomic.effective_per_worker_iter(n);
+    const double atomic_noack_per =
+        (atomic.effective_messages() -
+         static_cast<double>(atomic.stats[Counter::kMsgInvalidateAck])) /
+        static_cast<double>(n * kIterations);
+
+    table.add_row({std::to_string(n), Table::num(causal_per, 1),
+                   std::to_string(2 * n + 6), Table::num(atomic_per, 1),
+                   Table::num(atomic_noack_per, 1), std::to_string(3 * n + 5),
+                   Table::num(atomic_per / causal_per, 2)});
+  }
+  table.print(std::cout);
+
+  std::printf(
+      "\nReading the table: measured counts sit slightly above the paper's\n"
+      "closed forms because they amortize one-time costs (fetching A and b,\n"
+      "collecting the result) and include flag-write invalidation traffic\n"
+      "the paper's count omits; the *shape* — causal ~2n, atomic ~3n, gap\n"
+      "growing linearly, causal always cheaper — is the reproduced result.\n");
+  return 0;
+}

@@ -1,0 +1,120 @@
+// E14 — protocol primitive micro-benchmarks (google-benchmark): the cost of
+// each Figure 4 operation class on the in-memory transport, plus remote
+// reads over real TCP loopback.
+#include <benchmark/benchmark.h>
+
+#include "causalmem/dsm/atomic/node.hpp"
+#include "causalmem/dsm/causal/node.hpp"
+#include "causalmem/dsm/system.hpp"
+
+namespace {
+
+using namespace causalmem;
+
+void BM_CausalReadHitOwned(benchmark::State& state) {
+  DsmSystem<CausalNode> sys(2);
+  sys.memory(0).write(0, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sys.memory(0).read(0));
+  }
+}
+BENCHMARK(BM_CausalReadHitOwned);
+
+void BM_CausalReadHitCached(benchmark::State& state) {
+  DsmSystem<CausalNode> sys(2);
+  sys.memory(1).write(1, 1);
+  (void)sys.memory(0).read(1);  // warm the cache
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sys.memory(0).read(1));
+  }
+}
+BENCHMARK(BM_CausalReadHitCached);
+
+void BM_CausalReadMiss(benchmark::State& state) {
+  DsmSystem<CausalNode> sys(2);
+  sys.memory(1).write(1, 1);
+  for (auto _ : state) {
+    (void)sys.memory(0).discard(1);
+    benchmark::DoNotOptimize(sys.memory(0).read(1));
+  }
+}
+BENCHMARK(BM_CausalReadMiss);
+
+void BM_CausalWriteLocal(benchmark::State& state) {
+  DsmSystem<CausalNode> sys(2);
+  Value v = 0;
+  for (auto _ : state) {
+    sys.memory(0).write(0, ++v);
+  }
+}
+BENCHMARK(BM_CausalWriteLocal);
+
+void BM_CausalWriteRemoteBlocking(benchmark::State& state) {
+  DsmSystem<CausalNode> sys(2);
+  Value v = 0;
+  for (auto _ : state) {
+    sys.memory(0).write(1, ++v);
+  }
+}
+BENCHMARK(BM_CausalWriteRemoteBlocking);
+
+void BM_CausalWriteRemoteAsync(benchmark::State& state) {
+  CausalConfig cfg;
+  cfg.write_mode = WriteMode::kAsync;
+  DsmSystem<CausalNode> sys(2, cfg);
+  Value v = 0;
+  for (auto _ : state) {
+    sys.memory(0).write(1, ++v);
+  }
+  sys.memory(0).flush();
+}
+BENCHMARK(BM_CausalWriteRemoteAsync);
+
+void BM_AtomicWriteOwnedNoCopies(benchmark::State& state) {
+  DsmSystem<AtomicNode> sys(2);
+  Value v = 0;
+  for (auto _ : state) {
+    sys.memory(0).write(0, ++v);
+  }
+}
+BENCHMARK(BM_AtomicWriteOwnedNoCopies);
+
+void BM_AtomicWriteOwnedOneCopy(benchmark::State& state) {
+  // Every write must invalidate the other node's cached copy, which the
+  // other node immediately refetches: the strong-consistency treadmill.
+  DsmSystem<AtomicNode> sys(2);
+  sys.memory(0).write(0, 1);
+  Value v = 1;
+  for (auto _ : state) {
+    (void)sys.memory(1).read(0);  // re-join the copyset
+    sys.memory(0).write(0, ++v);
+  }
+}
+BENCHMARK(BM_AtomicWriteOwnedOneCopy);
+
+void BM_CausalReadMissTcp(benchmark::State& state) {
+  SystemOptions opts;
+  opts.use_tcp = true;
+  DsmSystem<CausalNode> sys(2, {}, opts);
+  sys.memory(1).write(1, 1);
+  for (auto _ : state) {
+    (void)sys.memory(0).discard(1);
+    benchmark::DoNotOptimize(sys.memory(0).read(1));
+  }
+}
+BENCHMARK(BM_CausalReadMissTcp);
+
+void BM_CausalWriteRemoteTcp(benchmark::State& state) {
+  SystemOptions opts;
+  opts.use_tcp = true;
+  DsmSystem<CausalNode> sys(2, {}, opts);
+  Value v = 0;
+  for (auto _ : state) {
+    sys.memory(0).write(1, ++v);
+  }
+}
+BENCHMARK(BM_CausalWriteRemoteTcp);
+
+}  // namespace
+
+BENCHMARK_MAIN();

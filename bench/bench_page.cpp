@@ -1,0 +1,113 @@
+// E11 — Section 3.2's enhancement: "scaling the unit of sharing to a page".
+//
+// Two workloads sweep the page size:
+//  1. sequential scan — one node repeatedly scans a neighbour-owned array;
+//     larger pages amortize misses (messages drop ~1/page_size);
+//  2. false sharing — a writer updates one hot cell per page while a reader
+//     scans; larger pages drag whole-page invalidations and refetches.
+#include <cstdio>
+#include <iostream>
+#include <thread>
+
+#include "bench_util.hpp"
+#include "causalmem/common/rng.hpp"
+
+using namespace causalmem;
+using namespace causalmem::bench;
+
+namespace {
+
+constexpr std::size_t kArray = 256;  // locations owned by node 1
+
+StatsSnapshot run_scan(Addr page_size, int sweeps) {
+  CausalConfig cfg;
+  cfg.page_size = page_size;
+  DsmSystem<CausalNode> sys(2, cfg);
+  // Node 1 owns pages where (page % 2) == 1; scan only node-1 pages.
+  for (int s = 0; s < sweeps; ++s) {
+    for (Addr a = 0; a < kArray; ++a) {
+      if (!sys.memory(0).owns(a)) (void)sys.memory(0).read(a);
+    }
+  }
+  return sys.stats().total();
+}
+
+StatsSnapshot run_false_sharing(Addr page_size, int rounds) {
+  CausalConfig cfg;
+  cfg.page_size = page_size;
+  DsmSystem<CausalNode> sys(2, cfg);
+  SharedMemory& reader = sys.memory(0);
+  SharedMemory& writer = sys.memory(1);
+  // A writer-owned marker location past the array.
+  Addr marker = kArray;
+  while (!writer.owns(marker)) ++marker;
+  Rng rng(99);
+  for (int r = 0; r < rounds; ++r) {
+    // Writer dirties ~one cell per page (all local writes)...
+    for (Addr a = 0; a < kArray; ++a) {
+      if (writer.owns(a) && rng.chance(1.0 / static_cast<double>(page_size))) {
+        writer.write(a, static_cast<Value>(rng.next() >> 8));
+      }
+    }
+    writer.write(marker, r);
+    // ...then the reader fetches the fresh marker: the introduced stamp
+    // invalidates every cached page with a dirty (now causally older) cell.
+    (void)reader.discard(marker);
+    (void)reader.read(marker);
+    for (Addr a = 0; a < kArray; ++a) {
+      if (!reader.owns(a)) (void)reader.read(a);
+    }
+  }
+  return sys.stats().total();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E11: page-granularity sharing (Section 3.2 enhancement)\n\n");
+  std::printf("Sequential scan of a %zu-location remote array, 10 sweeps:\n\n",
+              kArray);
+  {
+    Table table({"page size", "messages", "read misses", "hit rate"});
+    for (const Addr ps : {1u, 2u, 4u, 8u, 16u}) {
+      const StatsSnapshot s = run_scan(ps, 10);
+      const double hits = static_cast<double>(s[Counter::kReadHit]);
+      const double misses = static_cast<double>(s[Counter::kReadMiss]);
+      table.add_row({std::to_string(ps), std::to_string(s.messages_sent()),
+                     std::to_string(s[Counter::kReadMiss]),
+                     Table::num(100.0 * hits / (hits + misses), 1) + "%"});
+    }
+    table.print(std::cout);
+  }
+
+  std::printf("\nSparse writes (~1 dirty cell per page per round), reader "
+              "re-scans every round (20 rounds):\n\n");
+  {
+    Table table({"page size", "messages", "read misses", "cells transferred",
+                 "useful cells"});
+    for (const Addr ps : {1u, 2u, 4u, 8u, 16u}) {
+      const StatsSnapshot s = run_false_sharing(ps, 20);
+      // Every miss ships a whole page; with ~1 dirty cell per page the rest
+      // of the payload is re-transfer of data the reader already had.
+      const std::uint64_t transferred = s[Counter::kReadMiss] * ps;
+      table.add_row({std::to_string(ps), std::to_string(s.messages_sent()),
+                     std::to_string(s[Counter::kReadMiss]),
+                     std::to_string(transferred),
+                     Table::num(100.0 *
+                                    static_cast<double>(s[Counter::kReadMiss]) /
+                                    static_cast<double>(transferred),
+                                1) + "%"});
+    }
+    table.print(std::cout);
+  }
+
+  std::printf(
+      "\nExpected: scans get ~1/page_size messages. Under sparse writes the\n"
+      "message count still drops with page size, but the transfer volume\n"
+      "stays flat while its useful fraction collapses — the bandwidth face\n"
+      "of false sharing. (Figure 4's stamp rule is time-coarse: a fresh\n"
+      "stamp invalidates every older cached unit whatever its size, so the\n"
+      "*count* of invalidations does not expose false sharing; the wasted\n"
+      "payload does.)\n");
+  return 0;
+}

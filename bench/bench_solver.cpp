@@ -1,0 +1,91 @@
+// E8 — the paper's motivating thesis: weakly consistent memory is "better
+// suited to the high latencies encountered in distributed systems". We sweep
+// injected per-message latency and compare wall-clock time of the identical
+// Figure 6 solver on causal vs atomic DSM, plus the asynchronous variant on
+// causal memory. Causal memory's advantage must grow with latency (it sends
+// fewer messages, and none of its writes wait for system-wide invalidation).
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.hpp"
+
+using namespace causalmem;
+using namespace causalmem::bench;
+
+int main() {
+  constexpr std::size_t kN = 6;
+  constexpr std::size_t kIterations = 10;
+  const SolverProblem problem = SolverProblem::random(kN, 77);
+
+  std::printf("E8: solver wall-clock vs injected message latency (n=%zu, %zu "
+              "iterations)\n\n",
+              kN, kIterations);
+
+  Table table({"latency (us)", "causal (ms)", "atomic (ms)",
+               "async causal (ms)", "atomic/causal"});
+  for (const std::uint64_t lat : {0ull, 50ull, 200ull, 500ull}) {
+    SystemOptions opts;
+    opts.latency = latency_us(lat);
+    const auto causal =
+        run_solver<CausalNode>(problem, kIterations, false, {}, opts);
+    const auto atomic =
+        run_solver<AtomicNode>(problem, kIterations, false, {}, opts);
+    const auto async =
+        run_solver<CausalNode>(problem, kIterations, true, {}, opts);
+    const double causal_ms = static_cast<double>(causal.elapsed.count()) / 1e3;
+    const double atomic_ms = static_cast<double>(atomic.elapsed.count()) / 1e3;
+    const double async_ms = static_cast<double>(async.elapsed.count()) / 1e3;
+    table.add_row({std::to_string(lat), Table::num(causal_ms, 1),
+                   Table::num(atomic_ms, 1), Table::num(async_ms, 1),
+                   Table::num(atomic_ms / causal_ms, 2)});
+  }
+  table.print(std::cout);
+
+  std::printf("\nExpected shape: causal wins clearly where message handling\n"
+              "dominates (low latency); at high latency the phase-structured\n"
+              "solver's critical path (sequential x-reads) is shared by both\n"
+              "memories, and the asynchronous variant is the real winner.\n");
+
+  // Companion table: coordinator (Fig. 6) vs coordinator-free barrier
+  // solver on causal memory — same bit-exact iterates, different sync
+  // topology.
+  std::printf("\nCoordinator vs decentralized barrier solver (causal memory, "
+              "n=%zu, %zu iterations):\n\n",
+              kN, kIterations);
+  {
+    Table t2({"variant", "time (ms)", "messages", "spin refetches"});
+    {
+      const auto coord = run_solver<CausalNode>(problem, kIterations);
+      t2.add_row({"Fig. 6 coordinator",
+                  Table::num(static_cast<double>(coord.elapsed.count()) / 1e3, 1),
+                  std::to_string(coord.stats.messages_sent()),
+                  std::to_string(coord.stats[Counter::kSpinRefetch])});
+    }
+    {
+      const DecentralizedSolverLayout layout(problem.n, problem.n);
+      DsmSystem<CausalNode> sys(layout.node_count(), {}, {},
+                                layout.make_ownership());
+      std::vector<SharedMemory*> mems;
+      for (NodeId i = 0; i < layout.node_count(); ++i) {
+        mems.push_back(&sys.memory(i));
+      }
+      SolverOptions opts;
+      opts.iterations = kIterations;
+      const auto start = std::chrono::steady_clock::now();
+      (void)run_decentralized_solver(problem, layout, mems, opts);
+      const auto elapsed =
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - start);
+      const StatsSnapshot s = sys.stats().total();
+      t2.add_row({"all-to-all barrier",
+                  Table::num(static_cast<double>(elapsed.count()) / 1e3, 1),
+                  std::to_string(s.messages_sent()),
+                  std::to_string(s[Counter::kSpinRefetch])});
+    }
+    t2.print(std::cout);
+    std::printf("\nThe barrier version removes the central process but every\n"
+                "worker polls every other worker's arrival counter: message\n"
+                "totals trade a coordinator bottleneck for O(n^2) polling.\n");
+  }
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Shared helpers for the benchmark harness: run the paper's workloads on a
+// chosen memory implementation and collect wall-clock plus the categorized
+// message counters that experiments E1/E8–E13 report.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "causalmem/apps/solver/solver.hpp"
+#include "causalmem/dsm/atomic/node.hpp"
+#include "causalmem/dsm/broadcast/node.hpp"
+#include "causalmem/dsm/causal/node.hpp"
+#include "causalmem/dsm/system.hpp"
+#include "causalmem/stats/table.hpp"
+
+namespace causalmem::bench {
+
+struct SolverRunResult {
+  SolverRun run;
+  StatsSnapshot stats;
+  std::chrono::microseconds elapsed{0};
+
+  /// The paper counts protocol messages; busy-wait re-fetches (a READ +
+  /// R_REPLY pair per failed poll) are accounted separately and subtracted.
+  [[nodiscard]] double effective_messages() const {
+    return static_cast<double>(stats.messages_sent()) -
+           2.0 * static_cast<double>(stats[Counter::kSpinRefetch]);
+  }
+
+  [[nodiscard]] double effective_per_worker_iter(std::size_t workers) const {
+    return effective_messages() /
+           static_cast<double>(workers * std::max<std::size_t>(run.iterations, 1));
+  }
+};
+
+template <typename NodeT>
+SolverRunResult run_solver(const SolverProblem& problem, std::size_t iterations,
+                           bool async = false,
+                           typename NodeT::Config config = {},
+                           SystemOptions options = {},
+                           bool protect_constants = true) {
+  const SolverLayout layout(problem.n);
+  DsmSystem<NodeT> sys(layout.node_count(), config, options,
+                       layout.make_ownership());
+  std::vector<SharedMemory*> mems;
+  mems.reserve(layout.node_count());
+  for (NodeId i = 0; i < layout.node_count(); ++i) {
+    mems.push_back(&sys.memory(i));
+  }
+  SolverOptions opts;
+  opts.protect_constants = protect_constants;
+  if (async) {
+    opts.iterations = 500000;
+    opts.tolerance = 1e-8;
+  } else {
+    opts.iterations = iterations;
+  }
+  const auto start = std::chrono::steady_clock::now();
+  SolverRunResult result;
+  result.run = async ? run_async_solver(problem, layout, mems, opts)
+                     : run_sync_solver(problem, layout, mems, opts);
+  result.elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
+      std::chrono::steady_clock::now() - start);
+  result.stats = sys.stats().total();
+  return result;
+}
+
+inline LatencyModel latency_us(std::uint64_t micros) {
+  LatencyModel m;
+  m.base = std::chrono::microseconds(micros);
+  return m;
+}
+
+}  // namespace causalmem::bench

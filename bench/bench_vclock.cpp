@@ -1,0 +1,63 @@
+// E14 (micro): vector timestamp primitive costs — the per-operation overhead
+// the owner protocol pays for causality tracking.
+#include <benchmark/benchmark.h>
+
+#include "causalmem/vclock/vector_clock.hpp"
+
+namespace {
+
+using causalmem::ByteReader;
+using causalmem::ByteWriter;
+using causalmem::VectorClock;
+
+VectorClock make_clock(std::size_t n, std::uint64_t salt) {
+  std::vector<std::uint64_t> c(n);
+  for (std::size_t i = 0; i < n; ++i) c[i] = (i * 2654435761u + salt) % 97;
+  return VectorClock(std::move(c));
+}
+
+void BM_VClockIncrement(benchmark::State& state) {
+  VectorClock vt(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    vt.increment(0);
+    benchmark::DoNotOptimize(vt);
+  }
+}
+BENCHMARK(BM_VClockIncrement)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_VClockUpdate(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  VectorClock a = make_clock(n, 1);
+  const VectorClock b = make_clock(n, 2);
+  for (auto _ : state) {
+    a.update(b);
+    benchmark::DoNotOptimize(a);
+  }
+}
+BENCHMARK(BM_VClockUpdate)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_VClockCompare(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const VectorClock a = make_clock(n, 1);
+  const VectorClock b = make_clock(n, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.compare(b));
+  }
+}
+BENCHMARK(BM_VClockCompare)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_VClockCodecRoundTrip(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const VectorClock a = make_clock(n, 3);
+  for (auto _ : state) {
+    ByteWriter w;
+    a.encode(w);
+    ByteReader r(w.bytes());
+    benchmark::DoNotOptimize(VectorClock::decode(r));
+  }
+}
+BENCHMARK(BM_VClockCodecRoundTrip)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,96 @@
+// Reproduces the paper's Figure 3 discussion: causal *broadcasting* is not
+// causal *memory*. Two concurrent writes to x commit in different orders at
+// different replicas of a causal-broadcast memory, producing an execution
+// the causal memory checker rejects; the owner-protocol causal DSM running
+// the same program always passes the checker.
+//
+//   $ ./causal_vs_broadcast
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+#include "causalmem/dsm/broadcast/node.hpp"
+#include "causalmem/dsm/causal/node.hpp"
+#include "causalmem/dsm/system.hpp"
+#include "causalmem/history/causal_checker.hpp"
+#include "causalmem/history/recorder.hpp"
+
+using namespace causalmem;
+
+namespace {
+
+constexpr Addr kX = 0, kY = 1, kZ = 2;
+
+template <typename SystemT>
+void run_program(SystemT& sys) {
+  std::jthread p1([&] {
+    sys.memory(0).write(kX, 5);
+    sys.memory(0).write(kY, 3);
+  });
+  std::jthread p2([&] {
+    sys.memory(1).write(kX, 2);
+    (void)spin_until_equals(sys.memory(1), kY, 3);
+    (void)sys.memory(1).read(kX);
+    sys.memory(1).write(kZ, 4);
+  });
+  std::jthread p3([&] {
+    (void)spin_until_equals(sys.memory(2), kZ, 4);
+    (void)sys.memory(2).read(kX);
+  });
+}
+
+/// Drops the busy-wait noise (repeated reads of the same stale value) so the
+/// printed history looks like the paper's figure.
+History condensed(const History& h) {
+  History out;
+  out.per_process.resize(h.per_process.size());
+  for (std::size_t p = 0; p < h.per_process.size(); ++p) {
+    const Operation* prev = nullptr;
+    for (const Operation& op : h.per_process[p]) {
+      const bool duplicate_poll = prev != nullptr &&
+                                  op.kind == OpKind::kRead &&
+                                  prev->kind == OpKind::kRead &&
+                                  prev->addr == op.addr && prev->tag == op.tag;
+      if (!duplicate_poll) out.per_process[p].push_back(op);
+      prev = &op;
+    }
+  }
+  return out;
+}
+
+void report(const char* label, const History& h) {
+  const auto violation = CausalChecker(h).check();
+  std::printf("%s\n%s", label, condensed(h).to_string().c_str());
+  if (violation) {
+    std::printf("=> VIOLATES causal memory: %s\n\n", violation->reason.c_str());
+  } else {
+    std::printf("=> correct on causal memory\n\n");
+  }
+}
+
+}  // namespace
+
+int main() {
+  {
+    Recorder rec(3);
+    DsmSystem<BroadcastNode> sys(3, {}, {}, nullptr, &rec);
+    // Shape delivery so the concurrent x-writes commit 2-then-5 at P2 but
+    // 5-then-2 at P3 (both orders are legal causal broadcast deliveries).
+    LatencyModel to_p2, to_p3;
+    to_p2.base = std::chrono::milliseconds(40);
+    to_p3.base = std::chrono::milliseconds(120);
+    sys.inmem_transport()->set_channel_latency(0, 1, to_p2);
+    sys.inmem_transport()->set_channel_latency(1, 2, to_p3);
+    run_program(sys);
+    wait_broadcast_quiescent(sys);
+    report("== Figure 3 program on causal-broadcast memory ==", rec.history());
+  }
+  {
+    Recorder rec(3);
+    DsmSystem<CausalNode> sys(3, {}, {}, nullptr, &rec);
+    run_program(sys);
+    report("== same program on the owner-protocol causal DSM ==",
+           rec.history());
+  }
+  return 0;
+}

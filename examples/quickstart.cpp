@@ -1,0 +1,52 @@
+// Quickstart: build a 3-processor causal DSM, read and write shared
+// locations, watch writestamps and invalidation at work.
+//
+//   $ ./quickstart
+#include <cstdio>
+
+#include "causalmem/dsm/causal/node.hpp"
+#include "causalmem/dsm/system.hpp"
+
+using namespace causalmem;
+
+int main() {
+  // Three processors connected by reliable FIFO channels. Locations are
+  // striped: processor i owns addresses a with a % 3 == i.
+  DsmSystem<CausalNode> sys(3);
+
+  SharedMemory& p0 = sys.memory(0);
+  SharedMemory& p1 = sys.memory(1);
+  SharedMemory& p2 = sys.memory(2);
+
+  // Owned writes are purely local.
+  p0.write(0, 100);
+  std::printf("P0 wrote 100 to location 0 (it owns it: %s)\n",
+              p0.owns(0) ? "yes" : "no");
+
+  // A remote read fetches from the owner and caches the copy.
+  std::printf("P1 reads location 0 -> %lld (read miss, 2 messages)\n",
+              static_cast<long long>(p1.read(0)));
+  std::printf("P1 reads location 0 -> %lld (cache hit, 0 messages)\n",
+              static_cast<long long>(p1.read(0)));
+
+  // A remote write is certified by the owner.
+  p2.write(0, 200);
+  std::printf("P2 wrote 200 to location 0 (certified by owner P0)\n");
+
+  // P1 still holds its cached 100 — and that is CORRECT on causal memory:
+  // the two values are concurrent from P1's point of view.
+  std::printf("P1 reads location 0 -> %lld (stale but live: causal!)\n",
+              static_cast<long long>(p1.read(0)));
+
+  // Once P1 reads something causally newer, the stale copy is invalidated.
+  p2.write(2, 1);  // written after P2's write of 200: carries that knowledge
+  (void)p1.read(2);
+  std::printf("P1 reads location 0 -> %lld (invalidated, re-fetched)\n",
+              static_cast<long long>(p1.read(0)));
+
+  const StatsSnapshot total = sys.stats().total();
+  std::printf("\nprotocol traffic: %llu messages (%s)\n",
+              static_cast<unsigned long long>(total.messages_sent()),
+              total.to_string().c_str());
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Synchronization variables on causal memory (Section 4.1 mentions "special
+// synchronization variables such as semaphores or event counts"): flags,
+// event counts with causality transfer, and a coordinator-free barrier.
+//
+//   $ ./sync_primitives
+#include <cstdio>
+#include <thread>
+
+#include "causalmem/apps/sync/sync.hpp"
+#include "causalmem/dsm/causal/node.hpp"
+#include "causalmem/dsm/system.hpp"
+
+using namespace causalmem;
+
+int main() {
+  constexpr std::size_t kNodes = 3;
+  DsmSystem<CausalNode> sys(kNodes);
+
+  std::printf("-- event count: causality transfer --\n");
+  {
+    constexpr Addr kData = 4;  // owned by node 1 (striped: 4 %% 3 == 1)
+    constexpr Addr kEc = 1;    // owned by node 1
+    (void)sys.memory(0).read(kData);  // node 0 caches the stale 0
+    EventCount producer(sys.memory(1), kEc);
+    EventCount consumer(sys.memory(0), kEc);
+    std::jthread t([&] {
+      sys.memory(1).write(kData, 42);  // ...then publish
+      (void)producer.advance();
+    });
+    consumer.await(1);
+    std::printf("consumer awaited the event count; data = %lld "
+                "(the producer's write is causally ordered before us)\n",
+                static_cast<long long>(sys.memory(0).read(kData)));
+  }
+
+  std::printf("\n-- coordinator-free barrier over 3 nodes --\n");
+  {
+    constexpr Addr kBase = 6;  // counters 6,7,8 owned by nodes 0,1,2
+    std::jthread a([&] {
+      CausalBarrier b(sys.memory(0), kBase, kNodes, 0);
+      for (int k = 0; k < 3; ++k) {
+        std::printf("node 0 entering phase %d\n", k + 1);
+        b.arrive_and_wait();
+      }
+    });
+    std::jthread bthread([&] {
+      CausalBarrier b(sys.memory(1), kBase, kNodes, 1);
+      for (int k = 0; k < 3; ++k) b.arrive_and_wait();
+    });
+    std::jthread c([&] {
+      CausalBarrier b(sys.memory(2), kBase, kNodes, 2);
+      for (int k = 0; k < 3; ++k) {
+        const auto phase = b.arrive_and_wait();
+        std::printf("node 2 passed barrier phase %llu\n",
+                    static_cast<unsigned long long>(phase));
+      }
+    });
+  }
+
+  std::printf("\n-- flag handoff --\n");
+  {
+    constexpr Addr kFlag = 2;  // owned by node 2
+    Flag setter(sys.memory(2), kFlag);
+    Flag waiter(sys.memory(0), kFlag);
+    std::jthread t([&] { setter.set(); });
+    waiter.wait_set();
+    std::printf("flag observed set by node 0\n");
+  }
+
+  const auto total = sys.stats().total();
+  std::printf("\ntotal protocol messages: %llu (spin refetches: %llu)\n",
+              static_cast<unsigned long long>(total.messages_sent()),
+              static_cast<unsigned long long>(total[Counter::kSpinRefetch]));
+  return 0;
+}

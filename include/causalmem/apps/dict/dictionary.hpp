@@ -1,0 +1,88 @@
+// The Section 4.2 distributed dictionary: an association table maintained
+// cooperatively by n processes with no synchronization around inserts or
+// deletes.
+//
+//   - dict is an n x m array; process i owns row i and only process i
+//     inserts into row i (restriction R1/R2 of Fischer & Michael);
+//   - insert_i(v): write v into a free slot of row i (a local write);
+//   - lookup_i(v): scan all rows; true iff v is found;
+//   - delete_i(v): scan for v, write the distinguished lambda over it —
+//     possibly into another process's row, possibly concurrent with that
+//     owner's newer insert into the same slot;
+//   - correctness under concurrent delete/insert relies on the memory's
+//     owner-wins conflict policy: "writes by the owner are always favored".
+//
+// Construct the backing DsmSystem<CausalNode> with
+// ConflictPolicy::kOwnerWins (see tests/apps/dictionary_test.cpp).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "causalmem/common/expect.hpp"
+#include "causalmem/dsm/memory.hpp"
+#include "causalmem/dsm/ownership.hpp"
+
+namespace causalmem {
+
+class Dictionary {
+ public:
+  /// One process's handle. `mem` is that process's SharedMemory; `rows` is
+  /// the number of cooperating processes; `slots` the per-row capacity (the
+  /// paper's m, "sufficiently large to hold all items inserted").
+  /// `base` is the first shared address of the dict array.
+  Dictionary(SharedMemory& mem, std::size_t rows, std::size_t slots,
+             Addr base = 0)
+      : mem_(mem), rows_(rows), slots_(slots), base_(base) {
+    CM_EXPECTS(rows > 0);
+    CM_EXPECTS(slots > 0);
+    CM_EXPECTS(mem.node_id() < rows);
+  }
+
+  /// Ownership map for the backing system: process i owns row i.
+  /// Use with DsmSystem and the same `rows`/`slots`/`base`.
+  static std::unique_ptr<Ownership> make_ownership(std::size_t rows,
+                                                   std::size_t slots,
+                                                   Addr base = 0);
+
+  /// Inserts v into this process's row. Items must be unique and not reuse
+  /// the reserved encodings (R1). Returns false when the row is full.
+  bool insert(Value v);
+
+  /// True iff v has been inserted and not deleted, according to this
+  /// process's current view.
+  [[nodiscard]] bool lookup(Value v);
+
+  /// Scans for v and overwrites it with lambda. Returns true when a slot
+  /// holding v was found and the delete was issued (the owner may still
+  /// reject it if it lost a race with a newer insert — which is exactly the
+  /// paper's correctness argument). R2: only delete inserted items.
+  bool remove(Value v);
+
+  /// Drops every cached dict location so the next scan reads fresh copies —
+  /// the liveness lever for view convergence ("all views must eventually
+  /// converge ... in the absence of further inserts and deletes").
+  void refresh();
+
+  /// All values visible in this process's current view (for tests).
+  [[nodiscard]] std::vector<Value> snapshot();
+
+  [[nodiscard]] Addr slot_addr(std::size_t row, std::size_t col) const {
+    CM_EXPECTS(row < rows_ && col < slots_);
+    return base_ + row * slots_ + col;
+  }
+
+ private:
+  [[nodiscard]] static bool is_free(Value v) noexcept {
+    return v == kInitialValue || v == kLambda;
+  }
+
+  SharedMemory& mem_;
+  std::size_t rows_;
+  std::size_t slots_;
+  Addr base_;
+};
+
+}  // namespace causalmem

@@ -1,0 +1,93 @@
+// Linear systems Ax = b for the Section 4.1 solver: generation of strictly
+// diagonally dominant instances (so Jacobi iteration converges), the shared
+// memory address layout, and the sequential reference iteration the DSM
+// solvers are validated against.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "causalmem/common/expect.hpp"
+#include "causalmem/common/types.hpp"
+#include "causalmem/dsm/ownership.hpp"
+
+namespace causalmem {
+
+struct SolverProblem {
+  std::size_t n{0};
+  std::vector<double> a;  ///< row-major n*n
+  std::vector<double> b;  ///< n
+
+  [[nodiscard]] double a_at(std::size_t i, std::size_t j) const {
+    return a[i * n + j];
+  }
+
+  /// A random strictly diagonally dominant system (|a_ii| > sum|a_ij|),
+  /// deterministic per seed.
+  static SolverProblem random(std::size_t n, std::uint64_t seed);
+
+  /// `iters` synchronous Jacobi sweeps from x = 0, with the same reduction
+  /// order as the DSM workers — the synchronous DSM solvers must reproduce
+  /// this bit-for-bit (the paper's Section 4.1 argument: on causal memory
+  /// every read returns exactly the previous phase's value).
+  [[nodiscard]] std::vector<double> jacobi_reference(std::size_t iters) const;
+
+  /// The true solution, for convergence assertions (Gaussian elimination).
+  [[nodiscard]] std::vector<double> exact_solution() const;
+
+  /// Max-norm residual ||Ax - b||_inf of a candidate solution.
+  [[nodiscard]] double residual(const std::vector<double>& x) const;
+};
+
+/// Shared-memory layout for a solver run with `workers` worker processes
+/// (each computing a contiguous block of elements — the paper: "the code is
+/// easily modified so that each process computes a set of elements") and one
+/// coordinator (node ids: workers 0..w-1, coordinator w).
+///
+///   x_i        = i            owned by the worker whose block contains i
+///   complete_w = n + w        owned by worker w
+///   changed_w  = 2n + w       owned by worker w
+///   a[i][j]    = 3n + i*n + j owned by the coordinator
+///   b_i        = 3n + n^2 + i owned by the coordinator
+class SolverLayout {
+ public:
+  /// `workers` defaults to one worker per element (the paper's Figure 6).
+  explicit SolverLayout(std::size_t n, std::size_t workers = 0)
+      : n_(n), w_(workers == 0 ? n : workers) {
+    CM_EXPECTS(n > 0);
+    CM_EXPECTS(w_ > 0 && w_ <= n);
+  }
+
+  [[nodiscard]] std::size_t elements() const noexcept { return n_; }
+  [[nodiscard]] std::size_t workers() const noexcept { return w_; }
+  [[nodiscard]] NodeId coordinator() const noexcept {
+    return static_cast<NodeId>(w_);
+  }
+  [[nodiscard]] std::size_t node_count() const noexcept { return w_ + 1; }
+
+  /// Worker responsible for element i (balanced contiguous blocks).
+  [[nodiscard]] NodeId worker_of(std::size_t i) const {
+    CM_EXPECTS(i < n_);
+    return static_cast<NodeId>(i * w_ / n_);
+  }
+  [[nodiscard]] Addr x(std::size_t i) const { return i; }
+  [[nodiscard]] Addr complete(std::size_t w) const { return n_ + w; }
+  [[nodiscard]] Addr changed(std::size_t w) const { return 2 * n_ + w; }
+  [[nodiscard]] Addr a(std::size_t i, std::size_t j) const {
+    return 3 * n_ + i * n_ + j;
+  }
+  [[nodiscard]] Addr b(std::size_t i) const { return 3 * n_ + n_ * n_ + i; }
+
+  [[nodiscard]] Addr constants_begin() const { return a(0, 0); }
+  [[nodiscard]] Addr constants_end() const { return b(n_ - 1) + 1; }
+
+  /// Ownership map realizing the layout above.
+  [[nodiscard]] std::unique_ptr<Ownership> make_ownership() const;
+
+ private:
+  std::size_t n_;
+  std::size_t w_;
+};
+
+}  // namespace causalmem

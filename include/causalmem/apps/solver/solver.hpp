@@ -1,0 +1,110 @@
+// The Section 4.1 solvers, written once against the SharedMemory interface —
+// the same application code runs on causal, atomic and broadcast memory (the
+// paper's central programmability claim).
+//
+// Synchronous (Figure 6): n workers + a coordinator handshake twice per
+// phase through per-worker boolean flags (complete_i / changed_i), so every
+// read of x_j in phase k returns exactly the phase k-1 value.
+//
+// Asynchronous ("it is possible to eliminate the synchronization entirely"):
+// chaotic relaxation — workers iterate with no barriers, discarding cached
+// x_j copies each sweep so owner values eventually propagate (the paper's
+// liveness use of discard).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "causalmem/apps/solver/problem.hpp"
+#include "causalmem/dsm/memory.hpp"
+
+namespace causalmem {
+
+struct SolverOptions {
+  /// Synchronous solver: exact number of phases. Asynchronous solver: upper
+  /// bound on sweeps per worker (a safety valve; convergence normally stops
+  /// the run first).
+  std::size_t iterations{20};
+  /// Apply the footnote-2 enhancement: mark A and b read-only at every
+  /// worker so their cached copies survive invalidation sweeps.
+  bool protect_constants{true};
+  /// Asynchronous solver only: the coordinator stops the run once the
+  /// max-norm residual drops below this.
+  double tolerance{1e-9};
+};
+
+struct SolverRun {
+  std::vector<double> x;
+  /// Sync: phases run. Async: max sweeps any worker performed.
+  std::size_t iterations{0};
+  /// Async only: true when the coordinator observed convergence (rather
+  /// than workers exhausting their sweep budget).
+  bool converged{true};
+};
+
+/// Runs the Figure 6 synchronous solver. `memories` holds the workers'
+/// memories followed by the coordinator's (layout.node_count() entries,
+/// indexed by node id). Spawns one thread per worker; the coordinator runs
+/// on the calling thread. With layout.workers() < elements each worker
+/// computes a contiguous block (the paper: "each process computes a set of
+/// elements").
+SolverRun run_sync_solver(const SolverProblem& problem,
+                          const SolverLayout& layout,
+                          std::vector<SharedMemory*> memories,
+                          const SolverOptions& options);
+
+/// Coordinator-free layout for the barrier-based solver: w worker nodes,
+/// no extra process.
+///
+///   x_i         = i              owned by the worker whose block holds i
+///   barrier_k   = n + k          owned by worker k (its arrival counter)
+///   a[i][j]     = n + w + i*n+j  owned by worker 0
+///   b_i         = n + w + n^2 +i owned by worker 0
+class DecentralizedSolverLayout {
+ public:
+  explicit DecentralizedSolverLayout(std::size_t n, std::size_t workers)
+      : n_(n), w_(workers) {
+    CM_EXPECTS(n > 0);
+    CM_EXPECTS(workers > 0 && workers <= n);
+  }
+
+  [[nodiscard]] std::size_t elements() const noexcept { return n_; }
+  [[nodiscard]] std::size_t workers() const noexcept { return w_; }
+  [[nodiscard]] std::size_t node_count() const noexcept { return w_; }
+  [[nodiscard]] NodeId worker_of(std::size_t i) const {
+    CM_EXPECTS(i < n_);
+    return static_cast<NodeId>(i * w_ / n_);
+  }
+  [[nodiscard]] Addr x(std::size_t i) const { return i; }
+  [[nodiscard]] Addr barrier_base() const { return n_; }
+  [[nodiscard]] Addr a(std::size_t i, std::size_t j) const {
+    return n_ + w_ + i * n_ + j;
+  }
+  [[nodiscard]] Addr b(std::size_t i) const { return n_ + w_ + n_ * n_ + i; }
+  [[nodiscard]] Addr constants_begin() const { return a(0, 0); }
+  [[nodiscard]] Addr constants_end() const { return b(n_ - 1) + 1; }
+
+  [[nodiscard]] std::unique_ptr<Ownership> make_ownership() const;
+
+ private:
+  std::size_t n_;
+  std::size_t w_;
+};
+
+/// Synchronous solver with no central coordinator: phases are separated by
+/// an all-to-all CausalBarrier (apps/sync). Produces the same bit-exact
+/// Jacobi iterates as the Figure 6 coordinator version.
+SolverRun run_decentralized_solver(const SolverProblem& problem,
+                                   const DecentralizedSolverLayout& layout,
+                                   std::vector<SharedMemory*> memories,
+                                   const SolverOptions& options);
+
+/// Runs the asynchronous (chaotic relaxation) solver: every worker performs
+/// `options.iterations` unsynchronized sweeps. The coordinator only seeds
+/// the constants and collects the result.
+SolverRun run_async_solver(const SolverProblem& problem,
+                           const SolverLayout& layout,
+                           std::vector<SharedMemory*> memories,
+                           const SolverOptions& options);
+
+}  // namespace causalmem

@@ -1,0 +1,126 @@
+// Synchronization variables on causal memory. Section 4.1 notes that
+// "special synchronization variables such as semaphores or event counts may
+// be used on causal memory"; this module provides the ones that are actually
+// implementable on a memory whose concurrent writes are unordered:
+//
+//   Flag        one-shot / resettable boolean, written by its owner,
+//               awaited by anyone (discard-based liveness);
+//   EventCount  monotone counter advanced only by its owner — await(n)
+//               transfers causality: everything the owner did before
+//               advance() is visible to the awaiter afterwards;
+//   CausalBarrier  an all-to-all phase barrier built from one event count
+//               per participant (no central coordinator).
+//
+// Deliberately absent: mutexes/semaphores. Mutual exclusion needs a total
+// order on competing writes (consensus); causal memory's defining feature is
+// that concurrent writes stay unordered, so a correct lock cannot be built
+// from causal reads and writes alone. (The paper's dictionary shows the
+// causal alternative: partition ownership so conflicts never need a lock.)
+#pragma once
+
+#include <cstdint>
+
+#include "causalmem/common/expect.hpp"
+#include "causalmem/dsm/memory.hpp"
+
+namespace causalmem {
+
+/// A boolean flag at a fixed location. The owner sets/clears; anyone waits.
+class Flag {
+ public:
+  Flag(SharedMemory& mem, Addr addr) : mem_(mem), addr_(addr) {}
+
+  /// Sets the flag (any process may call; owner-local calls are free).
+  void set() { mem_.write(addr_, 1); }
+  void clear() { mem_.write(addr_, 0); }
+
+  [[nodiscard]] bool test() { return mem_.read(addr_) != 0; }
+
+  /// Blocks until the flag is set. Everything the setter did causally
+  /// before set() is visible to the caller afterwards.
+  void wait_set() { (void)spin_until_equals(mem_, addr_, 1); }
+  void wait_clear() { (void)spin_until_equals(mem_, addr_, 0); }
+
+ private:
+  SharedMemory& mem_;
+  Addr addr_;
+};
+
+/// A monotone counter advanced only by the process owning its location.
+class EventCount {
+ public:
+  EventCount(SharedMemory& mem, Addr addr) : mem_(mem), addr_(addr) {}
+
+  /// Advances the count to `value`. Only the owner may advance, and values
+  /// must be written in increasing order (contract).
+  void advance_to(Value value) {
+    CM_EXPECTS_MSG(mem_.owns(addr_), "only the owner advances an event count");
+    CM_EXPECTS_MSG(mem_.read(addr_) < value, "event counts are monotone");
+    mem_.write(addr_, value);
+  }
+
+  /// Advances by one; returns the new value.
+  Value advance() {
+    CM_EXPECTS_MSG(mem_.owns(addr_), "only the owner advances an event count");
+    const Value next = mem_.read(addr_) + 1;
+    mem_.write(addr_, next);
+    return next;
+  }
+
+  [[nodiscard]] Value current() { return mem_.read(addr_); }
+
+  /// Blocks until the count reaches at least `target`. On return, every
+  /// operation the owner performed before the corresponding advance is in
+  /// the caller's causal past (and its stale cached copies are dead).
+  void await(Value target) {
+    (void)spin_until(mem_, addr_, [target](Value v) { return v >= target; });
+  }
+
+ private:
+  SharedMemory& mem_;
+  Addr addr_;
+};
+
+/// An n-party phase barrier with no central coordinator: participant i owns
+/// an event count at base+i; arriving advances it, then waits for every
+/// other count to reach the phase number.
+///
+/// The memory's ownership map must assign base+i to participant i.
+class CausalBarrier {
+ public:
+  /// One participant's handle. `index` must equal mem.node_id()'s position
+  /// among the participants (commonly just the node id).
+  CausalBarrier(SharedMemory& mem, Addr base, std::size_t parties,
+                std::size_t index)
+      : mem_(mem), base_(base), parties_(parties), index_(index) {
+    CM_EXPECTS(parties > 0);
+    CM_EXPECTS(index < parties);
+    CM_EXPECTS_MSG(mem.owns(base + index),
+                   "participant must own its arrival counter");
+  }
+
+  /// Arrives at the barrier and blocks until all parties arrive. Returns
+  /// the phase number just completed (1-based). Everything any participant
+  /// did before arriving is causally visible to every participant after.
+  std::uint64_t arrive_and_wait() {
+    const Value phase = static_cast<Value>(++local_phase_);
+    mem_.write(base_ + index_, phase);  // owned: local
+    for (std::size_t j = 0; j < parties_; ++j) {
+      if (j == index_) continue;
+      (void)spin_until(mem_, base_ + j,
+                       [phase](Value v) { return v >= phase; });
+    }
+    return local_phase_;
+  }
+
+  [[nodiscard]] std::uint64_t phase() const noexcept { return local_phase_; }
+
+ private:
+  SharedMemory& mem_;
+  Addr base_;
+  std::size_t parties_;
+  std::size_t index_;
+  std::uint64_t local_phase_{0};
+};
+
+}  // namespace causalmem

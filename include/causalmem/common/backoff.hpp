@@ -1,0 +1,57 @@
+// Adaptive busy-wait helper used by the causal memory `wait(B)` idiom.
+// Starts with cheap pauses, escalates to yields, then to short sleeps so a
+// spinning reader does not starve the node's service thread.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+namespace causalmem {
+
+class Backoff {
+ public:
+  /// max_sleep caps the escalation; keep it small — spin loops poll remote
+  /// owners, and a cap much larger than the message RTT just adds dead time
+  /// to every handshake.
+  explicit Backoff(std::chrono::microseconds max_sleep =
+                       std::chrono::microseconds(50)) noexcept
+      : max_sleep_(max_sleep) {}
+
+  void pause() noexcept {
+    ++spins_;
+    if (spins_ <= 2) {
+      // A couple of relaxed pauses for the multi-core fast path.
+      for (std::uint32_t i = 0; i < 64; ++i) cpu_relax();
+    } else if (spins_ <= 16) {
+      // Yield early: these loops run oversubscribed (n app threads plus n
+      // delivery threads), possibly on a single core, where hot spinning
+      // starves the very thread that would satisfy the predicate.
+      std::this_thread::yield();
+    } else {
+      const std::uint32_t shift =
+          std::min<std::uint32_t>(static_cast<std::uint32_t>(spins_ - 16), 16);
+      auto sleep = std::chrono::microseconds(1ULL << shift);
+      if (sleep > max_sleep_) sleep = max_sleep_;
+      std::this_thread::sleep_for(sleep);
+    }
+  }
+
+  void reset() noexcept { spins_ = 0; }
+
+  [[nodiscard]] std::uint64_t spin_count() const noexcept { return spins_; }
+
+ private:
+  static void cpu_relax() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#else
+    std::this_thread::yield();
+#endif
+  }
+
+  std::chrono::microseconds max_sleep_;
+  std::uint64_t spins_{0};
+};
+
+}  // namespace causalmem

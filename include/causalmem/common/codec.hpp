@@ -1,0 +1,97 @@
+// Byte-level encoder/decoder for protocol messages. Fixed little-endian
+// wire format so the in-memory and TCP transports serialize identically.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "causalmem/common/expect.hpp"
+
+namespace causalmem {
+
+/// Appends primitive values to a growing byte buffer.
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+
+  template <typename T>
+    requires std::is_integral_v<T> || std::is_floating_point_v<T> ||
+             std::is_enum_v<T>
+  void put(T v) {
+    const auto old = buf_.size();
+    buf_.resize(old + sizeof(T));
+    std::memcpy(buf_.data() + old, &v, sizeof(T));
+  }
+
+  void put_bytes(std::span<const std::byte> bytes) {
+    buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+  }
+
+  void put_string(const std::string& s) {
+    put<std::uint32_t>(static_cast<std::uint32_t>(s.size()));
+    const auto* p = reinterpret_cast<const std::byte*>(s.data());
+    put_bytes({p, s.size()});
+  }
+
+  template <typename T>
+  void put_vector(const std::vector<T>& v) {
+    put<std::uint32_t>(static_cast<std::uint32_t>(v.size()));
+    for (const T& x : v) put(x);
+  }
+
+  [[nodiscard]] std::vector<std::byte> take() && { return std::move(buf_); }
+  [[nodiscard]] const std::vector<std::byte>& bytes() const noexcept { return buf_; }
+  [[nodiscard]] std::size_t size() const noexcept { return buf_.size(); }
+
+ private:
+  std::vector<std::byte> buf_;
+};
+
+/// Reads primitive values back out of a byte buffer. Over-reads are
+/// contract violations: messages are produced by our own ByteWriter.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::byte> bytes) noexcept : bytes_(bytes) {}
+
+  template <typename T>
+    requires std::is_integral_v<T> || std::is_floating_point_v<T> ||
+             std::is_enum_v<T>
+  [[nodiscard]] T get() {
+    CM_EXPECTS_MSG(pos_ + sizeof(T) <= bytes_.size(), "codec under-run");
+    T v;
+    std::memcpy(&v, bytes_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  [[nodiscard]] std::string get_string() {
+    const auto n = get<std::uint32_t>();
+    CM_EXPECTS_MSG(pos_ + n <= bytes_.size(), "codec under-run (string)");
+    std::string s(reinterpret_cast<const char*>(bytes_.data() + pos_), n);
+    pos_ += n;
+    return s;
+  }
+
+  template <typename T>
+  [[nodiscard]] std::vector<T> get_vector() {
+    const auto n = get<std::uint32_t>();
+    std::vector<T> v;
+    v.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) v.push_back(get<T>());
+    return v;
+  }
+
+  [[nodiscard]] bool exhausted() const noexcept { return pos_ == bytes_.size(); }
+  [[nodiscard]] std::size_t remaining() const noexcept { return bytes_.size() - pos_; }
+
+ private:
+  std::span<const std::byte> bytes_;
+  std::size_t pos_{0};
+};
+
+}  // namespace causalmem

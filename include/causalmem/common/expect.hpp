@@ -1,0 +1,37 @@
+// Contract-checking macros in the spirit of the Core Guidelines' Expects /
+// Ensures (I.6, I.8). Violations are programming errors: we print a precise
+// diagnostic and abort, never limp on with corrupted protocol state.
+#pragma once
+
+#include <cstdlib>
+
+namespace causalmem::detail {
+
+[[noreturn]] void contract_fail(const char* kind, const char* expr,
+                                const char* file, int line,
+                                const char* msg) noexcept;
+
+}  // namespace causalmem::detail
+
+#define CM_CONTRACT_CHECK(kind, cond, msg)                                \
+  do {                                                                    \
+    if (!(cond)) [[unlikely]] {                                           \
+      ::causalmem::detail::contract_fail(kind, #cond, __FILE__, __LINE__, \
+                                         msg);                            \
+    }                                                                     \
+  } while (false)
+
+/// Precondition on function entry.
+#define CM_EXPECTS(cond) CM_CONTRACT_CHECK("precondition", cond, "")
+#define CM_EXPECTS_MSG(cond, msg) CM_CONTRACT_CHECK("precondition", cond, msg)
+
+/// Postcondition before returning.
+#define CM_ENSURES(cond) CM_CONTRACT_CHECK("postcondition", cond, "")
+
+/// Internal invariant.
+#define CM_ASSERT(cond) CM_CONTRACT_CHECK("invariant", cond, "")
+#define CM_ASSERT_MSG(cond, msg) CM_CONTRACT_CHECK("invariant", cond, msg)
+
+/// Marks unreachable control flow.
+#define CM_UNREACHABLE(msg) \
+  ::causalmem::detail::contract_fail("unreachable", "false", __FILE__, __LINE__, msg)

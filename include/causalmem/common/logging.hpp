@@ -1,0 +1,43 @@
+// Minimal leveled, thread-safe logger. Protocol code logs at DEBUG; the
+// default level is WARN so tests and benches stay quiet.
+#pragma once
+
+#include <atomic>
+#include <sstream>
+#include <string>
+
+namespace causalmem {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+namespace log_detail {
+
+std::atomic<LogLevel>& global_level() noexcept;
+void emit(LogLevel level, const std::string& message);
+
+}  // namespace log_detail
+
+/// Sets the global log threshold; messages below it are discarded.
+inline void set_log_level(LogLevel level) noexcept {
+  log_detail::global_level().store(level, std::memory_order_relaxed);
+}
+
+[[nodiscard]] inline bool log_enabled(LogLevel level) noexcept {
+  return level >= log_detail::global_level().load(std::memory_order_relaxed);
+}
+
+}  // namespace causalmem
+
+#define CM_LOG(level, ...)                                      \
+  do {                                                          \
+    if (::causalmem::log_enabled(level)) {                      \
+      std::ostringstream cm_log_oss;                            \
+      cm_log_oss << __VA_ARGS__;                                \
+      ::causalmem::log_detail::emit(level, cm_log_oss.str());   \
+    }                                                           \
+  } while (false)
+
+#define CM_LOG_DEBUG(...) CM_LOG(::causalmem::LogLevel::kDebug, __VA_ARGS__)
+#define CM_LOG_INFO(...) CM_LOG(::causalmem::LogLevel::kInfo, __VA_ARGS__)
+#define CM_LOG_WARN(...) CM_LOG(::causalmem::LogLevel::kWarn, __VA_ARGS__)
+#define CM_LOG_ERROR(...) CM_LOG(::causalmem::LogLevel::kError, __VA_ARGS__)

@@ -1,0 +1,54 @@
+// Deterministic, seedable random number generation for workloads, latency
+// injection and property tests. SplitMix64: tiny, fast, good distribution.
+#pragma once
+
+#include <cstdint>
+
+#include "causalmem/common/expect.hpp"
+
+namespace causalmem {
+
+/// SplitMix64 PRNG (Steele, Lea, Flood 2014). Deterministic per seed.
+class Rng {
+ public:
+  explicit constexpr Rng(std::uint64_t seed) noexcept : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, bound). bound must be positive.
+  constexpr std::uint64_t next_below(std::uint64_t bound) noexcept {
+    CM_EXPECTS(bound > 0);
+    // Rejection-free Lemire reduction would be overkill; modulo bias is
+    // negligible for our bounds (<< 2^32).
+    return next() % bound;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  constexpr std::int64_t next_in(std::int64_t lo, std::int64_t hi) noexcept {
+    CM_EXPECTS(lo <= hi);
+    return lo + static_cast<std::int64_t>(
+                    next_below(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double next_double() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with probability p.
+  constexpr bool chance(double p) noexcept { return next_double() < p; }
+
+  /// Derives an independent child generator (for per-thread streams).
+  [[nodiscard]] constexpr Rng fork() noexcept { return Rng(next()); }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace causalmem

@@ -1,0 +1,65 @@
+// Core identifier and value types shared by every causalmem module.
+#pragma once
+
+#include <cstdint>
+#include <bit>
+#include <limits>
+#include <string>
+
+namespace causalmem {
+
+/// Identifies a processor/node in the system. Nodes are numbered 0..n-1.
+using NodeId = std::uint32_t;
+
+/// A location (address) in the shared causal memory namespace N.
+using Addr = std::uint64_t;
+
+/// The value stored in a memory location.
+///
+/// The protocol is value-agnostic; we fix a 64-bit payload so messages are
+/// trivially serializable. Applications that need doubles (the linear
+/// solver) or tagged items (the dictionary) encode into the payload with the
+/// helpers below.
+using Value = std::int64_t;
+
+/// Distinguished initial value: the paper assumes every location is
+/// initialized "by writes of a distinguished value that precede all
+/// operations" (Section 2). We use 0 exactly as the paper's examples do.
+inline constexpr Value kInitialValue = 0;
+
+/// Distinguished "free slot / deleted" value for the dictionary (the paper's
+/// lambda). Chosen far away from plausible application values.
+inline constexpr Value kLambda = std::numeric_limits<Value>::min() + 1;
+
+/// Invalid node id sentinel.
+inline constexpr NodeId kNoNode = std::numeric_limits<NodeId>::max();
+
+/// Reinterpret a double as a memory Value (bit pattern preserved).
+[[nodiscard]] constexpr Value value_from_double(double d) noexcept {
+  return std::bit_cast<Value>(d);
+}
+
+/// Reinterpret a memory Value as a double (bit pattern preserved).
+[[nodiscard]] constexpr double double_from_value(Value v) noexcept {
+  return std::bit_cast<double>(v);
+}
+
+/// Identifies a unique write: the paper assumes "all writes are unique
+/// (easily implemented by associating a timestamp with writes)". We tag each
+/// write with its writer and a per-writer sequence number.
+struct WriteTag {
+  NodeId writer{kNoNode};
+  std::uint64_t seq{0};
+
+  friend constexpr bool operator==(const WriteTag&, const WriteTag&) = default;
+  friend constexpr auto operator<=>(const WriteTag&, const WriteTag&) = default;
+
+  /// True for the distinguished initial write that precedes all operations.
+  [[nodiscard]] constexpr bool is_initial() const noexcept {
+    return writer == kNoNode;
+  }
+};
+
+[[nodiscard]] std::string to_string(const WriteTag& tag);
+
+}  // namespace causalmem

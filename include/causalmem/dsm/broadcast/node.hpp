@@ -1,0 +1,86 @@
+// BroadcastNode: the "collection of locations updated by causal broadcasts"
+// model that Section 2 (Figure 3) distinguishes from causal memory. Every
+// processor holds a full replica; writes are applied locally and broadcast
+// with an ISIS-style causal delivery discipline (vector of delivered-counts,
+// hold-back queue); reads are purely local.
+//
+// This memory exists to *demonstrate the paper's negative result*: even with
+// causally ordered delivery, concurrent writes to the same location commit
+// in different orders at different replicas, producing executions causal
+// memory forbids (tests/dsm/broadcast_counterexample_test.cpp reproduces
+// Figure 3 exactly).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "causalmem/dsm/memory.hpp"
+#include "causalmem/dsm/observer.hpp"
+#include "causalmem/dsm/ownership.hpp"
+#include "causalmem/net/transport.hpp"
+
+namespace causalmem {
+
+struct BroadcastConfig {
+  // No knobs; present for System<> uniformity.
+};
+
+class BroadcastNode final : public SharedMemory {
+ public:
+  using Config = BroadcastConfig;
+
+  /// `ownership` is accepted for constructor uniformity and ignored — every
+  /// replica applies every write.
+  BroadcastNode(NodeId id, std::size_t n, const Ownership& ownership,
+                Transport& transport, NodeStats& stats, BroadcastConfig config,
+                OpObserver* observer = nullptr);
+
+  [[nodiscard]] Value read(Addr x) override;
+  void write(Addr x, Value v) override;
+  bool discard(Addr x) override;
+  [[nodiscard]] bool owns(Addr /*x*/) const override { return false; }
+  [[nodiscard]] NodeId node_id() const override { return id_; }
+  [[nodiscard]] NodeStats& stats() override { return stats_; }
+
+  /// Number of writes applied at this replica (own + delivered). The system
+  /// helper uses this to wait for quiescence.
+  [[nodiscard]] std::uint64_t applied_count() const;
+
+  /// Number of writes issued by this replica.
+  [[nodiscard]] std::uint64_t issued_count() const;
+
+  /// Blocks until this replica has applied `target` writes in total.
+  void wait_applied(std::uint64_t target);
+
+ private:
+  struct StoredCell {
+    Value value{kInitialValue};
+    WriteTag tag{};
+  };
+
+  void on_message(const Message& m);
+  /// Applies every hold-back message that has become deliverable.
+  void drain_holdback();
+  [[nodiscard]] bool deliverable(const Message& m) const;
+  void apply(const Message& m);
+
+  const NodeId id_;
+  const std::size_t n_;
+  Transport& transport_;
+  NodeStats& stats_;
+  OpObserver* const observer_;
+
+  mutable std::mutex mu_;
+  std::condition_variable applied_cv_;
+  std::unordered_map<Addr, StoredCell> store_;
+  /// delivered_[k] = number of P_k's writes applied at this replica.
+  std::vector<std::uint64_t> delivered_;
+  std::vector<Message> holdback_;
+  std::uint64_t write_seq_{0};
+  std::uint64_t applied_total_{0};
+};
+
+}  // namespace causalmem

@@ -1,0 +1,68 @@
+// Configuration knobs for the causal DSM node. The defaults pin the paper's
+// Figure 4 algorithm exactly; every enhancement the paper sketches
+// (Section 3.2 and footnote 2) is an orthogonal opt-in.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+#include "causalmem/common/types.hpp"
+
+namespace causalmem {
+
+/// What to invalidate when a new value (writestamp VT') enters local memory.
+enum class InvalidationStrategy : std::uint8_t {
+  /// Figure 4: invalidate every cached value whose writestamp is strictly
+  /// dominated by VT' ("older via the causality relation").
+  kInvalidateOlder,
+  /// Maximally conservative ablation baseline: drop the whole cache on any
+  /// introduction. Trivially correct; measures what Figure 4's bookkeeping
+  /// buys (experiment E9).
+  kFlushAll,
+};
+
+/// How the owner resolves an incoming remote write whose writestamp is
+/// concurrent with the currently stored value's writestamp.
+enum class ConflictPolicy : std::uint8_t {
+  /// Figure 4 literal: the arriving write always overwrites.
+  kLastArrivalWins,
+  /// Section 4.2: "writes by the owner are always favored when resolving
+  /// concurrent writes" — a remote write concurrent with a value the owner
+  /// itself wrote is rejected. Enables the synchronization-free dictionary.
+  kOwnerWins,
+};
+
+/// Whether remote writes block for the owner's certification (Figure 4) or
+/// return immediately (Section 3.2's "reducing the blocking of processors").
+enum class WriteMode : std::uint8_t {
+  kBlocking,
+  /// The write is installed locally with the writer's stamp and certified in
+  /// the background; flush() fences. Requires kLastArrivalWins (a rejected
+  /// async write would have to be un-installed after the fact).
+  kAsync,
+};
+
+struct CausalConfig {
+  InvalidationStrategy invalidation{InvalidationStrategy::kInvalidateOlder};
+  ConflictPolicy conflict{ConflictPolicy::kLastArrivalWins};
+  WriteMode write_mode{WriteMode::kBlocking};
+
+  /// Section 3.2: "a simple strategy to maintain correctness is to force a
+  /// request to the owner on every read. This strategy results in a memory
+  /// that satisfies atomic correctness, not just causal correctness, but we
+  /// lose all the benefits of caching." When true, every non-owned read
+  /// goes to the owner (nothing is cached); requires blocking writes.
+  bool read_through{false};
+
+  /// Locations per sharing unit (Section 3.2, "scaling the unit of sharing
+  /// to a page"). Ownership must be constant within a page. 1 = the paper's
+  /// per-location protocol.
+  Addr page_size{1};
+
+  /// Cached pages kept before LRU discard (the paper's `discard` as a
+  /// replacement policy). Unlimited by default.
+  std::size_t cache_capacity_pages{std::numeric_limits<std::size_t>::max()};
+};
+
+}  // namespace causalmem

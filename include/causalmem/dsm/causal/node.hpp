@@ -1,0 +1,194 @@
+// CausalNode: one processor of the paper's causal DSM, implementing the
+// simple owner protocol of Figure 4:
+//
+//   r_i(x)v  — owned/cached reads are local; a miss asks the owner, merges
+//              the reply stamp into VT_i, caches the value and invalidates
+//              every cached value with a strictly older writestamp.
+//   w_i(x)v  — increments VT_i; owned writes are local; remote writes are
+//              certified by the owner (which merges the stamp, stores,
+//              invalidates its older cached values and replies).
+//   READ     — owner returns (value, writestamp); no clock activity.
+//   WRITE    — owner merges, stores with the merged clock, invalidates,
+//              replies with its merged clock.
+//   discard  — drops a cached copy (replacement and liveness).
+//
+// Incoming requests are serviced on the transport's delivery thread while
+// application reads/writes run on the node's application thread; a single
+// operation mutex makes every protocol step atomic, which is the paper's
+// "each operation must be executed atomically and owners must fairly
+// alternate between issuing reads and writes and responding to READ and
+// WRITE messages".
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <list>
+#include <mutex>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "causalmem/dsm/causal/config.hpp"
+#include "causalmem/dsm/memory.hpp"
+#include "causalmem/dsm/observer.hpp"
+#include "causalmem/dsm/ownership.hpp"
+#include "causalmem/net/transport.hpp"
+#include "causalmem/stats/counters.hpp"
+#include "causalmem/vclock/vector_clock.hpp"
+
+namespace causalmem {
+
+class CausalNode final : public SharedMemory {
+ public:
+  using Config = CausalConfig;
+
+
+  /// `ownership` and `transport` must outlive the node. The node registers
+  /// its message handler with the transport; call transport.start() after
+  /// all nodes are constructed.
+  CausalNode(NodeId id, std::size_t n, const Ownership& ownership,
+             Transport& transport, NodeStats& stats, CausalConfig config,
+             OpObserver* observer = nullptr);
+
+  // SharedMemory API -------------------------------------------------------
+  [[nodiscard]] Value read(Addr x) override;
+  void write(Addr x, Value v) override;
+  bool discard(Addr x) override;
+  [[nodiscard]] bool owns(Addr x) const override;
+  void flush() override;
+  [[nodiscard]] NodeId node_id() const override { return id_; }
+  [[nodiscard]] NodeStats& stats() override { return stats_; }
+
+  // Enhancements -----------------------------------------------------------
+
+  /// Marks every page fully contained in [lo, hi) as read-only: cached
+  /// copies of those pages are exempt from causal invalidation (the paper's
+  /// footnote 2 — "avoid invalidations of A and b"). Contract: the marked
+  /// locations were written before any cross-node interaction and are never
+  /// written again; writes to them afterwards abort.
+  void mark_read_only(Addr lo, Addr hi) override;
+
+  // Introspection (tests) ---------------------------------------------------
+
+  /// Current vector time of this processor.
+  [[nodiscard]] VectorClock vector_time() const;
+
+  /// True when a cached (non-owned) copy of x is present and valid.
+  [[nodiscard]] bool is_cached(Addr x) const;
+
+  /// Number of valid cached pages.
+  [[nodiscard]] std::size_t cached_page_count() const;
+
+ private:
+  /// One memory cell: a value-writestamp pair plus the unique-write tag the
+  /// paper assumes ("we assume all writes are unique").
+  struct Cell {
+    Value value{kInitialValue};
+    VectorClock stamp;
+    WriteTag tag{};
+  };
+
+  /// A cached sharing unit: all cells of the page plus the page writestamp
+  /// used for invalidation comparisons.
+  struct CachedPage {
+    std::vector<Cell> cells;
+    VectorClock stamp;
+    std::list<std::uint64_t>::iterator lru_it;
+  };
+
+  struct Pending {
+    bool async{false};
+    std::uint64_t start_ns{0};  ///< invocation time of the blocked operation
+    std::promise<Message> reply;
+  };
+
+  [[nodiscard]] std::uint64_t page_of(Addr x) const noexcept {
+    return x / cfg_.page_size;
+  }
+  [[nodiscard]] Addr page_base(std::uint64_t page) const noexcept {
+    return page * cfg_.page_size;
+  }
+
+  void on_message(const Message& m);
+  void serve_read(const Message& m);
+  void serve_write(const Message& m);
+  void complete_pending(const Message& m);
+
+  /// Returns the owned cell for x, creating the initial-value cell on first
+  /// touch (the paper: locations are initialized by distinguished writes
+  /// that precede all operations). Caller holds mu_.
+  Cell& owned_cell(Addr x);
+
+  /// Installs a freshly fetched page into the cache. Caller holds mu_.
+  void install_page(std::uint64_t page, CachedPage&& cp);
+
+  /// Records this node's own certified write into its cache (Fig. 4's
+  /// M_i[x] := (v, VT_i) on the writer side). Caller holds mu_.
+  void cache_own_write(Addr x, Value v, const WriteTag& tag,
+                       const VectorClock& stamp);
+
+  /// Figure 4's invalidation sweep: drops every cached page whose stamp is
+  /// strictly older than `threshold` (or everything, under kFlushAll),
+  /// except `keep_page` and read-only pages. Caller holds mu_.
+  void invalidate_cache(const VectorClock& threshold, std::uint64_t keep_page);
+
+  void erase_page(std::unordered_map<std::uint64_t, CachedPage>::iterator it);
+  void touch_lru(CachedPage& cp);
+  void evict_over_capacity();
+
+  [[nodiscard]] NodeId owner_of(Addr x) const {
+    return ownership_.owner(page_base(page_of(x)));
+  }
+
+  std::future<Message> register_pending(std::uint64_t rid, bool async,
+                                        std::uint64_t start_ns = 0);
+
+  const NodeId id_;
+  const std::size_t n_;
+  const Ownership& ownership_;
+  Transport& transport_;
+  NodeStats& stats_;
+  const CausalConfig cfg_;
+  OpObserver* const observer_;
+
+  mutable std::mutex mu_;
+  VectorClock vt_;
+  std::uint64_t write_seq_{0};
+  std::unordered_map<Addr, Cell> owned_;
+  std::unordered_map<std::uint64_t, CachedPage> cache_;
+  std::list<std::uint64_t> lru_;  // front = most recently used page
+  std::unordered_set<std::uint64_t> read_only_pages_;
+
+  /// Per page: this node's own writes the page's owner must have processed
+  /// before a read reply for the page may take effect. `outstanding` holds
+  /// seqs of issued-but-unresolved writes; `accepted_floor` is the highest
+  /// certified seq. A reply whose stamp does not cover
+  /// max(accepted_floor, max(outstanding)) predates our program order and
+  /// is retried. Rejected (owner-wins) writes leave `outstanding` without
+  /// raising the floor — their value exists nowhere, and the owner's state
+  /// at rejection time is concurrent with them, so no wait is owed.
+  struct OwnPageWrites {
+    std::uint64_t accepted_floor{0};
+    std::set<std::uint64_t> outstanding;
+
+    [[nodiscard]] std::uint64_t required() const noexcept {
+      return outstanding.empty()
+                 ? accepted_floor
+                 : std::max(accepted_floor, *outstanding.rbegin());
+    }
+  };
+  std::unordered_map<std::uint64_t, OwnPageWrites> own_writes_;
+
+  std::unordered_map<std::uint64_t, Pending> pending_;
+  std::uint64_t next_rid_{1};
+  std::size_t outstanding_async_{0};
+  /// Owner of the currently pipelined async-write chain (valid while
+  /// outstanding_async_ > 0): consecutive async writes may overlap only
+  /// while they target one owner.
+  NodeId async_chain_owner_{kNoNode};
+  std::condition_variable flush_cv_;
+};
+
+}  // namespace causalmem

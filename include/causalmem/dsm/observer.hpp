@@ -1,0 +1,53 @@
+// Operation observer: memory implementations report every completed read and
+// write (with the unique-write tag involved) so the history module can record
+// executions and the checkers can validate them. Callbacks are invoked in
+// each node's program order, under the node's operation lock.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+#include "causalmem/common/types.hpp"
+
+namespace causalmem {
+
+/// Real-time bracket around an operation's take-effect point. end_ns == 0
+/// means unknown (no real-time claim is made). Implementations guarantee
+/// only that the interval *contains* a valid linearization point for the
+/// operation — which is all a linearizability checker needs.
+struct OpTiming {
+  std::uint64_t start_ns{0};
+  std::uint64_t end_ns{0};
+
+  [[nodiscard]] static std::uint64_t now_ns() noexcept {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+
+  /// Starts a bracket now.
+  [[nodiscard]] static OpTiming begin() noexcept { return {now_ns(), 0}; }
+
+  /// Closes the bracket now and returns it.
+  [[nodiscard]] OpTiming close() const noexcept { return {start_ns, now_ns()}; }
+};
+
+class OpObserver {
+ public:
+  virtual ~OpObserver() = default;
+
+  /// A read by `node` of location `x` returned `v`, which was produced by
+  /// the write identified by `tag` (tag.is_initial() for the distinguished
+  /// initial value).
+  virtual void on_read(NodeId node, Addr x, Value v, const WriteTag& tag,
+                       const OpTiming& timing) = 0;
+
+  /// A write by `node` of `v` to location `x`, with unique identity `tag`.
+  /// `applied` is false when the owner's conflict policy rejected the write
+  /// (owner-wins resolution) — the write happened but installed no value.
+  virtual void on_write(NodeId node, Addr x, Value v, const WriteTag& tag,
+                        bool applied, const OpTiming& timing) = 0;
+};
+
+}  // namespace causalmem

@@ -1,0 +1,60 @@
+// Ownership maps: the shared memory namespace is statically partitioned
+// among processors (Section 3.1, "the locations assigned to a processor are
+// owned by that processor"). Ownership is immutable once the system starts.
+#pragma once
+
+#include <unordered_map>
+
+#include "causalmem/common/expect.hpp"
+#include "causalmem/common/types.hpp"
+
+namespace causalmem {
+
+class Ownership {
+ public:
+  virtual ~Ownership() = default;
+  /// The processor that owns location `x` (or the page containing it).
+  [[nodiscard]] virtual NodeId owner(Addr x) const = 0;
+};
+
+/// owner(x) = (x / block) % n — contiguous blocks striped across nodes.
+/// block = 1 gives round-robin; larger blocks colocate neighbouring
+/// addresses (the natural layout for per-process array rows).
+class StripedOwnership final : public Ownership {
+ public:
+  StripedOwnership(std::size_t n, Addr block = 1) : n_(n), block_(block) {
+    CM_EXPECTS(n > 0);
+    CM_EXPECTS(block > 0);
+  }
+
+  [[nodiscard]] NodeId owner(Addr x) const override {
+    return static_cast<NodeId>((x / block_) % n_);
+  }
+
+ private:
+  std::size_t n_;
+  Addr block_;
+};
+
+/// Explicit per-location assignments with a striped fallback for unmapped
+/// locations. Used by tests and examples that pin ownership (e.g. Figure 5
+/// needs owner(x)=P1, owner(y)=P2).
+class ExplicitOwnership final : public Ownership {
+ public:
+  explicit ExplicitOwnership(std::size_t n) : fallback_(n) {}
+
+  void assign(Addr x, NodeId owner) {
+    map_[x] = owner;
+  }
+
+  [[nodiscard]] NodeId owner(Addr x) const override {
+    const auto it = map_.find(x);
+    return it != map_.end() ? it->second : fallback_.owner(x);
+  }
+
+ private:
+  std::unordered_map<Addr, NodeId> map_;
+  StripedOwnership fallback_;
+};
+
+}  // namespace causalmem

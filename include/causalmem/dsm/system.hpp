@@ -1,0 +1,117 @@
+// DsmSystem<NodeT>: wires n nodes of one memory flavour to a transport and a
+// stats registry. This is the top-level object applications construct; see
+// examples/quickstart.cpp.
+#pragma once
+
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "causalmem/common/expect.hpp"
+#include "causalmem/dsm/memory.hpp"
+#include "causalmem/dsm/observer.hpp"
+#include "causalmem/dsm/ownership.hpp"
+#include "causalmem/net/inmem_transport.hpp"
+#include "causalmem/net/tcp_transport.hpp"
+#include "causalmem/stats/counters.hpp"
+
+namespace causalmem {
+
+struct SystemOptions {
+  /// Injected per-message latency (in-memory transport only).
+  LatencyModel latency{};
+  /// Run over real loopback TCP sockets instead of the in-memory transport.
+  bool use_tcp{false};
+  /// In-memory transport: round-trip every message through the byte codec.
+  bool exercise_codec{false};
+};
+
+template <typename NodeT>
+class DsmSystem {
+ public:
+  using Config = typename NodeT::Config;
+
+  /// Builds a system of `n` nodes. `ownership` defaults to striping pages
+  /// round-robin; pass an ExplicitOwnership to pin locations. `observer`
+  /// (optional) receives every read/write for history checking.
+  explicit DsmSystem(std::size_t n, Config config = {},
+                     SystemOptions options = {},
+                     std::unique_ptr<Ownership> ownership = nullptr,
+                     OpObserver* observer = nullptr)
+      : stats_(n),
+        ownership_(ownership != nullptr
+                       ? std::move(ownership)
+                       : std::make_unique<StripedOwnership>(n, page_size_of(config))) {
+    CM_EXPECTS(n > 0);
+    if (options.use_tcp) {
+      transport_ = std::make_unique<TcpTransport>(n);
+    } else {
+      transport_ = std::make_unique<InMemTransport>(n, options.latency,
+                                                    options.exercise_codec);
+    }
+    nodes_.reserve(n);
+    for (NodeId i = 0; i < n; ++i) {
+      nodes_.push_back(std::make_unique<NodeT>(i, n, *ownership_, *transport_,
+                                               stats_.node(i), config,
+                                               observer));
+    }
+    transport_->start();
+  }
+
+  ~DsmSystem() { shutdown(); }
+
+  DsmSystem(const DsmSystem&) = delete;
+  DsmSystem& operator=(const DsmSystem&) = delete;
+
+  /// Stops message delivery. Nodes must be quiescent (no blocked operations)
+  /// when this is called; application threads join first.
+  void shutdown() { transport_->shutdown(); }
+
+  [[nodiscard]] std::size_t node_count() const noexcept { return nodes_.size(); }
+  [[nodiscard]] NodeT& node(NodeId i) {
+    CM_EXPECTS(i < nodes_.size());
+    return *nodes_[i];
+  }
+  [[nodiscard]] SharedMemory& memory(NodeId i) { return node(i); }
+  [[nodiscard]] StatsRegistry& stats() noexcept { return stats_; }
+  [[nodiscard]] const Ownership& ownership() const noexcept { return *ownership_; }
+  [[nodiscard]] Transport& transport() noexcept { return *transport_; }
+
+  /// The in-memory transport, or nullptr when running over TCP. Tests use
+  /// this to shape per-channel latencies.
+  [[nodiscard]] InMemTransport* inmem_transport() noexcept {
+    return dynamic_cast<InMemTransport*>(transport_.get());
+  }
+
+ private:
+  template <typename C>
+  static Addr page_size_of(const C& config) {
+    if constexpr (requires { config.page_size; }) {
+      return config.page_size;
+    } else {
+      return 1;
+    }
+  }
+
+  StatsRegistry stats_;
+  std::unique_ptr<Ownership> ownership_;
+  std::unique_ptr<Transport> transport_;
+  std::vector<std::unique_ptr<NodeT>> nodes_;
+};
+
+/// Waits until every replica of a DsmSystem<BroadcastNode> has applied every
+/// write issued so far (quiescence). Call only when no more writes are being
+/// issued concurrently.
+template <typename SystemT>
+void wait_broadcast_quiescent(SystemT& system) {
+  std::uint64_t issued = 0;
+  for (NodeId i = 0; i < system.node_count(); ++i) {
+    issued += system.node(i).issued_count();
+  }
+  for (NodeId i = 0; i < system.node_count(); ++i) {
+    system.node(i).wait_applied(issued);
+  }
+}
+
+}  // namespace causalmem

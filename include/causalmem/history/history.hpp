@@ -1,0 +1,93 @@
+// Execution histories: per-process sequences of read/write operations with
+// unique-write tags, exactly the paper's model (Section 2). Histories come
+// from two places: hand-written figure examples (HistoryBuilder) and real
+// runs of the DSM implementations (Recorder).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "causalmem/common/expect.hpp"
+#include "causalmem/common/types.hpp"
+
+namespace causalmem {
+
+enum class OpKind : std::uint8_t { kRead, kWrite };
+
+struct Operation {
+  OpKind kind{OpKind::kRead};
+  NodeId proc{0};
+  Addr addr{0};
+  Value value{0};
+  /// For a write: its unique identity. For a read: the identity of the write
+  /// it read from (is_initial() when it read the distinguished initial 0).
+  WriteTag tag{};
+  /// False for writes rejected by the owner-wins conflict policy. The write
+  /// still exists in the causal order (the checkers treat it normally); its
+  /// value was simply never installed anywhere.
+  bool applied{true};
+  /// Real-time operation interval (steady-clock nanoseconds), when known.
+  /// end_ns == 0 means "no timing" — the linearizability checker then
+  /// imposes no real-time constraint on this operation. The interval need
+  /// not cover the whole call, only contain the operation's take-effect
+  /// point (which is what linearizability needs).
+  std::uint64_t start_ns{0};
+  std::uint64_t end_ns{0};
+
+  [[nodiscard]] bool timed() const noexcept { return end_ns != 0; }
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Identifies one operation in a history.
+struct OpRef {
+  NodeId proc{0};
+  std::size_t index{0};
+
+  friend constexpr bool operator==(const OpRef&, const OpRef&) = default;
+};
+
+struct History {
+  std::vector<std::vector<Operation>> per_process;
+
+  [[nodiscard]] std::size_t process_count() const noexcept {
+    return per_process.size();
+  }
+
+  [[nodiscard]] const Operation& op(OpRef ref) const {
+    CM_EXPECTS(ref.proc < per_process.size());
+    CM_EXPECTS(ref.index < per_process[ref.proc].size());
+    return per_process[ref.proc][ref.index];
+  }
+
+  [[nodiscard]] std::size_t total_ops() const noexcept {
+    std::size_t n = 0;
+    for (const auto& seq : per_process) n += seq.size();
+    return n;
+  }
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Ergonomic construction of the paper's figure examples. Writes get
+/// automatic (proc, seq) tags; reads resolve their reads-from tag by value
+/// (the paper's examples keep values unique per location; value 0 with no
+/// matching write resolves to the distinguished initial write).
+class HistoryBuilder {
+ public:
+  explicit HistoryBuilder(std::size_t n) { h_.per_process.resize(n); }
+
+  HistoryBuilder& write(NodeId p, Addr x, Value v);
+  HistoryBuilder& read(NodeId p, Addr x, Value v);
+
+  /// Resolves every read's reads-from tag (by unique value per location,
+  /// with 0 falling back to the initial write) and returns the history.
+  [[nodiscard]] History build() const;
+
+ private:
+  History h_;
+  std::vector<std::uint64_t> seq_ = std::vector<std::uint64_t>(64, 0);
+};
+
+}  // namespace causalmem

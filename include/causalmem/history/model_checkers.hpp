@@ -1,0 +1,51 @@
+// Weaker-than-causal consistency checkers: PRAM (pipelined RAM,
+// Lipton/Sandberg) and slow memory (Hutto/Ahamad 1990 — the paper's direct
+// ancestor, reference [10]). Together with the sequential-consistency and
+// causal checkers this gives the full hierarchy the literature places causal
+// memory in:
+//
+//   sequential  =>  causal  =>  PRAM  =>  slow
+//
+// and the test suite verifies those inclusions on real executions of the
+// three DSM implementations (e.g. the Figure 3 broadcast execution is PRAM
+// but not causal).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "causalmem/history/history.hpp"
+#include "causalmem/history/sc_checker.hpp"
+
+namespace causalmem {
+
+/// PRAM: for every process p there is a serialization of ALL writes plus
+/// p's reads that respects every process's program order and in which each
+/// read returns the latest preceding write to its location. Checked by
+/// projecting away every other process's reads and reusing the SC search,
+/// per reader; worst case exponential, bounded by `max_states` per reader.
+[[nodiscard]] ScResult check_pram_consistency(
+    const History& history, std::size_t max_states = 1'000'000);
+
+[[nodiscard]] inline bool is_pram_consistent(const History& history) {
+  return check_pram_consistency(history) == ScResult::kConsistent;
+}
+
+struct SlowViolation {
+  OpRef read;
+  std::string reason;
+};
+
+/// Slow memory: every process observes the writes of each single process to
+/// each single location in issue order (and its own writes immediately).
+/// The distinguished initial write of a location is treated as every
+/// writer's zeroth write to it, so regressing to the initial value after
+/// observing a real write is a violation. Linear time.
+[[nodiscard]] std::optional<SlowViolation> check_slow_consistency(
+    const History& history);
+
+[[nodiscard]] inline bool is_slow_consistent(const History& history) {
+  return !check_slow_consistency(history).has_value();
+}
+
+}  // namespace causalmem

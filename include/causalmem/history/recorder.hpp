@@ -1,0 +1,51 @@
+// Recorder: an OpObserver that captures a live execution as a History for
+// post-hoc checking. Implementations invoke the observer in each node's
+// program order; a single mutex keeps cross-node appends safe.
+#pragma once
+
+#include <mutex>
+
+#include "causalmem/dsm/observer.hpp"
+#include "causalmem/history/history.hpp"
+
+namespace causalmem {
+
+class Recorder final : public OpObserver {
+ public:
+  explicit Recorder(std::size_t n) { history_.per_process.resize(n); }
+
+  void on_read(NodeId node, Addr x, Value v, const WriteTag& tag,
+               const OpTiming& timing) override {
+    std::scoped_lock lock(mu_);
+    history_.per_process[node].push_back(Operation{
+        OpKind::kRead, node, x, v, tag, true, timing.start_ns, timing.end_ns});
+  }
+
+  void on_write(NodeId node, Addr x, Value v, const WriteTag& tag,
+                bool applied, const OpTiming& timing) override {
+    std::scoped_lock lock(mu_);
+    history_.per_process[node].push_back(Operation{OpKind::kWrite, node, x, v,
+                                                   tag, applied,
+                                                   timing.start_ns,
+                                                   timing.end_ns});
+  }
+
+  /// Snapshot of the execution so far. Call after application threads join.
+  [[nodiscard]] History history() const {
+    std::scoped_lock lock(mu_);
+    return history_;
+  }
+
+  [[nodiscard]] std::size_t op_count() const {
+    std::scoped_lock lock(mu_);
+    std::size_t n = 0;
+    for (const auto& s : history_.per_process) n += s.size();
+    return n;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  History history_;
+};
+
+}  // namespace causalmem

@@ -1,0 +1,31 @@
+// Sequential-consistency checker: decides whether some interleaving of the
+// per-process sequences explains every read as "latest preceding write to
+// that location" (Lamport 1979). Used to show which executions causal memory
+// admits that strongly consistent memory forbids (Figures 3 and 5).
+//
+// The search is exponential in the worst case; a state budget bounds it and
+// yields kUndecided when exhausted (never hit by the paper-scale histories
+// the tests use).
+#pragma once
+
+#include <cstddef>
+
+#include "causalmem/history/history.hpp"
+
+namespace causalmem {
+
+enum class ScResult {
+  kConsistent,    ///< a witnessing total order exists
+  kInconsistent,  ///< no interleaving explains the reads
+  kUndecided,     ///< state budget exhausted
+};
+
+[[nodiscard]] ScResult check_sequential_consistency(
+    const History& history, std::size_t max_states = 1'000'000);
+
+/// Convenience: true iff definitely sequentially consistent.
+[[nodiscard]] inline bool is_sequentially_consistent(const History& history) {
+  return check_sequential_consistency(history) == ScResult::kConsistent;
+}
+
+}  // namespace causalmem

@@ -1,0 +1,38 @@
+// Plain-text trace format for executions, so histories can be saved from
+// the Recorder, inspected, edited and re-checked (examples/checker_cli):
+//
+//     # comment
+//     w <proc> <addr> <value>
+//     r <proc> <addr> <value>
+//
+// One operation per line, in any interleaving consistent with per-process
+// order. Reads resolve their reads-from write by (addr, value); therefore a
+// formatted trace requires write values unique per location (0 = initial).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <variant>
+
+#include "causalmem/history/history.hpp"
+
+namespace causalmem {
+
+/// Renders `history` in trace format (per-process order preserved; ops are
+/// emitted process by process, which is a valid interleaving).
+/// Contract: write values are unique per location and reads carry matching
+/// tags — true for HistoryBuilder output and for recorded executions whose
+/// workloads use distinct values.
+[[nodiscard]] std::string format_trace(const History& history);
+
+struct TraceParseError {
+  std::size_t line{0};
+  std::string message;
+};
+
+/// Parses trace text into a History (reads-from resolved by value).
+/// Returns the error instead of aborting — traces are user input.
+[[nodiscard]] std::variant<History, TraceParseError> parse_trace(
+    std::istream& in);
+
+}  // namespace causalmem

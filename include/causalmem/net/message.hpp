@@ -1,0 +1,69 @@
+// Wire messages for all three DSM protocols. One flat struct (rather than a
+// class hierarchy) keeps the codec trivial and lets transports stay agnostic
+// of which protocol is running; unused fields are zero.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "causalmem/common/codec.hpp"
+#include "causalmem/common/types.hpp"
+#include "causalmem/vclock/vector_clock.hpp"
+
+namespace causalmem {
+
+enum class MsgType : std::uint8_t {
+  // Causal owner protocol (Figure 4).
+  kRead = 1,        ///< [READ, x] — request current copy from the owner
+  kReadReply,       ///< [R_REPLY, x, v, VT]
+  kWrite,           ///< [WRITE, x, v, VT] — ask owner to certify the write
+  kWriteReply,      ///< [W_REPLY, x, v, VT]
+
+  // Atomic (Li/Hudak-style) baseline additions.
+  kInvalidate,      ///< owner -> copyset member: drop your cached copy
+  kInvalidateAck,   ///< copyset member -> owner
+
+  // Causal-broadcast memory (Figure 3 model).
+  kBroadcastUpdate, ///< writer -> peer: apply (x, v) with this stamp
+};
+
+[[nodiscard]] const char* msg_type_name(MsgType t) noexcept;
+
+/// One (addr, value, tag) cell — page-granularity replies carry a batch.
+struct CellUpdate {
+  Addr addr{0};
+  Value value{0};
+  WriteTag tag{};
+
+  void encode(ByteWriter& w) const;
+  static CellUpdate decode(ByteReader& r);
+};
+
+struct Message {
+  MsgType type{MsgType::kRead};
+  NodeId from{kNoNode};
+  NodeId to{kNoNode};
+
+  /// Matches replies to their blocked requester. 0 for one-way messages.
+  std::uint64_t request_id{0};
+
+  Addr addr{0};
+  Value value{0};
+  WriteTag tag{};       ///< unique-write identity of `value`
+  VectorClock stamp;    ///< writestamp / sender timestamp
+
+  /// W_REPLY only: false when the owner's conflict-resolution policy
+  /// rejected the write (Section 4.2's owner-wins rule).
+  bool accepted{true};
+
+  /// Page-mode replies: all cells of the page (addr is the page base).
+  std::vector<CellUpdate> cells;
+
+  [[nodiscard]] std::vector<std::byte> encode() const;
+  static Message decode(std::span<const std::byte> bytes);
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+}  // namespace causalmem

@@ -1,0 +1,57 @@
+// Transport abstraction: reliable, per-channel FIFO point-to-point message
+// passing between processors — exactly the substrate the paper assumes
+// ("reliable, ordered message passing between any two processors").
+//
+// Delivery invokes the destination's handler on the transport's delivery
+// thread; handlers must be non-blocking state machines (they may send
+// messages and complete futures, never wait for other messages).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+
+#include "causalmem/net/message.hpp"
+
+namespace causalmem {
+
+class Transport {
+ public:
+  using Handler = std::function<void(const Message&)>;
+
+  Transport() = default;
+  Transport(const Transport&) = delete;
+  Transport& operator=(const Transport&) = delete;
+  virtual ~Transport() = default;
+
+  /// Registers the message handler for node `id`. Must be called for every
+  /// node before `start()`.
+  virtual void register_node(NodeId id, Handler handler) = 0;
+
+  /// Begins delivering messages.
+  virtual void start() = 0;
+
+  /// Enqueues `m` for delivery to `m.to`. Never blocks for the receiver.
+  /// Sends after shutdown are dropped (nodes are quiescing).
+  virtual void send(Message m) = 0;
+
+  /// Stops delivery and joins internal threads. Idempotent.
+  virtual void shutdown() = 0;
+
+  /// Number of registered endpoints.
+  [[nodiscard]] virtual std::size_t node_count() const = 0;
+};
+
+/// Latency injected per message: base + uniform jitter in [0, jitter].
+/// Channel FIFO order is preserved regardless of the sampled values.
+struct LatencyModel {
+  std::chrono::microseconds base{0};
+  std::chrono::microseconds jitter{0};
+  std::uint64_t seed{0x1d2c3b4a59687766ULL};
+
+  [[nodiscard]] bool is_zero() const noexcept {
+    return base.count() == 0 && jitter.count() == 0;
+  }
+};
+
+}  // namespace causalmem

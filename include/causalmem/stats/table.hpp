@@ -1,0 +1,30 @@
+// Tiny fixed-width table renderer used by the benchmark harness so every
+// bench prints paper-style rows uniformly.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace causalmem {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Adds a row; the number of cells must match the header count.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with column alignment to `os`.
+  void print(std::ostream& os) const;
+
+  /// Formats a double with fixed precision (helper for bench rows).
+  [[nodiscard]] static std::string num(double v, int precision = 2);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace causalmem

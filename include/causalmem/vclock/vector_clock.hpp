@@ -1,0 +1,107 @@
+// Vector timestamps ("writestamps") exactly as used by the paper's owner
+// protocol (Section 3.1):
+//
+//   - increment(i):    VT[i] += 1
+//   - update(VT, VT'): component-wise max
+//   - VT < VT':        forall i: VT[i] <= VT'[i]  and  exists j: VT[j] < VT'[j]
+//
+// Two stamps not ordered by `<` in either direction are concurrent.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "causalmem/common/codec.hpp"
+#include "causalmem/common/expect.hpp"
+#include "causalmem/common/types.hpp"
+
+namespace causalmem {
+
+/// Result of comparing two vector timestamps under the causal partial order.
+enum class ClockOrder : std::uint8_t {
+  kEqual,       ///< identical components
+  kBefore,      ///< lhs < rhs
+  kAfter,       ///< lhs > rhs
+  kConcurrent,  ///< neither dominates
+};
+
+class VectorClock {
+ public:
+  VectorClock() = default;
+
+  /// A zero clock over `n` processes.
+  explicit VectorClock(std::size_t n) : components_(n, 0) {}
+
+  /// Builds from explicit components (tests and examples).
+  explicit VectorClock(std::vector<std::uint64_t> components)
+      : components_(std::move(components)) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return components_.size(); }
+
+  [[nodiscard]] std::uint64_t operator[](NodeId i) const {
+    CM_EXPECTS(i < components_.size());
+    return components_[i];
+  }
+
+  /// Adds one to the i-th component (the paper's `increment(VT_i)`).
+  void increment(NodeId i) {
+    CM_EXPECTS(i < components_.size());
+    ++components_[i];
+  }
+
+  /// Component-wise max with `other` (the paper's `update(VT, VT')`).
+  void update(const VectorClock& other) {
+    CM_EXPECTS(other.size() == size());
+    for (std::size_t i = 0; i < components_.size(); ++i) {
+      if (other.components_[i] > components_[i]) {
+        components_[i] = other.components_[i];
+      }
+    }
+  }
+
+  /// Full partial-order comparison against `other`.
+  [[nodiscard]] ClockOrder compare(const VectorClock& other) const {
+    CM_EXPECTS(other.size() == size());
+    bool some_less = false;
+    bool some_greater = false;
+    for (std::size_t i = 0; i < components_.size(); ++i) {
+      if (components_[i] < other.components_[i]) some_less = true;
+      if (components_[i] > other.components_[i]) some_greater = true;
+    }
+    if (some_less && some_greater) return ClockOrder::kConcurrent;
+    if (some_less) return ClockOrder::kBefore;
+    if (some_greater) return ClockOrder::kAfter;
+    return ClockOrder::kEqual;
+  }
+
+  /// The paper's `VT < VT'` (strictly dominated).
+  [[nodiscard]] bool before(const VectorClock& other) const {
+    return compare(other) == ClockOrder::kBefore;
+  }
+
+  /// True when neither clock dominates the other.
+  [[nodiscard]] bool concurrent_with(const VectorClock& other) const {
+    return compare(other) == ClockOrder::kConcurrent;
+  }
+
+  friend bool operator==(const VectorClock&, const VectorClock&) = default;
+
+  void encode(ByteWriter& w) const { w.put_vector(components_); }
+
+  static VectorClock decode(ByteReader& r) {
+    return VectorClock(r.get_vector<std::uint64_t>());
+  }
+
+  [[nodiscard]] const std::vector<std::uint64_t>& components() const noexcept {
+    return components_;
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<std::uint64_t> components_;
+};
+
+}  // namespace causalmem

@@ -1,0 +1,75 @@
+#include "causalmem/apps/dict/dictionary.hpp"
+
+namespace causalmem {
+
+std::unique_ptr<Ownership> Dictionary::make_ownership(std::size_t rows,
+                                                      std::size_t slots,
+                                                      Addr base) {
+  auto own = std::make_unique<ExplicitOwnership>(rows);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < slots; ++c) {
+      own->assign(base + r * slots + c, static_cast<NodeId>(r));
+    }
+  }
+  return own;
+}
+
+bool Dictionary::insert(Value v) {
+  CM_EXPECTS_MSG(!is_free(v), "cannot insert a reserved encoding");
+  const std::size_t row = mem_.node_id();
+  for (std::size_t c = 0; c < slots_; ++c) {
+    const Addr a = slot_addr(row, c);
+    if (is_free(mem_.read(a))) {
+      mem_.write(a, v);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Dictionary::lookup(Value v) {
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < slots_; ++c) {
+      if (mem_.read(slot_addr(r, c)) == v) return true;
+    }
+  }
+  return false;
+}
+
+bool Dictionary::remove(Value v) {
+  CM_EXPECTS_MSG(!is_free(v), "cannot delete a reserved encoding");
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < slots_; ++c) {
+      const Addr a = slot_addr(r, c);
+      if (mem_.read(a) == v) {
+        // The owner-wins policy arbitrates if this lambda races with the
+        // owner's newer insert into the same slot (Section 4.2).
+        mem_.write(a, kLambda);
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+void Dictionary::refresh() {
+  for (std::size_t r = 0; r < rows_; ++r) {
+    if (r == mem_.node_id()) continue;  // own row is always current
+    for (std::size_t c = 0; c < slots_; ++c) {
+      (void)mem_.discard(slot_addr(r, c));
+    }
+  }
+}
+
+std::vector<Value> Dictionary::snapshot() {
+  std::vector<Value> out;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < slots_; ++c) {
+      const Value v = mem_.read(slot_addr(r, c));
+      if (!is_free(v)) out.push_back(v);
+    }
+  }
+  return out;
+}
+
+}  // namespace causalmem

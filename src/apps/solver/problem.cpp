@@ -1,0 +1,114 @@
+#include "causalmem/apps/solver/problem.hpp"
+
+#include <cmath>
+
+#include "causalmem/common/rng.hpp"
+
+namespace causalmem {
+
+SolverProblem SolverProblem::random(std::size_t n, std::uint64_t seed) {
+  CM_EXPECTS(n > 0);
+  Rng rng(seed);
+  SolverProblem p;
+  p.n = n;
+  p.a.resize(n * n);
+  p.b.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double off_diag_sum = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const double v = rng.next_double() * 2.0 - 1.0;  // [-1, 1)
+      p.a[i * n + j] = v;
+      off_diag_sum += std::abs(v);
+    }
+    // Strict diagonal dominance with margin: Jacobi contracts.
+    p.a[i * n + i] = off_diag_sum + 1.0 + rng.next_double();
+    p.b[i] = rng.next_double() * 10.0 - 5.0;
+  }
+  return p;
+}
+
+std::vector<double> SolverProblem::jacobi_reference(std::size_t iters) const {
+  std::vector<double> x(n, 0.0);
+  std::vector<double> t(n, 0.0);
+  for (std::size_t k = 0; k < iters; ++k) {
+    for (std::size_t i = 0; i < n; ++i) {
+      // Reduction order matches the DSM worker: j ascending, skipping i.
+      double acc = b[i];
+      for (std::size_t j = 0; j < n; ++j) {
+        if (j == i) continue;
+        acc -= a_at(i, j) * x[j];
+      }
+      t[i] = acc / a_at(i, i);
+    }
+    x = t;
+  }
+  return x;
+}
+
+std::vector<double> SolverProblem::exact_solution() const {
+  // Gaussian elimination with partial pivoting on a copy.
+  std::vector<double> m = a;
+  std::vector<double> rhs = b;
+  const std::size_t dim = n;
+  std::vector<std::size_t> perm(dim);
+  for (std::size_t i = 0; i < dim; ++i) perm[i] = i;
+
+  for (std::size_t col = 0; col < dim; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < dim; ++r) {
+      if (std::abs(m[perm[r] * dim + col]) >
+          std::abs(m[perm[pivot] * dim + col])) {
+        pivot = r;
+      }
+    }
+    std::swap(perm[col], perm[pivot]);
+    const double diag = m[perm[col] * dim + col];
+    CM_ASSERT_MSG(std::abs(diag) > 1e-12, "singular system");
+    for (std::size_t r = col + 1; r < dim; ++r) {
+      const double factor = m[perm[r] * dim + col] / diag;
+      if (factor == 0.0) continue;
+      for (std::size_t c = col; c < dim; ++c) {
+        m[perm[r] * dim + c] -= factor * m[perm[col] * dim + c];
+      }
+      rhs[perm[r]] -= factor * rhs[perm[col]];
+    }
+  }
+  std::vector<double> x(dim, 0.0);
+  for (std::size_t i = dim; i-- > 0;) {
+    double acc = rhs[perm[i]];
+    for (std::size_t c = i + 1; c < dim; ++c) {
+      acc -= m[perm[i] * dim + c] * x[c];
+    }
+    x[i] = acc / m[perm[i] * dim + i];
+  }
+  return x;
+}
+
+double SolverProblem::residual(const std::vector<double>& x) const {
+  CM_EXPECTS(x.size() == n);
+  double worst = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = -b[i];
+    for (std::size_t j = 0; j < n; ++j) acc += a_at(i, j) * x[j];
+    worst = std::max(worst, std::abs(acc));
+  }
+  return worst;
+}
+
+std::unique_ptr<Ownership> SolverLayout::make_ownership() const {
+  auto own = std::make_unique<ExplicitOwnership>(node_count());
+  for (std::size_t i = 0; i < n_; ++i) {
+    own->assign(x(i), worker_of(i));
+  }
+  for (std::size_t w = 0; w < w_; ++w) {
+    own->assign(complete(w), static_cast<NodeId>(w));
+    own->assign(changed(w), static_cast<NodeId>(w));
+  }
+  for (Addr addr = constants_begin(); addr < constants_end(); ++addr) {
+    own->assign(addr, coordinator());
+  }
+  return own;
+}
+
+}  // namespace causalmem

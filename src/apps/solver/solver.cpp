@@ -1,0 +1,282 @@
+#include "causalmem/apps/solver/solver.hpp"
+
+#include <algorithm>
+#include <thread>
+
+#include "causalmem/apps/sync/sync.hpp"
+#include "causalmem/common/expect.hpp"
+
+namespace causalmem {
+
+namespace {
+
+constexpr Value kTrue = 1;
+constexpr Value kFalse = 0;
+
+/// Seeds A and b through the coordinator's memory (it owns them, so these
+/// are local writes that precede every worker operation).
+void seed_constants(const SolverProblem& p, const SolverLayout& layout,
+                    SharedMemory& coord) {
+  for (std::size_t i = 0; i < p.n; ++i) {
+    for (std::size_t j = 0; j < p.n; ++j) {
+      coord.write(layout.a(i, j), value_from_double(p.a_at(i, j)));
+    }
+    coord.write(layout.b(i), value_from_double(p.b[i]));
+  }
+}
+
+/// One worker's compute step: t_i from the currently visible x vector, with
+/// a fixed reduction order (j ascending) so results are comparable
+/// bit-for-bit with SolverProblem::jacobi_reference.
+double compute_ti(const SolverProblem& p, const SolverLayout& layout,
+                  SharedMemory& mem, std::size_t i) {
+  double acc = double_from_value(mem.read(layout.b(i)));
+  for (std::size_t j = 0; j < p.n; ++j) {
+    if (j == i) continue;
+    const double aij = double_from_value(mem.read(layout.a(i, j)));
+    const double xj = double_from_value(mem.read(layout.x(j)));
+    acc -= aij * xj;
+  }
+  return acc / double_from_value(mem.read(layout.a(i, i)));
+}
+
+std::vector<double> collect_result(const SolverProblem& p,
+                                   const SolverLayout& layout,
+                                   SharedMemory& coord) {
+  std::vector<double> x(p.n, 0.0);
+  for (std::size_t i = 0; i < p.n; ++i) {
+    coord.discard(layout.x(i));  // fresh copies from the owners
+    x[i] = double_from_value(coord.read(layout.x(i)));
+  }
+  return x;
+}
+
+}  // namespace
+
+SolverRun run_sync_solver(const SolverProblem& problem,
+                          const SolverLayout& layout,
+                          std::vector<SharedMemory*> memories,
+                          const SolverOptions& options) {
+  const std::size_t n = problem.n;
+  const std::size_t nw = layout.workers();
+  CM_EXPECTS(memories.size() == layout.node_count());
+  CM_EXPECTS(layout.elements() == n);
+  SharedMemory& coord = *memories[layout.coordinator()];
+
+  seed_constants(problem, layout, coord);
+
+  std::vector<std::jthread> workers;
+  workers.reserve(nw);
+  for (std::size_t w = 0; w < nw; ++w) {
+    workers.emplace_back([&, w] {
+      SharedMemory& mem = *memories[w];
+      if (options.protect_constants) {
+        mem.mark_read_only(layout.constants_begin(), layout.constants_end());
+      }
+      std::vector<std::pair<std::size_t, double>> block;
+      for (std::size_t k = 0; k < options.iterations; ++k) {
+        // Phase k: compute this worker's block from the phase k-1 vector.
+        block.clear();
+        for (std::size_t i = 0; i < n; ++i) {
+          if (layout.worker_of(i) != w) continue;
+          block.emplace_back(i, compute_ti(problem, layout, mem, i));
+        }
+        // Handshake 1: announce completion, wait for the go-ahead.
+        mem.write(layout.complete(w), kTrue);
+        (void)spin_until_equals(mem, layout.complete(w), kFalse);
+        // Publish the block (owned locally: no messages).
+        for (const auto& [i, ti] : block) {
+          mem.write(layout.x(i), value_from_double(ti));
+        }
+        // Handshake 2: announce the copy, wait for phase end.
+        mem.write(layout.changed(w), kTrue);
+        (void)spin_until_equals(mem, layout.changed(w), kFalse);
+      }
+    });
+  }
+
+  for (std::size_t k = 0; k < options.iterations; ++k) {
+    for (std::size_t w = 0; w < nw; ++w) {
+      (void)spin_until_equals(coord, layout.complete(w), kTrue);
+    }
+    for (std::size_t w = 0; w < nw; ++w) {
+      coord.write(layout.complete(w), kFalse);
+    }
+    for (std::size_t w = 0; w < nw; ++w) {
+      (void)spin_until_equals(coord, layout.changed(w), kTrue);
+    }
+    for (std::size_t w = 0; w < nw; ++w) {
+      coord.write(layout.changed(w), kFalse);
+    }
+  }
+
+  for (auto& w : workers) w.join();
+
+  SolverRun run;
+  run.iterations = options.iterations;
+  run.x = collect_result(problem, layout, coord);
+  return run;
+}
+
+SolverRun run_async_solver(const SolverProblem& problem,
+                           const SolverLayout& layout,
+                           std::vector<SharedMemory*> memories,
+                           const SolverOptions& options) {
+  const std::size_t n = problem.n;
+  CM_EXPECTS(memories.size() == layout.node_count());
+  SharedMemory& coord = *memories[layout.coordinator()];
+
+  // complete_i doubles as the control flag: kFalse = hold, kTrue = run,
+  // kStop = converged, shut down.
+  constexpr Value kStop = 2;
+
+  seed_constants(problem, layout, coord);
+  const std::size_t nw = layout.workers();
+  std::vector<std::size_t> sweeps(nw, 0);
+  std::vector<std::jthread> workers;
+  workers.reserve(nw);
+  for (std::size_t w = 0; w < nw; ++w) {
+    workers.emplace_back([&, w] {
+      SharedMemory& mem = *memories[w];
+      if (options.protect_constants) {
+        mem.mark_read_only(layout.constants_begin(), layout.constants_end());
+      }
+      // Wait for the go-ahead (the constants exist once it arrives).
+      (void)spin_until(mem, layout.complete(w),
+                       [](Value v) { return v != kFalse; });
+      for (std::size_t k = 0; k < options.iterations; ++k) {
+        if (mem.read(layout.complete(w)) == kStop) break;  // owned: local
+        // Chaotic relaxation: read whatever is visible now. Discard cached
+        // neighbour values first so owner updates eventually flow in
+        // (Section 3.1: "occasional execution of discard ... ensures
+        // eventual communication").
+        for (std::size_t j = 0; j < n; ++j) {
+          if (layout.worker_of(j) != w) (void)mem.discard(layout.x(j));
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+          if (layout.worker_of(i) != w) continue;
+          const double ti = compute_ti(problem, layout, mem, i);
+          mem.write(layout.x(i), value_from_double(ti));
+        }
+        mem.flush();
+        ++sweeps[w];
+      }
+      mem.write(layout.changed(w), kTrue);
+    });
+  }
+
+  for (std::size_t w = 0; w < nw; ++w) coord.write(layout.complete(w), kTrue);
+
+  // Termination detection: the coordinator polls the global vector and
+  // raises the stop flags once the residual is small. Workers that exhaust
+  // their sweep budget stop on their own (converged=false).
+  std::vector<double> x(n, 0.0);
+  bool converged = false;
+  for (;;) {
+    for (std::size_t i = 0; i < n; ++i) {
+      (void)coord.discard(layout.x(i));
+      x[i] = double_from_value(coord.read(layout.x(i)));
+    }
+    if (problem.residual(x) < options.tolerance) {
+      converged = true;
+      break;
+    }
+    bool all_done = true;
+    for (std::size_t w = 0; w < nw; ++w) {
+      (void)coord.discard(layout.changed(w));
+      all_done = all_done && coord.read(layout.changed(w)) == kTrue;
+    }
+    if (all_done) break;  // budgets exhausted without convergence
+    std::this_thread::yield();
+  }
+  for (std::size_t w = 0; w < nw; ++w) coord.write(layout.complete(w), kStop);
+  for (std::size_t w = 0; w < nw; ++w) {
+    (void)spin_until_equals(coord, layout.changed(w), kTrue);
+  }
+  for (auto& w : workers) w.join();
+
+  SolverRun run;
+  run.iterations = *std::max_element(sweeps.begin(), sweeps.end());
+  run.converged = converged;
+  run.x = collect_result(problem, layout, coord);
+  return run;
+}
+
+std::unique_ptr<Ownership> DecentralizedSolverLayout::make_ownership() const {
+  auto own = std::make_unique<ExplicitOwnership>(node_count());
+  for (std::size_t i = 0; i < n_; ++i) {
+    own->assign(x(i), worker_of(i));
+  }
+  for (std::size_t k = 0; k < w_; ++k) {
+    own->assign(barrier_base() + k, static_cast<NodeId>(k));
+  }
+  for (Addr addr = constants_begin(); addr < constants_end(); ++addr) {
+    own->assign(addr, 0);  // worker 0 seeds and owns the constants
+  }
+  return own;
+}
+
+SolverRun run_decentralized_solver(const SolverProblem& problem,
+                                   const DecentralizedSolverLayout& layout,
+                                   std::vector<SharedMemory*> memories,
+                                   const SolverOptions& options) {
+  const std::size_t n = problem.n;
+  const std::size_t nw = layout.workers();
+  CM_EXPECTS(memories.size() == layout.node_count());
+  CM_EXPECTS(layout.elements() == n);
+
+  std::vector<std::jthread> workers;
+  workers.reserve(nw);
+  for (std::size_t w = 0; w < nw; ++w) {
+    workers.emplace_back([&, w] {
+      SharedMemory& mem = *memories[w];
+      if (w == 0) {
+        // Worker 0 owns A and b: seed before releasing anyone.
+        for (std::size_t i = 0; i < n; ++i) {
+          for (std::size_t j = 0; j < n; ++j) {
+            mem.write(layout.a(i, j), value_from_double(problem.a_at(i, j)));
+          }
+          mem.write(layout.b(i), value_from_double(problem.b[i]));
+        }
+      }
+      if (options.protect_constants) {
+        mem.mark_read_only(layout.constants_begin(), layout.constants_end());
+      }
+      CausalBarrier barrier(mem, layout.barrier_base(), nw, w);
+      barrier.arrive_and_wait();  // constants exist beyond this point
+
+      std::vector<std::pair<std::size_t, double>> block;
+      for (std::size_t k = 0; k < options.iterations; ++k) {
+        block.clear();
+        for (std::size_t i = 0; i < n; ++i) {
+          if (layout.worker_of(i) != w) continue;
+          auto bi = double_from_value(mem.read(layout.b(i)));
+          for (std::size_t j = 0; j < n; ++j) {
+            if (j == i) continue;
+            bi -= double_from_value(mem.read(layout.a(i, j))) *
+                  double_from_value(mem.read(layout.x(j)));
+          }
+          block.emplace_back(i, bi / double_from_value(mem.read(layout.a(i, i))));
+        }
+        barrier.arrive_and_wait();  // everyone computed: old x may die
+        for (const auto& [i, ti] : block) {
+          mem.write(layout.x(i), value_from_double(ti));
+        }
+        barrier.arrive_and_wait();  // everyone published: next phase
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  SolverRun run;
+  run.iterations = options.iterations;
+  run.x.resize(n);
+  SharedMemory& reader = *memories[0];
+  for (std::size_t i = 0; i < n; ++i) {
+    (void)reader.discard(layout.x(i));
+    run.x[i] = double_from_value(reader.read(layout.x(i)));
+  }
+  return run;
+}
+
+}  // namespace causalmem

@@ -1,0 +1,17 @@
+#include "causalmem/common/expect.hpp"
+
+#include <cstdio>
+
+namespace causalmem::detail {
+
+[[noreturn]] void contract_fail(const char* kind, const char* expr,
+                                const char* file, int line,
+                                const char* msg) noexcept {
+  std::fprintf(stderr, "causalmem: %s violated: `%s` at %s:%d%s%s\n", kind,
+               expr, file, line, (msg != nullptr && msg[0] != '\0') ? " — " : "",
+               (msg != nullptr) ? msg : "");
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace causalmem::detail

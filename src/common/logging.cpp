@@ -1,0 +1,44 @@
+#include "causalmem/common/logging.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+
+namespace causalmem::log_detail {
+
+std::atomic<LogLevel>& global_level() noexcept {
+  static std::atomic<LogLevel> level{LogLevel::kWarn};
+  return level;
+}
+
+namespace {
+
+const char* level_name(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF  ";
+  }
+  return "?????";
+}
+
+std::mutex& emit_mutex() noexcept {
+  static std::mutex mu;
+  return mu;
+}
+
+}  // namespace
+
+void emit(LogLevel level, const std::string& message) {
+  using namespace std::chrono;
+  const auto now = duration_cast<microseconds>(
+                       steady_clock::now().time_since_epoch())
+                       .count();
+  std::scoped_lock lock(emit_mutex());
+  std::fprintf(stderr, "[%12lld us] %s %s\n", static_cast<long long>(now),
+               level_name(level), message.c_str());
+}
+
+}  // namespace causalmem::log_detail

@@ -1,0 +1,17 @@
+#include "causalmem/common/types.hpp"
+
+#include <sstream>
+
+namespace causalmem {
+
+std::string to_string(const WriteTag& tag) {
+  std::ostringstream oss;
+  if (tag.is_initial()) {
+    oss << "w(init)";
+  } else {
+    oss << "w(P" << tag.writer << "#" << tag.seq << ")";
+  }
+  return oss.str();
+}
+
+}  // namespace causalmem

@@ -1,0 +1,348 @@
+#include "causalmem/dsm/atomic/node.hpp"
+
+#include "causalmem/common/expect.hpp"
+
+namespace causalmem {
+
+AtomicNode::AtomicNode(NodeId id, std::size_t n, const Ownership& ownership,
+                       Transport& transport, NodeStats& stats,
+                       AtomicConfig /*config*/, OpObserver* observer)
+    : id_(id),
+      n_(n),
+      ownership_(ownership),
+      transport_(transport),
+      stats_(stats),
+      observer_(observer) {
+  CM_EXPECTS(id < n);
+  transport_.register_node(id_, [this](const Message& m) { on_message(m); });
+}
+
+// --------------------------------------------------------------------------
+// Application-facing operations
+// --------------------------------------------------------------------------
+
+Value AtomicNode::read(Addr x) {
+  const OpTiming op_start = OpTiming::begin();
+  {
+    std::unique_lock lock(mu_);
+    if (ownership_.owner(x) == id_) {
+      // Strong consistency: do not expose a value mid-invalidation-round.
+      write_done_cv_.wait(lock, [&] { return !in_flight_.contains(x); });
+      OwnedCell& c = owned_cell(x);
+      stats_.bump(Counter::kReadHit);
+      const Value v = c.value;
+      const WriteTag tag = c.tag;
+      if (observer_ != nullptr) {
+        observer_->on_read(id_, x, v, tag, op_start.close());
+      }
+      return v;
+    }
+    if (auto it = cache_.find(x); it != cache_.end()) {
+      stats_.bump(Counter::kReadHit);
+      const Value v = it->second.value;
+      const WriteTag tag = it->second.tag;
+      if (observer_ != nullptr) {
+        observer_->on_read(id_, x, v, tag, op_start.close());
+      }
+      return v;
+    }
+    stats_.bump(Counter::kReadMiss);
+  }
+
+  std::uint64_t rid;
+  std::future<Message> fut;
+  {
+    std::unique_lock lock(mu_);
+    rid = next_rid_++;
+    fut = register_pending(rid);
+  }
+  Message req;
+  req.type = MsgType::kRead;
+  req.from = id_;
+  req.to = ownership_.owner(x);
+  req.request_id = rid;
+  req.addr = x;
+  stats_.bump(Counter::kMsgReadRequest);
+  transport_.send(std::move(req));
+
+  // The cached copy was installed by complete_pending on the delivery
+  // thread, *before* this future resolved — so an INV that the owner sends
+  // after our R_REPLY (FIFO channel) can never race past the install.
+  const Message rep = fut.get();
+  std::unique_lock lock(mu_);
+  if (observer_ != nullptr) {
+    observer_->on_read(id_, x, rep.value, rep.tag, op_start.close());
+  }
+  return rep.value;
+}
+
+void AtomicNode::write(Addr x, Value v) {
+  const OpTiming op_start = OpTiming::begin();
+  if (ownership_.owner(x) == id_) {
+    std::unique_lock lock(mu_);
+    stats_.bump(Counter::kWriteLocal);
+    const WriteTag tag{id_, ++write_seq_};
+    write_done_cv_.wait(lock, [&] { return !in_flight_.contains(x); });
+    if (!begin_write(lock, x, v, tag, id_, 0)) {
+      // Our round is in flight; wait until it completes (our write applies —
+      // possibly to be overwritten by a deferred write right after, which is
+      // a legitimate subsequent event, not a failure of ours).
+      write_done_cv_.wait(lock, [&] {
+        auto it = in_flight_.find(x);
+        return it == in_flight_.end() || !(it->second.tag == tag);
+      });
+    }
+    if (observer_ != nullptr) {
+      observer_->on_write(id_, x, v, tag, true, op_start.close());
+    }
+    return;
+  }
+
+  std::uint64_t rid;
+  std::future<Message> fut;
+  WriteTag tag;
+  {
+    std::unique_lock lock(mu_);
+    stats_.bump(Counter::kWriteRemote);
+    tag = WriteTag{id_, ++write_seq_};
+    rid = next_rid_++;
+    fut = register_pending(rid);
+  }
+  Message req;
+  req.type = MsgType::kWrite;
+  req.from = id_;
+  req.to = ownership_.owner(x);
+  req.request_id = rid;
+  req.addr = x;
+  req.value = v;
+  req.tag = tag;
+  stats_.bump(Counter::kMsgWriteRequest);
+  transport_.send(std::move(req));
+
+  (void)fut.get();  // cache install happened in complete_pending (FIFO-safe)
+  std::unique_lock lock(mu_);
+  if (observer_ != nullptr) {
+    observer_->on_write(id_, x, v, tag, true, op_start.close());
+  }
+}
+
+bool AtomicNode::discard(Addr /*x*/) {
+  // Invalidations are pushed by owners; polling a cached copy is live.
+  return false;
+}
+
+bool AtomicNode::owns(Addr x) const { return ownership_.owner(x) == id_; }
+
+// --------------------------------------------------------------------------
+// Owner-side protocol
+// --------------------------------------------------------------------------
+
+void AtomicNode::on_message(const Message& m) {
+  switch (m.type) {
+    case MsgType::kRead:
+      serve_read(m);
+      return;
+    case MsgType::kWrite:
+      serve_write(m);
+      return;
+    case MsgType::kInvalidate:
+      handle_inv(m);
+      return;
+    case MsgType::kInvalidateAck:
+      handle_inv_ack(m);
+      return;
+    case MsgType::kReadReply:
+    case MsgType::kWriteReply:
+      complete_pending(m);
+      return;
+    default:
+      CM_UNREACHABLE("unexpected message type at atomic node");
+  }
+}
+
+void AtomicNode::serve_read(const Message& m) {
+  std::unique_lock lock(mu_);
+  CM_ASSERT_MSG(ownership_.owner(m.addr) == id_, "READ routed to non-owner");
+  if (in_flight_.contains(m.addr)) {
+    deferred_[m.addr].push_back(m);
+    return;
+  }
+  OwnedCell& c = owned_cell(m.addr);
+  c.copyset.insert(m.from);
+  Message rep;
+  rep.type = MsgType::kReadReply;
+  rep.from = id_;
+  rep.to = m.from;
+  rep.request_id = m.request_id;
+  rep.addr = m.addr;
+  rep.value = c.value;
+  rep.tag = c.tag;
+  stats_.bump(Counter::kMsgReadReply);
+  lock.unlock();
+  transport_.send(std::move(rep));
+}
+
+void AtomicNode::serve_write(const Message& m) {
+  std::unique_lock lock(mu_);
+  CM_ASSERT_MSG(ownership_.owner(m.addr) == id_, "WRITE routed to non-owner");
+  if (in_flight_.contains(m.addr)) {
+    deferred_[m.addr].push_back(m);
+    return;
+  }
+  (void)begin_write(lock, m.addr, m.value, m.tag, m.from, m.request_id);
+}
+
+bool AtomicNode::begin_write(std::unique_lock<std::mutex>& lock, Addr x,
+                             Value v, WriteTag tag, NodeId origin,
+                             std::uint64_t reply_rid) {
+  CM_ASSERT(!in_flight_.contains(x));
+  OwnedCell& c = owned_cell(x);
+  std::unordered_set<NodeId> members = c.copyset;
+  members.erase(origin);  // the writer gets the new value via its reply
+  if (members.empty()) {
+    c.value = v;
+    c.tag = tag;
+    c.copyset.clear();
+    if (origin != id_) {
+      c.copyset.insert(origin);
+      Message rep;
+      rep.type = MsgType::kWriteReply;
+      rep.from = id_;
+      rep.to = origin;
+      rep.request_id = reply_rid;
+      rep.addr = x;
+      rep.value = v;
+      rep.tag = tag;
+      stats_.bump(Counter::kMsgWriteReply);
+      lock.unlock();
+      transport_.send(std::move(rep));
+      lock.lock();
+    }
+    return true;
+  }
+
+  in_flight_.emplace(x, PendingWrite{v, tag, origin, reply_rid, members.size()});
+  for (NodeId member : members) {
+    Message inv;
+    inv.type = MsgType::kInvalidate;
+    inv.from = id_;
+    inv.to = member;
+    inv.addr = x;
+    stats_.bump(Counter::kMsgInvalidate);
+    transport_.send(std::move(inv));
+  }
+  return false;
+}
+
+void AtomicNode::handle_inv(const Message& m) {
+  {
+    std::unique_lock lock(mu_);
+    cache_.erase(m.addr);
+    stats_.bump(Counter::kInvalidationApplied);
+    stats_.bump(Counter::kMsgInvalidateAck);
+  }
+  Message ack;
+  ack.type = MsgType::kInvalidateAck;
+  ack.from = id_;
+  ack.to = m.from;
+  ack.addr = m.addr;
+  transport_.send(std::move(ack));
+}
+
+void AtomicNode::handle_inv_ack(const Message& m) {
+  std::unique_lock lock(mu_);
+  auto it = in_flight_.find(m.addr);
+  CM_ASSERT_MSG(it != in_flight_.end(), "stray INV_ACK");
+  CM_ASSERT(it->second.remaining > 0);
+  if (--it->second.remaining == 0) {
+    finish_write(lock, m.addr);
+  }
+}
+
+void AtomicNode::finish_write(std::unique_lock<std::mutex>& lock, Addr x) {
+  auto it = in_flight_.find(x);
+  CM_ASSERT(it != in_flight_.end());
+  const PendingWrite pw = it->second;
+  in_flight_.erase(it);
+
+  OwnedCell& c = owned_cell(x);
+  c.value = pw.value;
+  c.tag = pw.tag;
+  c.copyset.clear();
+  if (pw.origin != id_) {
+    c.copyset.insert(pw.origin);
+    Message rep;
+    rep.type = MsgType::kWriteReply;
+    rep.from = id_;
+    rep.to = pw.origin;
+    rep.request_id = pw.reply_rid;
+    rep.addr = x;
+    rep.value = pw.value;
+    rep.tag = pw.tag;
+    stats_.bump(Counter::kMsgWriteReply);
+    lock.unlock();
+    transport_.send(std::move(rep));
+    lock.lock();
+  }
+  write_done_cv_.notify_all();
+
+  // Drain requests that arrived during the round. A deferred WRITE may begin
+  // a new round, at which point the remainder stays deferred.
+  auto dq = deferred_.find(x);
+  while (dq != deferred_.end() && !dq->second.empty() &&
+         !in_flight_.contains(x)) {
+    const Message next = dq->second.front();
+    dq->second.pop_front();
+    if (next.type == MsgType::kRead) {
+      OwnedCell& cell = owned_cell(x);
+      cell.copyset.insert(next.from);
+      Message rep;
+      rep.type = MsgType::kReadReply;
+      rep.from = id_;
+      rep.to = next.from;
+      rep.request_id = next.request_id;
+      rep.addr = x;
+      rep.value = cell.value;
+      rep.tag = cell.tag;
+      stats_.bump(Counter::kMsgReadReply);
+      lock.unlock();
+      transport_.send(std::move(rep));
+      lock.lock();
+      dq = deferred_.find(x);
+    } else {
+      CM_ASSERT(next.type == MsgType::kWrite);
+      (void)begin_write(lock, x, next.value, next.tag, next.from,
+                        next.request_id);
+      dq = deferred_.find(x);
+    }
+  }
+  if (dq != deferred_.end() && dq->second.empty()) deferred_.erase(dq);
+}
+
+void AtomicNode::complete_pending(const Message& m) {
+  std::unique_lock lock(mu_);
+  auto it = pending_.find(m.request_id);
+  CM_ASSERT_MSG(it != pending_.end(), "reply for unknown request");
+  std::promise<Message> prom = std::move(it->second);
+  pending_.erase(it);
+  // Install the fetched/written copy here, on the delivery thread: the owner
+  // put us in the copyset before sending this reply, so any INV for this
+  // location is behind us on the FIFO channel and will observe the install.
+  if (!owns(m.addr)) {
+    cache_[m.addr] = CachedCell{m.value, m.tag};
+  }
+  lock.unlock();
+  prom.set_value(m);
+}
+
+AtomicNode::OwnedCell& AtomicNode::owned_cell(Addr x) {
+  return owned_.try_emplace(x).first->second;
+}
+
+std::future<Message> AtomicNode::register_pending(std::uint64_t rid) {
+  auto [it, inserted] = pending_.try_emplace(rid);
+  CM_ASSERT(inserted);
+  return it->second.get_future();
+}
+
+}  // namespace causalmem

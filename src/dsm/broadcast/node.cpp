@@ -1,0 +1,127 @@
+#include "causalmem/dsm/broadcast/node.hpp"
+
+#include "causalmem/common/expect.hpp"
+
+namespace causalmem {
+
+BroadcastNode::BroadcastNode(NodeId id, std::size_t n,
+                             const Ownership& /*ownership*/,
+                             Transport& transport, NodeStats& stats,
+                             BroadcastConfig /*config*/, OpObserver* observer)
+    : id_(id),
+      n_(n),
+      transport_(transport),
+      stats_(stats),
+      observer_(observer),
+      delivered_(n, 0) {
+  CM_EXPECTS(id < n);
+  transport_.register_node(id_, [this](const Message& m) { on_message(m); });
+}
+
+Value BroadcastNode::read(Addr x) {
+  const OpTiming op_start = OpTiming::begin();
+  std::unique_lock lock(mu_);
+  stats_.bump(Counter::kReadHit);  // replica reads are always local
+  const auto it = store_.find(x);
+  const Value v = it != store_.end() ? it->second.value : kInitialValue;
+  const WriteTag tag = it != store_.end() ? it->second.tag : WriteTag{};
+  if (observer_ != nullptr) {
+    observer_->on_read(id_, x, v, tag, op_start.close());
+  }
+  return v;
+}
+
+void BroadcastNode::write(Addr x, Value v) {
+  const OpTiming op_start = OpTiming::begin();
+  Message m;
+  {
+    std::unique_lock lock(mu_);
+    stats_.bump(Counter::kWriteLocal);
+    const WriteTag tag{id_, ++write_seq_};
+    // Causal broadcast stamp: delivered-counts vector with our own write
+    // counted. Receivers deliver when they have seen everything we had.
+    ++delivered_[id_];
+    ++applied_total_;
+    store_[x] = StoredCell{v, tag};
+    if (observer_ != nullptr) {
+      observer_->on_write(id_, x, v, tag, true, op_start.close());
+    }
+
+    m.type = MsgType::kBroadcastUpdate;
+    m.from = id_;
+    m.addr = x;
+    m.value = v;
+    m.tag = tag;
+    m.stamp = VectorClock(std::vector<std::uint64_t>(delivered_));
+  }
+  applied_cv_.notify_all();
+  for (NodeId peer = 0; peer < n_; ++peer) {
+    if (peer == id_) continue;
+    Message copy = m;
+    copy.to = peer;
+    stats_.bump(Counter::kMsgBroadcast);
+    transport_.send(std::move(copy));
+  }
+}
+
+bool BroadcastNode::discard(Addr /*x*/) { return false; }
+
+std::uint64_t BroadcastNode::applied_count() const {
+  std::unique_lock lock(mu_);
+  return applied_total_;
+}
+
+std::uint64_t BroadcastNode::issued_count() const {
+  std::unique_lock lock(mu_);
+  return write_seq_;
+}
+
+void BroadcastNode::wait_applied(std::uint64_t target) {
+  std::unique_lock lock(mu_);
+  applied_cv_.wait(lock, [&] { return applied_total_ >= target; });
+}
+
+void BroadcastNode::on_message(const Message& m) {
+  CM_ASSERT(m.type == MsgType::kBroadcastUpdate);
+  {
+    std::unique_lock lock(mu_);
+    holdback_.push_back(m);
+    drain_holdback();
+  }
+  applied_cv_.notify_all();
+}
+
+bool BroadcastNode::deliverable(const Message& m) const {
+  const NodeId sender = m.from;
+  // ISIS-style rule: next-in-sequence from the sender, and we have already
+  // delivered every write the sender had delivered when it sent.
+  if (m.stamp[sender] != delivered_[sender] + 1) return false;
+  for (NodeId k = 0; k < n_; ++k) {
+    if (k == sender) continue;
+    if (m.stamp[k] > delivered_[k]) return false;
+  }
+  return true;
+}
+
+void BroadcastNode::apply(const Message& m) {
+  store_[m.addr] = StoredCell{m.value, m.tag};
+  ++delivered_[m.from];
+  ++applied_total_;
+}
+
+void BroadcastNode::drain_holdback() {
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (auto it = holdback_.begin(); it != holdback_.end(); ++it) {
+      if (deliverable(*it)) {
+        apply(*it);
+        holdback_.erase(it);
+        progressed = true;
+        break;  // iterators invalidated; rescan
+      }
+    }
+  }
+}
+
+}  // namespace causalmem

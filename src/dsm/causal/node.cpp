@@ -1,0 +1,538 @@
+#include "causalmem/dsm/causal/node.hpp"
+
+#include <algorithm>
+
+#include "causalmem/common/expect.hpp"
+#include "causalmem/common/logging.hpp"
+
+namespace causalmem {
+
+CausalNode::CausalNode(NodeId id, std::size_t n, const Ownership& ownership,
+                       Transport& transport, NodeStats& stats,
+                       CausalConfig config, OpObserver* observer)
+    : id_(id),
+      n_(n),
+      ownership_(ownership),
+      transport_(transport),
+      stats_(stats),
+      cfg_(config),
+      observer_(observer),
+      vt_(n) {
+  CM_EXPECTS(id < n);
+  CM_EXPECTS(cfg_.page_size > 0);
+  CM_EXPECTS(cfg_.cache_capacity_pages > 0);
+  CM_EXPECTS_MSG(cfg_.write_mode == WriteMode::kBlocking ||
+                     cfg_.conflict == ConflictPolicy::kLastArrivalWins,
+                 "async writes require last-arrival-wins conflict policy");
+  CM_EXPECTS_MSG(!cfg_.read_through || cfg_.write_mode == WriteMode::kBlocking,
+                 "read-through (atomic) mode requires blocking writes");
+  transport_.register_node(id_, [this](const Message& m) { on_message(m); });
+}
+
+// --------------------------------------------------------------------------
+// Application-facing operations (Figure 4's r_i and w_i)
+// --------------------------------------------------------------------------
+
+Value CausalNode::read(Addr x) {
+  const OpTiming op_start = OpTiming::begin();
+  const std::uint64_t pg = page_of(x);
+  {
+    std::unique_lock lock(mu_);
+    if (owner_of(x) == id_) {
+      Cell& c = owned_cell(x);
+      stats_.bump(Counter::kReadHit);
+      const Value v = c.value;
+      const WriteTag tag = c.tag;
+      if (observer_ != nullptr) {
+        observer_->on_read(id_, x, v, tag, op_start.close());
+      }
+      return v;
+    }
+    if (!cfg_.read_through) {
+      if (auto it = cache_.find(pg); it != cache_.end()) {
+        touch_lru(it->second);
+        const Cell& c = it->second.cells[x - page_base(pg)];
+        stats_.bump(Counter::kReadHit);
+        const Value v = c.value;
+        const WriteTag tag = c.tag;
+        if (observer_ != nullptr) {
+          observer_->on_read(id_, x, v, tag, op_start.close());
+        }
+        return v;
+      }
+    }
+    stats_.bump(Counter::kReadMiss);
+  }
+
+  // Read miss: request a current copy from the owner and block (Fig. 4).
+  // The send happens under the operation mutex so the channel order to each
+  // owner equals the node's operation-issue order (several application
+  // threads may share this node).
+  std::future<Message> fut;
+  {
+    std::unique_lock lock(mu_);
+    const std::uint64_t rid = next_rid_++;
+    fut = register_pending(rid, /*async=*/false, op_start.start_ns);
+    Message req;
+    req.type = MsgType::kRead;
+    req.from = id_;
+    req.to = owner_of(x);
+    req.request_id = rid;
+    req.addr = x;
+    req.stamp = VectorClock(n_);
+    stats_.bump(Counter::kMsgReadRequest);
+    transport_.send(std::move(req));
+  }
+
+  // The reply was already applied (clock merge, per-cell install preferring
+  // locally newer own writes, invalidation sweep, observer notification) by
+  // complete_pending on the delivery thread — in FIFO position, so a later
+  // WRITE service can never sweep past a not-yet-installed stale copy, and
+  // the recorded per-node operation order is the order effects actually
+  // took place (which is what makes several application threads per node
+  // sound). complete_pending put the chosen value into the reply.
+  return fut.get().value;
+}
+
+void CausalNode::write(Addr x, Value v) {
+  const OpTiming op_start = OpTiming::begin();
+  const std::uint64_t pg = page_of(x);
+  // The entire issue sequence — clock increment, observation, local
+  // install, and the send — happens under ONE hold of the operation mutex,
+  // so every channel's message order equals this node's operation-issue
+  // order even with several application threads (DESIGN.md §6 rule 5a).
+  std::unique_lock lock(mu_);
+  CM_EXPECTS_MSG(!read_only_pages_.contains(pg),
+                 "write to a location marked read-only");
+  // Async-mode soundness fence: in-flight asynchronous writes are ordered
+  // only by their FIFO channel to one owner. Any write that publishes
+  // through a *different* node (a local write, or a remote write to
+  // another owner) would let readers observe this write's causal future
+  // before the owner applied it — so such a write first waits out the
+  // outstanding chain. Writes to the same owner keep pipelining.
+  if (cfg_.write_mode == WriteMode::kAsync && outstanding_async_ > 0 &&
+      owner_of(x) != async_chain_owner_) {
+    flush_cv_.wait(lock, [&] { return outstanding_async_ == 0; });
+  }
+  // Every write attempt increments the writer's clock (Fig. 4).
+  vt_.increment(id_);
+  const WriteTag tag{id_, ++write_seq_};
+  if (owner_of(x) == id_) {
+    Cell& c = owned_cell(x);
+    c.value = v;
+    c.stamp = vt_;
+    c.tag = tag;
+    stats_.bump(Counter::kWriteLocal);
+    if (observer_ != nullptr) {
+      observer_->on_write(id_, x, v, tag, true, op_start.close());
+    }
+    return;
+  }
+
+  const VectorClock stamp_at_issue = vt_;
+  stats_.bump(Counter::kWriteRemote);
+  // Remember our latest write into this page so read replies that predate
+  // it (race: READ overtaken by this WRITE's effect) are retried.
+  own_writes_[pg].outstanding.insert(tag.seq);
+  // The write's causal position is its stamp — created here — so this is
+  // where it is observed. (With the owner-wins policy the rejection
+  // outcome is not yet known; the history records the write as a normal
+  // write, which is exactly Definition 1's treatment: a rejected write
+  // exists and is concurrent with the owner's value, it just installed
+  // nothing anybody will read.)
+  //
+  // Real-time bracket: deliberately UNTIMED (end_ns = 0). The write's
+  // global take-effect point is at the owner, after this observation; an
+  // interval closed here would exclude it and make the linearizability
+  // checker reject correct read-through executions.
+  if (observer_ != nullptr) {
+    observer_->on_write(id_, x, v, tag, true,
+                        OpTiming{op_start.start_ns, 0});
+  }
+  // Install the written value locally at issue time (with the issue stamp —
+  // the certified reply refreshes it). A sibling application thread that
+  // reads x between our issue and the owner's reply must see this write:
+  // it is already in this node's program order. (Read-through mode caches
+  // nothing; a sibling's read reaches the owner FIFO-behind this WRITE.)
+  if (!cfg_.read_through) cache_own_write(x, v, tag, stamp_at_issue);
+
+  const bool async = cfg_.write_mode == WriteMode::kAsync;
+  const std::uint64_t rid = next_rid_++;
+  std::future<Message> fut = register_pending(rid, async);
+  if (async) {
+    ++outstanding_async_;
+    async_chain_owner_ = owner_of(x);
+  }
+  Message req;
+  req.type = MsgType::kWrite;
+  req.from = id_;
+  req.to = owner_of(x);
+  req.request_id = rid;
+  req.addr = x;
+  req.value = v;
+  req.tag = tag;
+  req.stamp = stamp_at_issue;
+  stats_.bump(Counter::kMsgWriteRequest);
+  transport_.send(std::move(req));
+  lock.unlock();
+
+  if (!async) {
+    // Clock merge and cache refresh happened in complete_pending on the
+    // delivery thread (FIFO position — see the read path comment).
+    (void)fut.get();
+  }
+}
+
+bool CausalNode::discard(Addr x) {
+  std::unique_lock lock(mu_);
+  if (owner_of(x) == id_) return false;
+  if (auto it = cache_.find(page_of(x)); it != cache_.end()) {
+    stats_.bump(Counter::kDiscard);
+    erase_page(it);
+  }
+  return true;
+}
+
+bool CausalNode::owns(Addr x) const { return owner_of(x) == id_; }
+
+void CausalNode::flush() {
+  std::unique_lock lock(mu_);
+  flush_cv_.wait(lock, [&] { return outstanding_async_ == 0; });
+}
+
+void CausalNode::mark_read_only(Addr lo, Addr hi) {
+  CM_EXPECTS(lo <= hi);
+  std::unique_lock lock(mu_);
+  for (std::uint64_t pg = page_of(lo); page_base(pg) < hi; ++pg) {
+    const Addr base = page_base(pg);
+    if (base >= lo && base + cfg_.page_size <= hi) {
+      read_only_pages_.insert(pg);
+    }
+  }
+}
+
+VectorClock CausalNode::vector_time() const {
+  std::unique_lock lock(mu_);
+  return vt_;
+}
+
+bool CausalNode::is_cached(Addr x) const {
+  std::unique_lock lock(mu_);
+  return cache_.contains(page_of(x));
+}
+
+std::size_t CausalNode::cached_page_count() const {
+  std::unique_lock lock(mu_);
+  return cache_.size();
+}
+
+// --------------------------------------------------------------------------
+// Owner-side servicing (Figure 4's [READ, x] and [WRITE, x, v, VT])
+// --------------------------------------------------------------------------
+
+void CausalNode::on_message(const Message& m) {
+  switch (m.type) {
+    case MsgType::kRead:
+      serve_read(m);
+      return;
+    case MsgType::kWrite:
+      serve_write(m);
+      return;
+    case MsgType::kReadReply:
+    case MsgType::kWriteReply:
+      complete_pending(m);
+      return;
+    default:
+      CM_UNREACHABLE("unexpected message type at causal node");
+  }
+}
+
+void CausalNode::serve_read(const Message& m) {
+  Message rep;
+  {
+    std::unique_lock lock(mu_);
+    CM_ASSERT_MSG(owner_of(m.addr) == id_, "READ routed to non-owner");
+    const std::uint64_t pg = page_of(m.addr);
+    const Addr base = page_base(pg);
+    rep.stamp = VectorClock(n_);
+    rep.cells.reserve(cfg_.page_size);
+    for (Addr a = base; a < base + cfg_.page_size; ++a) {
+      Cell& c = owned_cell(a);
+      rep.cells.push_back(CellUpdate{a, c.value, c.tag});
+      rep.stamp.update(c.stamp);  // page stamp = join of cell writestamps
+    }
+    stats_.bump(Counter::kMsgReadReply);
+  }
+  rep.type = MsgType::kReadReply;
+  rep.from = id_;
+  rep.to = m.from;
+  rep.request_id = m.request_id;
+  rep.addr = m.addr;
+  transport_.send(std::move(rep));
+}
+
+void CausalNode::serve_write(const Message& m) {
+  Message rep;
+  bool accepted = true;
+  {
+    std::unique_lock lock(mu_);
+    CM_ASSERT_MSG(owner_of(m.addr) == id_, "WRITE routed to non-owner");
+    // VT_i := update(VT_i, VT) — the owner learns the writer's causal past.
+    vt_.update(m.stamp);
+
+    Cell& cur = owned_cell(m.addr);
+    if (cfg_.conflict == ConflictPolicy::kOwnerWins &&
+        cur.tag.writer == id_ && cur.stamp.concurrent_with(m.stamp)) {
+      // Section 4.2: a remote write concurrent with a value the owner itself
+      // wrote loses. (A write whose stamp dominates cur.stamp has seen the
+      // owner's value and legitimately overwrites it.)
+      accepted = false;
+    }
+    if (accepted) {
+      cur.value = m.value;
+      cur.stamp = vt_;  // M_i[x] := (v, VT_i) with the merged clock
+      cur.tag = m.tag;
+      // The remote write is a causal interaction: invalidate cached values
+      // that are now provably overwritable (M_i[y].VT < VT_i).
+      invalidate_cache(vt_, page_of(m.addr));
+    }
+    rep.stamp = vt_;
+    rep.value = accepted ? m.value : cur.value;
+    stats_.bump(Counter::kMsgWriteReply);
+  }
+  rep.type = MsgType::kWriteReply;
+  rep.from = id_;
+  rep.to = m.from;
+  rep.request_id = m.request_id;
+  rep.addr = m.addr;
+  rep.tag = m.tag;
+  rep.accepted = accepted;
+  transport_.send(std::move(rep));
+}
+
+void CausalNode::complete_pending(const Message& m) {
+  std::unique_lock lock(mu_);
+  auto it = pending_.find(m.request_id);
+  CM_ASSERT_MSG(it != pending_.end(), "reply for unknown request");
+
+  if (m.type == MsgType::kWriteReply) {
+    // Resolve this write in the per-page requirement bookkeeping (see
+    // own_writes_): certified writes raise the floor, rejected ones just
+    // stop being owed.
+    if (auto ow = own_writes_.find(page_of(m.addr)); ow != own_writes_.end()) {
+      ow->second.outstanding.erase(m.tag.seq);
+      if (m.accepted) {
+        ow->second.accepted_floor =
+            std::max(ow->second.accepted_floor, m.tag.seq);
+      }
+    }
+  }
+
+  if (m.type == MsgType::kReadReply) {
+    // A reply that predates one of our own (issued, possibly in-flight)
+    // writes to this page must not take effect: the read is ordered after
+    // that write in this node's program order. Retry — the re-sent READ is
+    // FIFO-behind our WRITE at the owner, so this terminates (a rejected
+    // write lowers the requirement when its W_REPLY resolves).
+    const auto own = own_writes_.find(page_of(m.addr));
+    if (own != own_writes_.end() && m.stamp[id_] < own->second.required()) {
+      Message req;
+      req.type = MsgType::kRead;
+      req.from = id_;
+      req.to = owner_of(m.addr);
+      req.request_id = m.request_id;  // keep the same pending slot
+      req.addr = m.addr;
+      req.stamp = VectorClock(n_);
+      stats_.bump(Counter::kMsgReadRequest);
+      lock.unlock();
+      transport_.send(std::move(req));
+      return;
+    }
+  }
+
+  if (it->second.async) {
+    // Background certification of a non-blocking write: merge the owner's
+    // clock and release any flush() waiter.
+    vt_.update(m.stamp);
+    CM_ASSERT_MSG(m.accepted, "async write rejected (policy forbids this)");
+    pending_.erase(it);
+    CM_ASSERT(outstanding_async_ > 0);
+    if (--outstanding_async_ == 0) flush_cv_.notify_all();
+    return;
+  }
+  std::promise<Message> prom = std::move(it->second.reply);
+  const std::uint64_t op_start_ns = it->second.start_ns;
+  pending_.erase(it);
+
+  // Apply the reply HERE, on the delivery thread, so the install/sweep is
+  // atomic with respect to — and FIFO-ordered against — owner servicing.
+  // (If the blocked application thread applied it after wakeup, a WRITE
+  // service arriving after this reply could run its invalidation sweep
+  // before the stale install landed: a causal violation.)
+  Message result = m;
+  if (m.type == MsgType::kReadReply) {
+    // Fig. 4: VT_i := update(VT_i, VT'); M_i[x] := (v', VT'); invalidate all
+    // cached values strictly older than VT'.
+    CM_ASSERT(m.cells.size() == cfg_.page_size);
+    const std::uint64_t pg = page_of(m.addr);
+    vt_.update(m.stamp);
+    // The stale-reply retry above guarantees this reply covers every own
+    // write to the page, so installing the owner's cells verbatim can never
+    // regress this node's program order.
+    CachedPage cp;
+    cp.stamp = m.stamp;
+    cp.cells.reserve(cfg_.page_size);
+    for (const CellUpdate& cell : m.cells) {
+      cp.cells.push_back(Cell{cell.value, m.stamp, cell.tag});
+    }
+    const Cell chosen = cp.cells[m.addr - page_base(pg)];
+    if (!cfg_.read_through) {
+      invalidate_cache(m.stamp, pg);
+      install_page(pg, std::move(cp));
+      evict_over_capacity();
+    }
+    // The read returns the post-merge cell and is observed at its effect
+    // point, so the recorded per-node order is the order effects happened.
+    result.value = chosen.value;
+    result.tag = chosen.tag;
+    if (observer_ != nullptr) {
+      observer_->on_read(id_, m.addr, chosen.value, chosen.tag,
+                         OpTiming{op_start_ns, OpTiming::now_ns()});
+    }
+  } else {
+    CM_ASSERT(m.type == MsgType::kWriteReply);
+    vt_.update(m.stamp);
+    const std::uint64_t pg = page_of(m.addr);
+    auto pit = cache_.find(pg);
+    Cell* cur = pit != cache_.end()
+                    ? &pit->second.cells[m.addr - page_base(pg)]
+                    : nullptr;
+    if (m.accepted) {
+      // Fig. 4 writer side: M_i[x] := (v, VT_i). Under per-operation
+      // atomicity VT_i equals update(increment_result, VT'), and VT'
+      // already dominates the issue stamp (the owner merged it before
+      // replying) — so the certified write's true stamp is exactly m.stamp.
+      // The value itself was installed at issue time; here we only refresh
+      // the stamp, and only if the cell still holds *this* write — a newer
+      // local write or a newer fetch must not be regressed, and a cell
+      // invalidated in flight stays invalid (the owner serves fresh copies).
+      if (cur != nullptr && cur->tag == m.tag) {
+        cur->stamp = m.stamp;
+        if (cfg_.page_size == 1) pit->second.stamp = m.stamp;
+      }
+    } else {
+      // Owner-wins resolution rejected the write: drop the local copy (if
+      // it is still this write) so a later read fetches the favored value.
+      if (cur != nullptr && cur->tag == m.tag) {
+        erase_page(pit);
+      }
+    }
+  }
+
+  lock.unlock();
+  prom.set_value(result);
+}
+
+// --------------------------------------------------------------------------
+// Cache bookkeeping
+// --------------------------------------------------------------------------
+
+CausalNode::Cell& CausalNode::owned_cell(Addr x) {
+  auto it = owned_.find(x);
+  if (it == owned_.end()) {
+    it = owned_.emplace(x, Cell{kInitialValue, VectorClock(n_), WriteTag{}})
+             .first;
+  }
+  return it->second;
+}
+
+void CausalNode::install_page(std::uint64_t page, CachedPage&& cp) {
+  if (auto it = cache_.find(page); it != cache_.end()) erase_page(it);
+  lru_.push_front(page);
+  cp.lru_it = lru_.begin();
+  cache_.emplace(page, std::move(cp));
+}
+
+void CausalNode::cache_own_write(Addr x, Value v, const WriteTag& tag,
+                                 const VectorClock& stamp) {
+  const std::uint64_t pg = page_of(x);
+  if (auto it = cache_.find(pg); it != cache_.end()) {
+    Cell& c = it->second.cells[x - page_base(pg)];
+    c.value = v;
+    c.stamp = stamp;
+    c.tag = tag;
+    if (cfg_.page_size == 1) {
+      // Fig. 4: M_i[x] := (v, VT_i) — the unit's stamp is the write's stamp.
+      it->second.stamp = stamp;
+    }
+    // Multi-cell pages: deliberately do NOT advance the page stamp. The
+    // write's reply stamp carries the owner's current knowledge — including
+    // overwrites of this page's *other* cells that we have not fetched —
+    // so merging it would shield those stale sibling cells from the very
+    // invalidation sweeps that must kill them. Keeping the fetch-time stamp
+    // is conservative: the page (with our fresh cell) may be dropped early
+    // and re-fetched, never read stale.
+    touch_lru(it->second);
+    return;
+  }
+  if (cfg_.page_size == 1) {
+    // Fig. 4 caches the certified write at the writer. With multi-location
+    // pages we cannot conjure the rest of the page, so (page mode only) an
+    // uncached written page stays uncached until the next read miss.
+    CachedPage cp;
+    cp.stamp = stamp;
+    cp.cells.push_back(Cell{v, stamp, tag});
+    install_page(pg, std::move(cp));
+    evict_over_capacity();
+  }
+}
+
+void CausalNode::invalidate_cache(const VectorClock& threshold,
+                                  std::uint64_t keep_page) {
+  for (auto it = cache_.begin(); it != cache_.end();) {
+    const bool keep =
+        it->first == keep_page || read_only_pages_.contains(it->first);
+    const bool drop =
+        !keep && (cfg_.invalidation == InvalidationStrategy::kFlushAll ||
+                  it->second.stamp.before(threshold));
+    if (drop) {
+      stats_.bump(Counter::kInvalidationApplied);
+      lru_.erase(it->second.lru_it);
+      it = cache_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void CausalNode::erase_page(
+    std::unordered_map<std::uint64_t, CachedPage>::iterator it) {
+  lru_.erase(it->second.lru_it);
+  cache_.erase(it);
+}
+
+void CausalNode::touch_lru(CachedPage& cp) {
+  lru_.splice(lru_.begin(), lru_, cp.lru_it);
+}
+
+void CausalNode::evict_over_capacity() {
+  while (cache_.size() > cfg_.cache_capacity_pages) {
+    const std::uint64_t victim = lru_.back();
+    stats_.bump(Counter::kDiscard);
+    auto it = cache_.find(victim);
+    CM_ASSERT(it != cache_.end());
+    erase_page(it);
+  }
+}
+
+std::future<Message> CausalNode::register_pending(std::uint64_t rid,
+                                                  bool async,
+                                                  std::uint64_t start_ns) {
+  auto [it, inserted] = pending_.try_emplace(rid);
+  CM_ASSERT(inserted);
+  it->second.async = async;
+  it->second.start_ns = start_ns;
+  return it->second.reply.get_future();
+}
+
+}  // namespace causalmem

@@ -1,0 +1,27 @@
+#include "causalmem/dsm/memory.hpp"
+
+#include "causalmem/common/backoff.hpp"
+
+namespace causalmem {
+
+Value spin_until(SharedMemory& mem, Addr x,
+                 const std::function<bool(Value)>& pred) {
+  Backoff backoff;
+  bool last_poll_refetched = false;
+  for (;;) {
+    const Value v = mem.read(x);
+    if (pred(v)) {
+      mem.stats().bump(Counter::kSpinTransition);
+      return v;
+    }
+    if (last_poll_refetched) {
+      // This poll cost a full round trip to the owner and still failed;
+      // that's busy-wait overhead, not protocol cost.
+      mem.stats().bump(Counter::kSpinRefetch);
+    }
+    last_poll_refetched = mem.discard(x);
+    backoff.pause();
+  }
+}
+
+}  // namespace causalmem

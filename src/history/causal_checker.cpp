@@ -1,0 +1,239 @@
+#include "causalmem/history/causal_checker.hpp"
+
+#include <deque>
+#include <sstream>
+#include <unordered_map>
+
+#include "causalmem/common/expect.hpp"
+
+namespace causalmem {
+
+namespace {
+
+struct TagKey {
+  Addr addr;
+  WriteTag tag;
+  friend bool operator==(const TagKey&, const TagKey&) = default;
+};
+
+struct TagKeyHash {
+  std::size_t operator()(const TagKey& k) const noexcept {
+    std::size_t h = std::hash<Addr>{}(k.addr);
+    h = h * 31 + std::hash<NodeId>{}(k.tag.writer);
+    h = h * 31 + std::hash<std::uint64_t>{}(k.tag.seq);
+    return h;
+  }
+};
+
+}  // namespace
+
+CausalChecker::CausalChecker(const History& history) {
+  // 1. One virtual initial-write node per distinct location. The paper:
+  //    "all locations are initialized by writes of a distinguished value
+  //    that precede all operations in any process sequence."
+  std::unordered_map<Addr, std::size_t> initial_of;
+  for (const auto& seq : history.per_process) {
+    for (const auto& op : seq) {
+      if (initial_of.contains(op.addr)) continue;
+      Node n;
+      n.op = Operation{OpKind::kWrite, kNoNode, op.addr, kInitialValue,
+                       WriteTag{}, true};
+      n.is_initial = true;
+      initial_of.emplace(op.addr, nodes_.size());
+      nodes_.push_back(std::move(n));
+    }
+  }
+  first_real_node_ = nodes_.size();
+
+  // 2. Real operations, with program-order edges.
+  std::unordered_map<TagKey, std::size_t, TagKeyHash> write_of;
+  for (NodeId p = 0; p < history.per_process.size(); ++p) {
+    const auto& seq = history.per_process[p];
+    for (std::size_t i = 0; i < seq.size(); ++i) {
+      Node n;
+      n.op = seq[i];
+      n.ref = OpRef{p, i};
+      const std::size_t idx = nodes_.size();
+      nodes_.push_back(std::move(n));
+      if (i == 0) {
+        // Initial writes precede every process's first operation.
+        for (const auto& [addr, init_idx] : initial_of) {
+          nodes_[init_idx].succ.push_back(idx);
+          nodes_[idx].pred.push_back(init_idx);
+        }
+      } else {
+        nodes_[idx - 1].succ.push_back(idx);
+        nodes_[idx].pred.push_back(idx - 1);
+      }
+      if (seq[i].kind == OpKind::kWrite) {
+        write_of.emplace(TagKey{seq[i].addr, seq[i].tag}, idx);
+      }
+    }
+  }
+
+  // 3. Reads-from edges. A read's own edge position is remembered so
+  //    Definition 1's exclusion can skip exactly that edge.
+  for (std::size_t idx = first_real_node_; idx < nodes_.size(); ++idx) {
+    Node& n = nodes_[idx];
+    if (n.op.kind != OpKind::kRead) continue;
+    read_nodes_.push_back(idx);
+    std::size_t src;
+    if (n.op.tag.is_initial()) {
+      src = initial_of.at(n.op.addr);
+    } else {
+      const auto it = write_of.find(TagKey{n.op.addr, n.op.tag});
+      if (it == write_of.end()) {
+        // Dangling reads-from: leave rf_source at kNoEdge; check() reports.
+        continue;
+      }
+      src = it->second;
+    }
+    n.rf_source = src;
+    n.own_rf_pred_pos = n.pred.size();
+    n.pred.push_back(src);
+    nodes_[src].succ.push_back(idx);
+  }
+}
+
+std::vector<bool> CausalChecker::reaches(std::size_t target,
+                                         bool skip_own_rf) const {
+  std::vector<bool> visited(nodes_.size(), false);
+  std::deque<std::size_t> frontier;
+  visited[target] = true;
+  const Node& t = nodes_[target];
+  for (std::size_t i = 0; i < t.pred.size(); ++i) {
+    if (skip_own_rf && i == t.own_rf_pred_pos) continue;
+    if (!visited[t.pred[i]]) {
+      visited[t.pred[i]] = true;
+      frontier.push_back(t.pred[i]);
+    }
+  }
+  while (!frontier.empty()) {
+    const std::size_t cur = frontier.front();
+    frontier.pop_front();
+    for (const std::size_t p : nodes_[cur].pred) {
+      if (!visited[p]) {
+        visited[p] = true;
+        frontier.push_back(p);
+      }
+    }
+  }
+  visited[target] = false;  // "reaches target" is strict
+  return visited;
+}
+
+std::vector<bool> CausalChecker::reachable_from(std::size_t source) const {
+  std::vector<bool> visited(nodes_.size(), false);
+  std::deque<std::size_t> frontier{source};
+  visited[source] = true;
+  while (!frontier.empty()) {
+    const std::size_t cur = frontier.front();
+    frontier.pop_front();
+    for (const std::size_t s : nodes_[cur].succ) {
+      if (!visited[s]) {
+        visited[s] = true;
+        frontier.push_back(s);
+      }
+    }
+  }
+  visited[source] = false;  // strict
+  return visited;
+}
+
+std::optional<CausalViolation> CausalChecker::check_read(
+    std::size_t read_node) const {
+  const Node& r = nodes_[read_node];
+  if (r.rf_source == kNoEdge) {
+    return CausalViolation{r.ref,
+                           "read returned a value no write in the execution "
+                           "produced: " + r.op.to_string()};
+  }
+  const std::size_t w = r.rf_source;
+
+  // All causal relationships except the read's own reads-from edge.
+  const std::vector<bool> before = reaches(read_node, /*skip_own_rf=*/true);
+
+  if (before[w]) {
+    // Condition 2: no intervening read or write of x with another value.
+    const std::vector<bool> after_w = reachable_from(w);
+    for (std::size_t m = 0; m < nodes_.size(); ++m) {
+      if (m == w || m == read_node) continue;
+      if (!before[m] || !after_w[m]) continue;
+      const Operation& mid = nodes_[m].op;
+      if (mid.addr != r.op.addr) continue;
+      if (mid.tag == nodes_[w].op.tag) continue;  // same value confirms, not kills
+      std::ostringstream oss;
+      oss << "stale read " << r.op.to_string() << ": its write was overwritten"
+          << " — intervening " << mid.to_string() << " with w *-> m *-> r";
+      return CausalViolation{r.ref, oss.str()};
+    }
+    return std::nullopt;  // live via condition 2
+  }
+
+  const std::vector<bool> from_r = reachable_from(read_node);
+  if (from_r[w]) {
+    std::ostringstream oss;
+    oss << "read from the causal future: " << r.op.to_string()
+        << " causally precedes the write it read from";
+    return CausalViolation{r.ref, oss.str()};
+  }
+  return std::nullopt;  // concurrent => live via condition 1
+}
+
+std::optional<CausalViolation> CausalChecker::check() const {
+  for (const std::size_t rn : read_nodes_) {
+    if (auto v = check_read(rn)) return v;
+  }
+  return std::nullopt;
+}
+
+std::vector<CausalViolation> CausalChecker::check_all() const {
+  std::vector<CausalViolation> out;
+  for (const std::size_t rn : read_nodes_) {
+    if (auto v = check_read(rn)) out.push_back(std::move(*v));
+  }
+  return out;
+}
+
+std::set<Value> CausalChecker::live_set(OpRef ref) const {
+  const std::size_t read_node = node_of(ref);
+  const Node& r = nodes_[read_node];
+  CM_EXPECTS_MSG(r.op.kind == OpKind::kRead, "live_set of a non-read");
+
+  const std::vector<bool> before = reaches(read_node, /*skip_own_rf=*/true);
+  const std::vector<bool> from_r = reachable_from(read_node);
+
+  std::set<Value> live;
+  for (std::size_t w = 0; w < nodes_.size(); ++w) {
+    const Node& wn = nodes_[w];
+    if (wn.op.kind != OpKind::kWrite || wn.op.addr != r.op.addr) continue;
+    if (from_r[w]) continue;  // causally follows the read: never live
+    if (!before[w]) {
+      live.insert(wn.op.value);  // concurrent: always live
+      continue;
+    }
+    const std::vector<bool> after_w = reachable_from(w);
+    bool overwritten = false;
+    for (std::size_t m = 0; m < nodes_.size() && !overwritten; ++m) {
+      if (m == w || m == read_node) continue;
+      if (!before[m] || !after_w[m]) continue;
+      const Operation& mid = nodes_[m].op;
+      overwritten = mid.addr == r.op.addr && !(mid.tag == wn.op.tag);
+    }
+    if (!overwritten) live.insert(wn.op.value);
+  }
+  return live;
+}
+
+bool CausalChecker::precedes(OpRef a, OpRef b) const {
+  return reachable_from(node_of(a))[node_of(b)];
+}
+
+std::size_t CausalChecker::node_of(OpRef ref) const {
+  for (std::size_t i = first_real_node_; i < nodes_.size(); ++i) {
+    if (!nodes_[i].is_initial && nodes_[i].ref == ref) return i;
+  }
+  CM_UNREACHABLE("OpRef not found in history");
+}
+
+}  // namespace causalmem

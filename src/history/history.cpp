@@ -1,0 +1,81 @@
+#include "causalmem/history/history.hpp"
+
+#include <sstream>
+
+namespace causalmem {
+
+std::string Operation::to_string() const {
+  std::ostringstream oss;
+  oss << (kind == OpKind::kRead ? "r" : "w") << proc << "(x" << addr << ")"
+      << value;
+  if (!applied) oss << "[rejected]";
+  return oss.str();
+}
+
+std::string History::to_string() const {
+  std::ostringstream oss;
+  for (std::size_t p = 0; p < per_process.size(); ++p) {
+    oss << "P" << p << ":";
+    for (const auto& o : per_process[p]) oss << " " << o.to_string();
+    oss << "\n";
+  }
+  return oss.str();
+}
+
+HistoryBuilder& HistoryBuilder::write(NodeId p, Addr x, Value v) {
+  CM_EXPECTS(p < h_.per_process.size());
+  Operation o;
+  o.kind = OpKind::kWrite;
+  o.proc = p;
+  o.addr = x;
+  o.value = v;
+  o.tag = WriteTag{p, ++seq_[p]};
+  h_.per_process[p].push_back(o);
+  return *this;
+}
+
+HistoryBuilder& HistoryBuilder::read(NodeId p, Addr x, Value v) {
+  CM_EXPECTS(p < h_.per_process.size());
+  Operation o;
+  o.kind = OpKind::kRead;
+  o.proc = p;
+  o.addr = x;
+  o.value = v;
+  // Reads-from is resolved at build() time so a read may precede the write
+  // it reads from in construction order (needed for e.g. "read from the
+  // causal future" adversarial histories).
+  h_.per_process[p].push_back(o);
+  return *this;
+}
+
+History HistoryBuilder::build() const {
+  History out = h_;
+  for (auto& seq : out.per_process) {
+    for (Operation& o : seq) {
+      if (o.kind != OpKind::kRead) continue;
+      // Resolve by (addr, value): the paper's examples keep write values
+      // unique per location.
+      bool found = false;
+      for (const auto& wseq : out.per_process) {
+        for (const auto& w : wseq) {
+          if (w.kind == OpKind::kWrite && w.addr == o.addr &&
+              w.value == o.value) {
+            CM_EXPECTS_MSG(!found,
+                           "ambiguous reads-from: duplicate write value");
+            o.tag = w.tag;
+            found = true;
+          }
+        }
+      }
+      if (!found) {
+        CM_EXPECTS_MSG(
+            o.value == kInitialValue,
+            "read of a value no write produced (and not the initial 0)");
+        o.tag = WriteTag{};  // distinguished initial write
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace causalmem

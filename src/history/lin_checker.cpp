@@ -1,0 +1,106 @@
+#include "causalmem/history/lin_checker.hpp"
+
+#include <map>
+#include <sstream>
+#include <unordered_set>
+#include <vector>
+
+namespace causalmem {
+
+namespace {
+
+struct LinSearch {
+  const History& h;
+  const std::size_t max_states;
+  std::unordered_set<std::string> visited;
+  std::size_t states_seen{0};
+  bool budget_exhausted{false};
+
+  LinSearch(const History& history, std::size_t budget)
+      : h(history), max_states(budget) {}
+
+  struct State {
+    std::vector<std::size_t> pos;
+    std::map<Addr, WriteTag> mem;
+
+    [[nodiscard]] std::string key() const {
+      std::ostringstream oss;
+      for (const auto p : pos) oss << p << ";";
+      oss << "|";
+      for (const auto& [addr, tag] : mem) {
+        oss << addr << ":" << tag.writer << "." << tag.seq << ";";
+      }
+      return oss.str();
+    }
+  };
+
+  /// Real-time enabledness: the next op of process p may be scheduled only
+  /// if no *unscheduled* timed operation's interval ends strictly before
+  /// this op's interval begins. (Scheduling it earlier than such an op
+  /// would invert real time.)
+  [[nodiscard]] bool rt_enabled(const State& s, NodeId p) const {
+    const Operation& cand = h.per_process[p][s.pos[p]];
+    if (!cand.timed()) return true;
+    for (NodeId q = 0; q < h.process_count(); ++q) {
+      for (std::size_t i = s.pos[q]; i < h.per_process[q].size(); ++i) {
+        const Operation& other = h.per_process[q][i];
+        if (q == p && i == s.pos[p]) continue;
+        if (other.timed() && other.end_ns < cand.start_ns) return false;
+        // Later ops of q start even later only if timed; keep scanning —
+        // intervals within one process may be untimed in between.
+      }
+    }
+    return true;
+  }
+
+  bool dfs(const State& s) {  // NOLINT(misc-no-recursion)
+    if (states_seen >= max_states) {
+      budget_exhausted = true;
+      return false;
+    }
+    if (!visited.insert(s.key()).second) return false;
+    ++states_seen;
+
+    bool done = true;
+    for (NodeId p = 0; p < h.process_count(); ++p) {
+      if (s.pos[p] < h.per_process[p].size()) done = false;
+    }
+    if (done) return true;
+
+    for (NodeId p = 0; p < h.process_count(); ++p) {
+      if (s.pos[p] >= h.per_process[p].size()) continue;
+      if (!rt_enabled(s, p)) continue;
+      const Operation& op = h.per_process[p][s.pos[p]];
+      if (op.kind == OpKind::kRead) {
+        const auto it = s.mem.find(op.addr);
+        const WriteTag current = it != s.mem.end() ? it->second : WriteTag{};
+        if (!(current == op.tag)) continue;
+        State next = s;
+        ++next.pos[p];
+        if (dfs(next)) return true;
+      } else {
+        State next = s;
+        ++next.pos[p];
+        if (op.applied) next.mem[op.addr] = op.tag;
+        if (dfs(next)) return true;
+      }
+    }
+    return false;
+  }
+
+  ScResult run() {
+    State init;
+    init.pos.assign(h.process_count(), 0);
+    if (dfs(init)) return ScResult::kConsistent;
+    return budget_exhausted ? ScResult::kUndecided : ScResult::kInconsistent;
+  }
+};
+
+}  // namespace
+
+ScResult check_linearizability(const History& history,
+                               std::size_t max_states) {
+  return LinSearch(history, max_states).run();
+}
+
+}  // namespace causalmem

@@ -1,0 +1,119 @@
+#include "causalmem/history/model_checkers.hpp"
+
+#include <map>
+#include <sstream>
+#include <unordered_map>
+
+namespace causalmem {
+
+ScResult check_pram_consistency(const History& history,
+                                std::size_t max_states) {
+  bool undecided = false;
+  for (NodeId reader = 0; reader < history.process_count(); ++reader) {
+    // Keep all writes, and only the reader's reads.
+    History reduced;
+    reduced.per_process.resize(history.process_count());
+    for (NodeId p = 0; p < history.process_count(); ++p) {
+      for (const Operation& op : history.per_process[p]) {
+        if (op.kind == OpKind::kWrite) {
+          // A write rejected by the owner-wins policy installed no value
+          // anywhere; forcing the serialization to place it would create
+          // spurious inconsistencies.
+          if (op.applied) reduced.per_process[p].push_back(op);
+        } else if (p == reader) {
+          reduced.per_process[p].push_back(op);
+        }
+      }
+    }
+    switch (check_sequential_consistency(reduced, max_states)) {
+      case ScResult::kConsistent:
+        break;
+      case ScResult::kInconsistent:
+        return ScResult::kInconsistent;
+      case ScResult::kUndecided:
+        undecided = true;
+        break;
+    }
+  }
+  return undecided ? ScResult::kUndecided : ScResult::kConsistent;
+}
+
+namespace {
+
+// Per-writer seqs in WriteTag are global across locations, so the slow
+// checker indexes each writer's writes *per location* via this key.
+struct Key {
+  Addr addr;
+  NodeId writer;
+  friend bool operator==(const Key&, const Key&) = default;
+};
+struct KeyHash {
+  std::size_t operator()(const Key& k) const noexcept {
+    return std::hash<Addr>{}(k.addr) * 31 + std::hash<NodeId>{}(k.writer);
+  }
+};
+
+}  // namespace
+
+std::optional<SlowViolation> check_slow_consistency(const History& history) {
+  // Per (addr, writer): tag.seq -> position in that writer's per-location
+  // write sequence (1-based; the initial write is position 0).
+  std::unordered_map<Key, std::map<std::uint64_t, std::size_t>, KeyHash>
+      position;
+  for (const auto& seq : history.per_process) {
+    for (const Operation& op : seq) {
+      if (op.kind != OpKind::kWrite) continue;
+      auto& slots = position[Key{op.addr, op.proc}];
+      slots.emplace(op.tag.seq, slots.size() + 1);
+    }
+  }
+  auto position_of = [&](Addr addr, const WriteTag& tag) -> std::size_t {
+    if (tag.is_initial()) return 0;
+    return position.at(Key{addr, tag.writer}).at(tag.seq);
+  };
+
+  for (NodeId p = 0; p < history.process_count(); ++p) {
+    // floor[(addr, writer)] = last observed position of that writer's
+    // writes to addr. Observing the initial value is compatible with floor 0
+    // for every writer; observing (q, k) raises q's floor to k.
+    std::unordered_map<Key, std::size_t, KeyHash> floor;
+    for (std::size_t i = 0; i < history.per_process[p].size(); ++i) {
+      const Operation& op = history.per_process[p][i];
+      if (op.kind == OpKind::kWrite) {
+        if (!op.applied) continue;  // a rejected write installed nothing
+        floor[Key{op.addr, p}] = position_of(op.addr, op.tag);
+        continue;
+      }
+      if (op.tag.is_initial()) {
+        // Reading the initial value: a regression iff any writer's floor for
+        // this location is already positive (the initial write precedes
+        // every real write in every per-writer sequence).
+        for (const auto& [key, fl] : floor) {
+          if (key.addr == op.addr && fl > 0) {
+            std::ostringstream oss;
+            oss << "slow-memory violation: " << op.to_string()
+                << " regresses to the initial value after observing a real "
+                   "write to the same location";
+            return SlowViolation{OpRef{p, i}, oss.str()};
+          }
+        }
+        continue;
+      }
+      const Key key{op.addr, op.tag.writer};
+      const std::size_t pos = position_of(op.addr, op.tag);
+      auto it = floor.find(key);
+      if (it != floor.end() && pos < it->second) {
+        std::ostringstream oss;
+        oss << "slow-memory violation: " << op.to_string()
+            << " observes write #" << pos << " of P" << op.tag.writer
+            << " to this location after already observing write #"
+            << it->second;
+        return SlowViolation{OpRef{p, i}, oss.str()};
+      }
+      floor[key] = std::max(it != floor.end() ? it->second : 0, pos);
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace causalmem

@@ -1,0 +1,93 @@
+#include "causalmem/history/sc_checker.hpp"
+
+#include <map>
+#include <sstream>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+namespace causalmem {
+
+namespace {
+
+/// Search state: how far each process has executed plus the latest write tag
+/// per location. Encoded to a string for memoization.
+struct SearchState {
+  std::vector<std::size_t> pos;
+  std::map<Addr, WriteTag> mem;
+
+  [[nodiscard]] std::string key() const {
+    std::ostringstream oss;
+    for (const auto p : pos) oss << p << ";";
+    oss << "|";
+    for (const auto& [addr, tag] : mem) {
+      oss << addr << ":" << tag.writer << "." << tag.seq << ";";
+    }
+    return oss.str();
+  }
+};
+
+class ScSearch {
+ public:
+  ScSearch(const History& h, std::size_t max_states)
+      : h_(h), max_states_(max_states) {}
+
+  ScResult run() {
+    SearchState init;
+    init.pos.assign(h_.process_count(), 0);
+    const bool found = dfs(init);
+    if (found) return ScResult::kConsistent;
+    return budget_exhausted_ ? ScResult::kUndecided : ScResult::kInconsistent;
+  }
+
+ private:
+  bool dfs(const SearchState& s) {  // NOLINT(misc-no-recursion)
+    if (states_seen_ >= max_states_) {
+      budget_exhausted_ = true;
+      return false;
+    }
+    if (!visited_.insert(s.key()).second) return false;
+    ++states_seen_;
+
+    bool done = true;
+    for (std::size_t p = 0; p < h_.process_count(); ++p) {
+      if (s.pos[p] < h_.per_process[p].size()) done = false;
+    }
+    if (done) return true;
+
+    for (std::size_t p = 0; p < h_.process_count(); ++p) {
+      if (s.pos[p] >= h_.per_process[p].size()) continue;
+      const Operation& op = h_.per_process[p][s.pos[p]];
+      if (op.kind == OpKind::kRead) {
+        const auto it = s.mem.find(op.addr);
+        const WriteTag current =
+            it != s.mem.end() ? it->second : WriteTag{};  // initial
+        if (!(current == op.tag)) continue;  // read can't go now
+        SearchState next = s;
+        ++next.pos[p];
+        if (dfs(next)) return true;
+      } else {
+        SearchState next = s;
+        ++next.pos[p];
+        next.mem[op.addr] = op.tag;
+        if (dfs(next)) return true;
+      }
+    }
+    return false;
+  }
+
+  const History& h_;
+  const std::size_t max_states_;
+  std::unordered_set<std::string> visited_;
+  std::size_t states_seen_{0};
+  bool budget_exhausted_{false};
+};
+
+}  // namespace
+
+ScResult check_sequential_consistency(const History& history,
+                                      std::size_t max_states) {
+  return ScSearch(history, max_states).run();
+}
+
+}  // namespace causalmem

@@ -1,0 +1,85 @@
+#include "causalmem/history/trace.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <sstream>
+
+namespace causalmem {
+
+std::string format_trace(const History& history) {
+  std::ostringstream oss;
+  for (NodeId p = 0; p < history.process_count(); ++p) {
+    for (const Operation& op : history.per_process[p]) {
+      oss << (op.kind == OpKind::kRead ? "r " : "w ") << p << " " << op.addr
+          << " " << op.value << "\n";
+    }
+  }
+  return oss.str();
+}
+
+std::variant<History, TraceParseError> parse_trace(std::istream& in) {
+  struct RawOp {
+    char kind;
+    NodeId proc;
+    Addr addr;
+    Value value;
+  };
+  std::vector<RawOp> raw;
+  std::size_t max_proc = 0;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    std::istringstream ls(line);
+    std::string kind;
+    if (!(ls >> kind) || kind[0] == '#') continue;
+    RawOp op{};
+    op.kind = kind[0];
+    if ((op.kind != 'r' && op.kind != 'w') || kind.size() != 1 ||
+        !(ls >> op.proc >> op.addr >> op.value)) {
+      return TraceParseError{lineno,
+                             "expected `r|w <proc> <addr> <value>`, got: " +
+                                 line};
+    }
+    max_proc = std::max<std::size_t>(max_proc, op.proc);
+    raw.push_back(op);
+  }
+  if (raw.empty()) {
+    return TraceParseError{lineno, "no operations in trace"};
+  }
+
+  // Validate resolvability before handing to HistoryBuilder (which treats
+  // violations as contract failures).
+  for (const RawOp& op : raw) {
+    if (op.kind != 'r') continue;
+    std::size_t matches = 0;
+    for (const RawOp& w : raw) {
+      if (w.kind == 'w' && w.addr == op.addr && w.value == op.value) {
+        ++matches;
+      }
+    }
+    if (matches > 1) {
+      return TraceParseError{
+          0, "ambiguous reads-from: multiple writes of the same value to "
+             "one location"};
+    }
+    if (matches == 0 && op.value != kInitialValue) {
+      std::ostringstream oss;
+      oss << "read of value " << op.value << " at location " << op.addr
+          << " that no write produced";
+      return TraceParseError{0, oss.str()};
+    }
+  }
+
+  HistoryBuilder hb(max_proc + 1);
+  for (const RawOp& op : raw) {
+    if (op.kind == 'w') {
+      hb.write(op.proc, op.addr, op.value);
+    } else {
+      hb.read(op.proc, op.addr, op.value);
+    }
+  }
+  return hb.build();
+}
+
+}  // namespace causalmem

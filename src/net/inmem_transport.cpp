@@ -1,0 +1,134 @@
+#include "causalmem/net/inmem_transport.hpp"
+
+#include "causalmem/common/expect.hpp"
+#include "causalmem/common/logging.hpp"
+
+namespace causalmem {
+
+InMemTransport::InMemTransport(std::size_t n, LatencyModel latency,
+                               bool exercise_codec)
+    : latency_(latency), exercise_codec_(exercise_codec) {
+  CM_EXPECTS(n > 0);
+  endpoints_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    endpoints_.push_back(std::make_unique<Endpoint>());
+  }
+  channels_.reserve(n * n);
+  for (std::size_t i = 0; i < n * n; ++i) {
+    auto ch = std::make_unique<Channel>();
+    ch->rng = Rng(latency_.seed ^ (0x9E3779B97F4A7C15ULL * (i + 1)));
+    channels_.push_back(std::move(ch));
+  }
+}
+
+InMemTransport::~InMemTransport() { shutdown(); }
+
+void InMemTransport::register_node(NodeId id, Handler handler) {
+  CM_EXPECTS(id < endpoints_.size());
+  CM_EXPECTS_MSG(!started_.load(), "register_node after start()");
+  CM_EXPECTS(handler != nullptr);
+  endpoints_[id]->handler = std::move(handler);
+}
+
+void InMemTransport::start() {
+  CM_EXPECTS_MSG(!started_.exchange(true), "transport started twice");
+  for (auto& ep : endpoints_) {
+    CM_EXPECTS_MSG(ep->handler != nullptr, "node missing handler");
+    ep->worker = std::jthread([this, &ep_ref = *ep] { run_endpoint(ep_ref); });
+  }
+}
+
+void InMemTransport::set_channel_latency(NodeId from, NodeId to,
+                                         LatencyModel latency) {
+  CM_EXPECTS(from < endpoints_.size() && to < endpoints_.size());
+  Channel& ch = *channels_[from * endpoints_.size() + to];
+  std::scoped_lock lock(ch.mu);  // only affects sends issued after this call
+  ch.has_override = true;
+  ch.override_latency = latency;
+}
+
+InMemTransport::Clock::time_point InMemTransport::next_deadline(NodeId from,
+                                                                NodeId to) {
+  const auto n = endpoints_.size();
+  Channel& ch = *channels_[from * n + to];
+  std::scoped_lock lock(ch.mu);
+  const LatencyModel& lat = ch.has_override ? ch.override_latency : latency_;
+  auto deadline = Clock::now();
+  if (!lat.is_zero()) {
+    auto extra = lat.base;
+    if (lat.jitter.count() > 0) {
+      extra += std::chrono::microseconds(ch.rng.next_below(
+          static_cast<std::uint64_t>(lat.jitter.count()) + 1));
+    }
+    deadline += extra;
+  }
+  // Clamp to monotonic per-channel deadlines: FIFO survives jitter.
+  if (deadline < ch.last_deadline) deadline = ch.last_deadline;
+  ch.last_deadline = deadline;
+  return deadline;
+}
+
+void InMemTransport::send(Message m) {
+  CM_EXPECTS(m.from < endpoints_.size());
+  CM_EXPECTS(m.to < endpoints_.size());
+  if (stopping_.load(std::memory_order_acquire)) return;
+
+  if (exercise_codec_) {
+    // Round-trip through the wire format to prove serialization fidelity.
+    m = Message::decode(m.encode());
+  }
+
+  const auto deadline = next_deadline(m.from, m.to);
+  Endpoint& ep = *endpoints_[m.to];
+  {
+    std::scoped_lock lock(ep.mu);
+    if (ep.stopped) return;
+    ep.queue.push(Envelope{deadline, ep.next_seq++, std::move(m)});
+  }
+  ep.cv.notify_one();
+}
+
+void InMemTransport::run_endpoint(Endpoint& ep) {
+  std::unique_lock lock(ep.mu);
+  for (;;) {
+    ep.cv.wait(lock, [&] { return ep.stopped || !ep.queue.empty(); });
+    if (ep.stopped && ep.queue.empty()) return;
+    const auto deliver_at = ep.queue.top().deliver_at;
+    const auto now = Clock::now();
+    if (deliver_at > now) {
+      // Wait out the injected latency; a new earlier message cannot appear
+      // (deadlines are assigned at send time and the top is the earliest),
+      // but shutdown can, so re-check the predicate.
+      ep.cv.wait_until(lock, deliver_at,
+                       [&] { return ep.stopped && ep.queue.empty(); });
+      continue;
+    }
+    Envelope env = ep.queue.top();
+    ep.queue.pop();
+    lock.unlock();
+    ep.handler(env.msg);
+    delivered_.fetch_add(1, std::memory_order_relaxed);
+    lock.lock();
+  }
+}
+
+void InMemTransport::shutdown() {
+  if (stopping_.exchange(true)) {
+    // Already stopping; jthread joins on destruction.
+  }
+  for (auto& ep : endpoints_) {
+    {
+      std::scoped_lock lock(ep->mu);
+      ep->stopped = true;
+      // Drop undelivered messages: receivers are quiescing and replies to
+      // them would target dead futures.
+      while (!ep->queue.empty()) ep->queue.pop();
+    }
+    ep->cv.notify_all();
+  }
+  for (auto& ep : endpoints_) {
+    if (ep->worker.joinable()) ep->worker.join();
+  }
+}
+
+}  // namespace causalmem

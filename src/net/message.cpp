@@ -1,0 +1,83 @@
+#include "causalmem/net/message.hpp"
+
+#include <sstream>
+
+namespace causalmem {
+
+const char* msg_type_name(MsgType t) noexcept {
+  switch (t) {
+    case MsgType::kRead: return "READ";
+    case MsgType::kReadReply: return "R_REPLY";
+    case MsgType::kWrite: return "WRITE";
+    case MsgType::kWriteReply: return "W_REPLY";
+    case MsgType::kInvalidate: return "INV";
+    case MsgType::kInvalidateAck: return "INV_ACK";
+    case MsgType::kBroadcastUpdate: return "BCAST";
+  }
+  return "?";
+}
+
+void CellUpdate::encode(ByteWriter& w) const {
+  w.put(addr);
+  w.put(value);
+  w.put(tag.writer);
+  w.put(tag.seq);
+}
+
+CellUpdate CellUpdate::decode(ByteReader& r) {
+  CellUpdate c;
+  c.addr = r.get<Addr>();
+  c.value = r.get<Value>();
+  c.tag.writer = r.get<NodeId>();
+  c.tag.seq = r.get<std::uint64_t>();
+  return c;
+}
+
+std::vector<std::byte> Message::encode() const {
+  ByteWriter w;
+  w.put(type);
+  w.put(from);
+  w.put(to);
+  w.put(request_id);
+  w.put(addr);
+  w.put(value);
+  w.put(tag.writer);
+  w.put(tag.seq);
+  stamp.encode(w);
+  w.put<std::uint8_t>(accepted ? 1 : 0);
+  w.put<std::uint32_t>(static_cast<std::uint32_t>(cells.size()));
+  for (const auto& c : cells) c.encode(w);
+  return std::move(w).take();
+}
+
+Message Message::decode(std::span<const std::byte> bytes) {
+  ByteReader r(bytes);
+  Message m;
+  m.type = r.get<MsgType>();
+  m.from = r.get<NodeId>();
+  m.to = r.get<NodeId>();
+  m.request_id = r.get<std::uint64_t>();
+  m.addr = r.get<Addr>();
+  m.value = r.get<Value>();
+  m.tag.writer = r.get<NodeId>();
+  m.tag.seq = r.get<std::uint64_t>();
+  m.stamp = VectorClock::decode(r);
+  m.accepted = r.get<std::uint8_t>() != 0;
+  const auto n = r.get<std::uint32_t>();
+  m.cells.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) m.cells.push_back(CellUpdate::decode(r));
+  CM_ENSURES(r.exhausted());
+  return m;
+}
+
+std::string Message::to_string() const {
+  std::ostringstream oss;
+  oss << msg_type_name(type) << " P" << from << "->P" << to << " x=" << addr
+      << " v=" << value << " " << causalmem::to_string(tag) << " VT="
+      << stamp.to_string();
+  if (!accepted) oss << " REJECTED";
+  if (!cells.empty()) oss << " cells=" << cells.size();
+  return oss.str();
+}
+
+}  // namespace causalmem

@@ -1,0 +1,213 @@
+#include "causalmem/net/tcp_transport.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <system_error>
+
+#include "causalmem/common/expect.hpp"
+#include "causalmem/common/logging.hpp"
+
+namespace causalmem {
+
+namespace {
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::system_error(errno, std::generic_category(), what);
+}
+
+void set_nodelay(int fd) {
+  int one = 1;
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+/// Reads exactly `len` bytes; returns false on orderly EOF / reset.
+bool read_exact(int fd, void* buf, std::size_t len) {
+  auto* p = static_cast<std::byte*>(buf);
+  while (len > 0) {
+    const ssize_t n = ::recv(fd, p, len, 0);
+    if (n == 0) return false;
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool write_all(int fd, const void* buf, std::size_t len) {
+  const auto* p = static_cast<const std::byte*>(buf);
+  while (len > 0) {
+    const ssize_t n = ::send(fd, p, len, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+TcpTransport::TcpTransport(std::size_t n) : n_(n), handlers_(n) {
+  CM_EXPECTS(n > 0);
+  conn_.resize(n);
+  for (auto& row : conn_) row.resize(n);
+
+  // Bind one listener per node on an ephemeral loopback port.
+  std::vector<int> listeners(n, -1);
+  std::vector<std::uint16_t> ports(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) throw_errno("socket");
+    int one = 1;
+    (void)::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+      throw_errno("bind");
+    }
+    if (::listen(fd, static_cast<int>(n)) < 0) throw_errno("listen");
+    socklen_t alen = sizeof(addr);
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &alen) < 0) {
+      throw_errno("getsockname");
+    }
+    listeners[i] = fd;
+    ports[i] = ntohs(addr.sin_port);
+  }
+
+  // Connect the mesh: for every pair (i, j) with i < j, i dials j. The
+  // dialer announces its id in a 4-byte hello so the acceptor can place the
+  // connection. Accepts are interleaved with dials to avoid backlog stalls
+  // (loopback backlog is ample for our n, so a simple two-phase loop works).
+  for (std::size_t j = 0; j < n; ++j) {
+    // Dial all higher-numbered peers first...
+    for (std::size_t k = j + 1; k < n; ++k) {
+      const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+      if (fd < 0) throw_errno("socket(dial)");
+      sockaddr_in addr{};
+      addr.sin_family = AF_INET;
+      addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+      addr.sin_port = htons(ports[k]);
+      if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+        throw_errno("connect");
+      }
+      set_nodelay(fd);
+      const std::uint32_t hello = static_cast<std::uint32_t>(j);
+      if (!write_all(fd, &hello, sizeof(hello))) throw_errno("hello");
+      auto conn = std::make_shared<Conn>();
+      conn->fd = fd;
+      conn_[j][k] = conn;
+      conn_[k][j] = conn;
+    }
+    // ...then accept all lower-numbered dialers.
+    for (std::size_t accepted = 0; accepted < j; ++accepted) {
+      const int fd = ::accept(listeners[j], nullptr, nullptr);
+      if (fd < 0) throw_errno("accept");
+      set_nodelay(fd);
+      std::uint32_t hello = 0;
+      if (!read_exact(fd, &hello, sizeof(hello))) throw_errno("hello read");
+      CM_ASSERT_MSG(hello < n, "bogus hello id");
+      // The pair object already exists only if the dialer stored it; here the
+      // acceptor side owns the canonical fd, so replace the dialer's view.
+      auto conn = std::make_shared<Conn>();
+      conn->fd = fd;
+      // The dialer created its own Conn with its fd; both ends need their own
+      // socket of the same TCP connection. conn_[j][hello] is j's view.
+      conn_[j][hello] = conn;
+    }
+  }
+
+  for (int fd : listeners) ::close(fd);
+}
+
+TcpTransport::~TcpTransport() { shutdown(); }
+
+void TcpTransport::register_node(NodeId id, Handler handler) {
+  CM_EXPECTS(id < n_);
+  CM_EXPECTS_MSG(!started_.load(), "register_node after start()");
+  handlers_[id] = std::move(handler);
+}
+
+void TcpTransport::start() {
+  CM_EXPECTS_MSG(!started_.exchange(true), "transport started twice");
+  for (std::size_t i = 0; i < n_; ++i) {
+    CM_EXPECTS_MSG(handlers_[i] != nullptr, "node missing handler");
+  }
+  // One reader per endpoint per peer connection view.
+  for (std::size_t i = 0; i < n_; ++i) {
+    for (std::size_t j = 0; j < n_; ++j) {
+      if (i == j || conn_[i][j] == nullptr) continue;
+      Conn& c = *conn_[i][j];
+      if (c.reader.joinable()) continue;  // pair object shared; one reader
+      c.reader = std::jthread([this, &c] { run_reader(c); });
+    }
+  }
+}
+
+void TcpTransport::run_reader(Conn& conn) {
+  for (;;) {
+    std::uint32_t len = 0;
+    if (!read_exact(conn.fd, &len, sizeof(len))) return;
+    std::vector<std::byte> payload(len);
+    if (!read_exact(conn.fd, payload.data(), len)) return;
+    if (stopping_.load(std::memory_order_acquire)) return;
+    Message m = Message::decode(payload);
+    CM_ASSERT(m.to < n_);
+    handlers_[m.to](m);
+  }
+}
+
+void TcpTransport::send(Message m) {
+  CM_EXPECTS(m.from < n_ && m.to < n_ && m.from != m.to);
+  if (stopping_.load(std::memory_order_acquire)) return;
+  auto conn = conn_[m.from][m.to];
+  CM_ASSERT(conn != nullptr);
+  write_frame(*conn, m.encode());
+}
+
+void TcpTransport::write_frame(Conn& conn, const std::vector<std::byte>& payload) {
+  const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+  std::scoped_lock lock(conn.write_mu);
+  if (!write_all(conn.fd, &len, sizeof(len))) return;
+  (void)write_all(conn.fd, payload.data(), payload.size());
+}
+
+void TcpTransport::shutdown() {
+  if (stopping_.exchange(true)) return;
+  for (std::size_t i = 0; i < n_; ++i) {
+    for (std::size_t j = 0; j < n_; ++j) {
+      if (conn_[i][j] != nullptr && conn_[i][j]->fd >= 0) {
+        ::shutdown(conn_[i][j]->fd, SHUT_RDWR);
+      }
+    }
+  }
+  // After construction every cell holds its own per-side Conn (the dialer's
+  // temporary alias was replaced during the accept phase), so each cell is
+  // joined and closed exactly once.
+  for (std::size_t i = 0; i < n_; ++i) {
+    for (std::size_t j = 0; j < n_; ++j) {
+      auto& c = conn_[i][j];
+      if (c == nullptr) continue;
+      if (c->reader.joinable()) c->reader.join();
+      if (c->fd >= 0) {
+        ::close(c->fd);
+        c->fd = -1;
+      }
+      c = nullptr;
+    }
+  }
+}
+
+}  // namespace causalmem

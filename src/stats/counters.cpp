@@ -1,0 +1,56 @@
+#include "causalmem/stats/counters.hpp"
+
+#include <sstream>
+
+namespace causalmem {
+
+const char* counter_name(Counter c) noexcept {
+  switch (c) {
+    case Counter::kMsgReadRequest: return "msg.read_request";
+    case Counter::kMsgReadReply: return "msg.read_reply";
+    case Counter::kMsgWriteRequest: return "msg.write_request";
+    case Counter::kMsgWriteReply: return "msg.write_reply";
+    case Counter::kMsgInvalidate: return "msg.invalidate";
+    case Counter::kMsgInvalidateAck: return "msg.invalidate_ack";
+    case Counter::kMsgBroadcast: return "msg.broadcast";
+    case Counter::kReadHit: return "read.hit";
+    case Counter::kReadMiss: return "read.miss";
+    case Counter::kWriteLocal: return "write.local";
+    case Counter::kWriteRemote: return "write.remote";
+    case Counter::kInvalidationApplied: return "cache.invalidated";
+    case Counter::kDiscard: return "cache.discarded";
+    case Counter::kSpinRefetch: return "spin.refetch";
+    case Counter::kSpinTransition: return "spin.transition";
+    case Counter::kCounterCount: break;
+  }
+  return "unknown";
+}
+
+std::uint64_t StatsSnapshot::messages_sent() const noexcept {
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < kNumCounters; ++i) {
+    if (is_message_counter(static_cast<Counter>(i))) total += values[i];
+  }
+  return total;
+}
+
+StatsSnapshot& StatsSnapshot::operator+=(const StatsSnapshot& other) noexcept {
+  for (std::size_t i = 0; i < kNumCounters; ++i) values[i] += other.values[i];
+  return *this;
+}
+
+StatsSnapshot operator-(StatsSnapshot lhs, const StatsSnapshot& rhs) noexcept {
+  for (std::size_t i = 0; i < kNumCounters; ++i) lhs.values[i] -= rhs.values[i];
+  return lhs;
+}
+
+std::string StatsSnapshot::to_string() const {
+  std::ostringstream oss;
+  for (std::size_t i = 0; i < kNumCounters; ++i) {
+    if (values[i] == 0) continue;
+    oss << counter_name(static_cast<Counter>(i)) << "=" << values[i] << " ";
+  }
+  return oss.str();
+}
+
+}  // namespace causalmem

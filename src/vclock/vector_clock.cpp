@@ -1,0 +1,18 @@
+#include "causalmem/vclock/vector_clock.hpp"
+
+#include <sstream>
+
+namespace causalmem {
+
+std::string VectorClock::to_string() const {
+  std::ostringstream oss;
+  oss << "[";
+  for (std::size_t i = 0; i < components_.size(); ++i) {
+    if (i != 0) oss << ",";
+    oss << components_[i];
+  }
+  oss << "]";
+  return oss.str();
+}
+
+}  // namespace causalmem

@@ -1,0 +1,181 @@
+// Tests for the causal synchronization variables (apps/sync): flags, event
+// counts and the coordinator-free barrier, on causal AND atomic memory (the
+// same code must work on both — the paper's programmability claim).
+#include "causalmem/apps/sync/sync.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "causalmem/dsm/atomic/node.hpp"
+#include "causalmem/dsm/causal/node.hpp"
+#include "causalmem/dsm/system.hpp"
+
+namespace causalmem {
+namespace {
+
+TEST(Flag, SignalAcrossNodes) {
+  DsmSystem<CausalNode> sys(2);
+  Flag set_by_1(sys.memory(1), 1);  // addr 1 owned by node 1
+  Flag seen_by_0(sys.memory(0), 1);
+  std::jthread setter([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    set_by_1.set();
+  });
+  seen_by_0.wait_set();
+  EXPECT_TRUE(seen_by_0.test());
+}
+
+TEST(Flag, ClearAndRewait) {
+  DsmSystem<CausalNode> sys(2);
+  Flag owner(sys.memory(1), 1);
+  Flag other(sys.memory(0), 1);
+  owner.set();
+  other.wait_set();
+  owner.clear();
+  other.wait_clear();
+  EXPECT_FALSE(other.test());
+}
+
+TEST(EventCount, TransfersCausality) {
+  // Everything the owner wrote before advance() must be visible (and stale
+  // copies dead) at an awaiter after await() returns.
+  DsmSystem<CausalNode> sys(2);
+  constexpr Addr kData = 3;  // owned by node 1
+  constexpr Addr kEc = 1;    // owned by node 1
+  EXPECT_EQ(sys.memory(0).read(kData), 0);  // node 0 caches stale data
+  EventCount owner(sys.memory(1), kEc);
+  EventCount waiter(sys.memory(0), kEc);
+  std::jthread producer([&] {
+    sys.memory(1).write(kData, 42);
+    (void)owner.advance();
+  });
+  waiter.await(1);
+  EXPECT_EQ(sys.memory(0).read(kData), 42)
+      << "await() must causally order the data write before this read";
+}
+
+TEST(EventCount, MonotonicityIsEnforced) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        DsmSystem<CausalNode> sys(1);
+        EventCount ec(sys.memory(0), 0);
+        ec.advance_to(5);
+        ec.advance_to(3);
+      },
+      "monotone");
+}
+
+TEST(EventCount, OnlyOwnerAdvances) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        DsmSystem<CausalNode> sys(2);
+        EventCount ec(sys.memory(0), 1);  // addr 1 owned by node 1
+        (void)ec.advance();
+      },
+      "owner");
+}
+
+TEST(EventCount, MultipleAwaiters) {
+  DsmSystem<CausalNode> sys(3);
+  EventCount owner(sys.memory(1), 1);
+  std::atomic<int> released{0};
+  {
+    std::vector<std::jthread> waiters;
+    for (NodeId p : {NodeId{0}, NodeId{2}}) {
+      waiters.emplace_back([&sys, &released, p] {
+        EventCount ec(sys.memory(p), 1);
+        ec.await(3);
+        released.fetch_add(1);
+      });
+    }
+    for (int i = 0; i < 3; ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      (void)owner.advance();
+    }
+  }
+  EXPECT_EQ(released.load(), 2);
+}
+
+template <typename NodeT>
+void barrier_phases_stay_aligned() {
+  constexpr std::size_t kParties = 3;
+  constexpr int kPhases = 25;
+  DsmSystem<NodeT> sys(kParties);
+  std::atomic<int> in_phase[kPhases + 1] = {};
+  std::atomic<bool> violation{false};
+  {
+    std::vector<std::jthread> threads;
+    for (std::size_t p = 0; p < kParties; ++p) {
+      threads.emplace_back([&, p] {
+        CausalBarrier barrier(sys.memory(static_cast<NodeId>(p)), 0, kParties,
+                              p);
+        for (int k = 1; k <= kPhases; ++k) {
+          in_phase[k].fetch_add(1);
+          const auto phase = barrier.arrive_and_wait();
+          // After the barrier, EVERY party must have entered phase k.
+          if (static_cast<int>(phase) != k ||
+              in_phase[k].load() != static_cast<int>(kParties)) {
+            violation.store(true);
+          }
+        }
+      });
+    }
+  }
+  EXPECT_FALSE(violation.load());
+}
+
+TEST(CausalBarrier, PhasesStayAlignedOnCausalMemory) {
+  barrier_phases_stay_aligned<CausalNode>();
+}
+
+TEST(CausalBarrier, PhasesStayAlignedOnAtomicMemory) {
+  barrier_phases_stay_aligned<AtomicNode>();
+}
+
+TEST(CausalBarrier, TransfersAllPartiesWrites) {
+  // After a barrier, every participant sees every other participant's
+  // pre-barrier writes (not stale cached copies).
+  constexpr std::size_t kParties = 3;
+  DsmSystem<CausalNode> sys(kParties);
+  // Data locations: party p owns addr kParties + p (striped: (3+p)%3 == p).
+  std::atomic<bool> wrong{false};
+  {
+    std::vector<std::jthread> threads;
+    for (std::size_t p = 0; p < kParties; ++p) {
+      threads.emplace_back([&, p] {
+        SharedMemory& mem = sys.memory(static_cast<NodeId>(p));
+        CausalBarrier barrier(mem, 0, kParties, p);
+        for (Value round = 1; round <= 10; ++round) {
+          // Warm stale copies of everyone's data, then publish our own.
+          for (std::size_t q = 0; q < kParties; ++q) {
+            (void)mem.read(kParties + q);
+          }
+          mem.write(kParties + p, round);
+          barrier.arrive_and_wait();
+          for (std::size_t q = 0; q < kParties; ++q) {
+            if (mem.read(kParties + q) < round) wrong.store(true);
+          }
+          barrier.arrive_and_wait();  // don't race ahead into round+1 writes
+        }
+      });
+    }
+  }
+  EXPECT_FALSE(wrong.load());
+}
+
+TEST(CausalBarrier, RequiresOwnedCounter) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        DsmSystem<CausalNode> sys(2);
+        CausalBarrier b(sys.memory(0), 0, 2, 1);  // addr 1 owned by node 1
+      },
+      "own");
+}
+
+}  // namespace
+}  // namespace causalmem

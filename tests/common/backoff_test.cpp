@@ -1,0 +1,39 @@
+#include "causalmem/common/backoff.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+namespace causalmem {
+namespace {
+
+TEST(Backoff, CountsPauses) {
+  Backoff b;
+  EXPECT_EQ(b.spin_count(), 0u);
+  for (int i = 0; i < 5; ++i) b.pause();
+  EXPECT_EQ(b.spin_count(), 5u);
+  b.reset();
+  EXPECT_EQ(b.spin_count(), 0u);
+}
+
+TEST(Backoff, EarlyPausesAreCheap) {
+  Backoff b;
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < 10; ++i) b.pause();  // pause/yield territory
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_LT(elapsed, std::chrono::milliseconds(50));
+}
+
+TEST(Backoff, SleepEscalationIsCapped) {
+  Backoff b(std::chrono::microseconds(100));
+  // Drive deep into sleep territory; each pause must stay ~capped.
+  for (int i = 0; i < 40; ++i) b.pause();
+  const auto start = std::chrono::steady_clock::now();
+  b.pause();
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  // Generous bound: cap is 100us; allow scheduler slack.
+  EXPECT_LT(elapsed, std::chrono::milliseconds(50));
+}
+
+}  // namespace
+}  // namespace causalmem

@@ -1,0 +1,70 @@
+#include "causalmem/common/codec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+namespace causalmem {
+namespace {
+
+TEST(Codec, PrimitivesRoundTrip) {
+  ByteWriter w;
+  w.put<std::uint8_t>(0xAB);
+  w.put<std::int32_t>(-123456);
+  w.put<std::uint64_t>(0xDEADBEEFCAFEF00DULL);
+  w.put<double>(3.14159);
+
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.get<std::uint8_t>(), 0xAB);
+  EXPECT_EQ(r.get<std::int32_t>(), -123456);
+  EXPECT_EQ(r.get<std::uint64_t>(), 0xDEADBEEFCAFEF00DULL);
+  EXPECT_DOUBLE_EQ(r.get<double>(), 3.14159);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Codec, StringsRoundTrip) {
+  ByteWriter w;
+  w.put_string("");
+  w.put_string("hello causal memory");
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.get_string(), "");
+  EXPECT_EQ(r.get_string(), "hello causal memory");
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Codec, VectorsRoundTrip) {
+  const std::vector<std::uint64_t> v{1, 2, 3, 1ULL << 40};
+  ByteWriter w;
+  w.put_vector(v);
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.get_vector<std::uint64_t>(), v);
+}
+
+TEST(Codec, EmptyVectorRoundTrips) {
+  ByteWriter w;
+  w.put_vector(std::vector<std::uint32_t>{});
+  ByteReader r(w.bytes());
+  EXPECT_TRUE(r.get_vector<std::uint32_t>().empty());
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Codec, RemainingTracksPosition) {
+  ByteWriter w;
+  w.put<std::uint32_t>(7);
+  w.put<std::uint32_t>(9);
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.remaining(), 8u);
+  (void)r.get<std::uint32_t>();
+  EXPECT_EQ(r.remaining(), 4u);
+}
+
+TEST(Codec, EnumsRoundTrip) {
+  enum class E : std::uint16_t { kA = 7, kB = 900 };
+  ByteWriter w;
+  w.put(E::kB);
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.get<E>(), E::kB);
+}
+
+}  // namespace
+}  // namespace causalmem

@@ -1,0 +1,69 @@
+// Contract machinery tests: violations must abort with a diagnostic that
+// names the kind, the expression and the message.
+#include "causalmem/common/expect.hpp"
+
+#include <gtest/gtest.h>
+
+#include "causalmem/common/codec.hpp"
+#include "causalmem/vclock/vector_clock.hpp"
+
+namespace causalmem {
+namespace {
+
+TEST(Expect, SatisfiedContractsAreSilent) {
+  CM_EXPECTS(1 + 1 == 2);
+  CM_ENSURES(true);
+  CM_ASSERT_MSG(42 > 0, "arithmetic works");
+}
+
+TEST(ExpectDeath, PreconditionViolationAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(CM_EXPECTS(false), "precondition");
+}
+
+TEST(ExpectDeath, MessageAppearsInDiagnostic) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(CM_EXPECTS_MSG(false, "the flux capacitor is required"),
+               "flux capacitor");
+}
+
+TEST(ExpectDeath, UnreachableAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(CM_UNREACHABLE("should not get here"), "unreachable");
+}
+
+TEST(ExpectDeath, CodecUnderrunAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        ByteWriter w;
+        w.put<std::uint8_t>(1);
+        ByteReader r(w.bytes());
+        (void)r.get<std::uint64_t>();  // 8 bytes from a 1-byte buffer
+      },
+      "under-run");
+}
+
+TEST(ExpectDeath, VectorClockSizeMismatchAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        VectorClock a(2);
+        VectorClock b(3);
+        a.update(b);
+      },
+      "precondition");
+}
+
+TEST(ExpectDeath, VectorClockIndexOutOfRangeAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        VectorClock a(2);
+        a.increment(5);
+      },
+      "precondition");
+}
+
+}  // namespace
+}  // namespace causalmem

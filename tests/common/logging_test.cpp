@@ -1,0 +1,39 @@
+#include "causalmem/common/logging.hpp"
+
+#include <gtest/gtest.h>
+
+namespace causalmem {
+namespace {
+
+TEST(Logging, ThresholdGatesLevels) {
+  set_log_level(LogLevel::kWarn);
+  EXPECT_FALSE(log_enabled(LogLevel::kDebug));
+  EXPECT_FALSE(log_enabled(LogLevel::kInfo));
+  EXPECT_TRUE(log_enabled(LogLevel::kWarn));
+  EXPECT_TRUE(log_enabled(LogLevel::kError));
+
+  set_log_level(LogLevel::kDebug);
+  EXPECT_TRUE(log_enabled(LogLevel::kDebug));
+
+  set_log_level(LogLevel::kOff);
+  EXPECT_FALSE(log_enabled(LogLevel::kError));
+
+  set_log_level(LogLevel::kWarn);  // restore the default for other tests
+}
+
+TEST(Logging, MacroEvaluatesLazily) {
+  set_log_level(LogLevel::kError);
+  int evaluations = 0;
+  auto expensive = [&] {
+    ++evaluations;
+    return "x";
+  };
+  CM_LOG_DEBUG("value: " << expensive());
+  EXPECT_EQ(evaluations, 0) << "suppressed levels must not evaluate args";
+  CM_LOG_ERROR("value: " << expensive());
+  EXPECT_EQ(evaluations, 1);
+  set_log_level(LogLevel::kWarn);
+}
+
+}  // namespace
+}  // namespace causalmem

@@ -1,0 +1,63 @@
+#include "causalmem/common/queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace causalmem {
+namespace {
+
+TEST(BlockingQueue, FifoOrder) {
+  BlockingQueue<int> q;
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(q.push(i));
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(q.pop(), i);
+}
+
+TEST(BlockingQueue, TryPopOnEmpty) {
+  BlockingQueue<int> q;
+  EXPECT_EQ(q.try_pop(), std::nullopt);
+  q.push(1);
+  EXPECT_EQ(q.try_pop(), 1);
+}
+
+TEST(BlockingQueue, CloseWakesBlockedPopper) {
+  BlockingQueue<int> q;
+  std::jthread popper([&] { EXPECT_EQ(q.pop(), std::nullopt); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  q.close();
+}
+
+TEST(BlockingQueue, CloseDrainsPendingItems) {
+  BlockingQueue<int> q;
+  q.push(7);
+  q.close();
+  EXPECT_FALSE(q.push(8));
+  EXPECT_EQ(q.pop(), 7);
+  EXPECT_EQ(q.pop(), std::nullopt);
+}
+
+TEST(BlockingQueue, ConcurrentProducersAllDelivered) {
+  BlockingQueue<int> q;
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 500;
+  {
+    std::vector<std::jthread> producers;
+    for (int p = 0; p < kProducers; ++p) {
+      producers.emplace_back([&q, p] {
+        for (int i = 0; i < kPerProducer; ++i) q.push(p * kPerProducer + i);
+      });
+    }
+  }
+  std::vector<bool> seen(kProducers * kPerProducer, false);
+  for (int i = 0; i < kProducers * kPerProducer; ++i) {
+    const auto v = q.pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_FALSE(seen[*v]);
+    seen[*v] = true;
+  }
+  EXPECT_EQ(q.size(), 0u);
+}
+
+}  // namespace
+}  // namespace causalmem

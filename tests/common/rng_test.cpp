@@ -1,0 +1,64 @@
+#include "causalmem/common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+namespace causalmem {
+namespace {
+
+TEST(Rng, DeterministicPerSeed) {
+  Rng a(42), b(42), c(43);
+  for (int i = 0; i < 100; ++i) {
+    const auto va = a.next();
+    EXPECT_EQ(va, b.next());
+    (void)c.next();
+  }
+  Rng a2(42), c2(43);
+  EXPECT_NE(a2.next(), c2.next());
+}
+
+TEST(Rng, NextBelowIsInRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(r.next_below(17), 17u);
+  }
+}
+
+TEST(Rng, NextInIsInclusive) {
+  Rng r(99);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = r.next_in(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= (v == -2);
+    saw_hi |= (v == 2);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, DoublesInUnitInterval) {
+  Rng r(1);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = r.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(5);
+  Rng child = a.fork();
+  EXPECT_NE(a.next(), child.next());
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng r(3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.chance(0.0));
+    EXPECT_TRUE(r.chance(1.0));
+  }
+}
+
+}  // namespace
+}  // namespace causalmem

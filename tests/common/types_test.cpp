@@ -1,0 +1,38 @@
+#include "causalmem/common/types.hpp"
+
+#include <gtest/gtest.h>
+
+namespace causalmem {
+namespace {
+
+TEST(Types, DoubleRoundTripsThroughValue) {
+  const double cases[] = {0.0, -0.0, 1.5, -3.25e18, 1e-300, 42.0};
+  for (const double d : cases) {
+    EXPECT_EQ(double_from_value(value_from_double(d)), d);
+  }
+}
+
+TEST(Types, WriteTagOrderingAndIdentity) {
+  const WriteTag a{1, 5};
+  const WriteTag b{1, 6};
+  const WriteTag c{2, 1};
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_EQ(a, (WriteTag{1, 5}));
+  EXPECT_NE(a, b);
+}
+
+TEST(Types, InitialTagIsDistinguished) {
+  const WriteTag init{};
+  EXPECT_TRUE(init.is_initial());
+  EXPECT_FALSE((WriteTag{0, 1}).is_initial());
+  EXPECT_EQ(to_string(init), "w(init)");
+  EXPECT_EQ(to_string(WriteTag{3, 7}), "w(P3#7)");
+}
+
+TEST(Types, ReservedValuesDistinct) {
+  EXPECT_NE(kLambda, kInitialValue);
+}
+
+}  // namespace
+}  // namespace causalmem

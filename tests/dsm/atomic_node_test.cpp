@@ -1,0 +1,143 @@
+#include "causalmem/dsm/atomic/node.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "causalmem/dsm/system.hpp"
+#include "causalmem/history/causal_checker.hpp"
+#include "causalmem/history/recorder.hpp"
+#include "causalmem/history/sc_checker.hpp"
+
+namespace causalmem {
+namespace {
+
+using AtomicSystem = DsmSystem<AtomicNode>;
+
+TEST(AtomicNode, OwnedAccessIsLocal) {
+  AtomicSystem sys(2);
+  sys.memory(0).write(0, 5);
+  EXPECT_EQ(sys.memory(0).read(0), 5);
+  EXPECT_EQ(sys.stats().total().messages_sent(), 0u);
+}
+
+TEST(AtomicNode, ReadMissFetchesAndCaches) {
+  AtomicSystem sys(2);
+  sys.memory(1).write(1, 9);
+  EXPECT_EQ(sys.memory(0).read(1), 9);
+  EXPECT_EQ(sys.memory(0).read(1), 9);  // hit
+  const auto total = sys.stats().total();
+  EXPECT_EQ(total[Counter::kMsgReadRequest], 1u);
+  EXPECT_EQ(total[Counter::kMsgReadReply], 1u);
+}
+
+TEST(AtomicNode, OwnerWriteInvalidatesAllCachedCopies) {
+  AtomicSystem sys(3);
+  sys.memory(1).write(1, 1);
+  EXPECT_EQ(sys.memory(0).read(1), 1);  // 0 joins the copyset
+  EXPECT_EQ(sys.memory(2).read(1), 1);  // 2 joins the copyset
+  sys.memory(1).write(1, 2);            // must invalidate 0 and 2
+  const auto total = sys.stats().total();
+  EXPECT_EQ(total[Counter::kMsgInvalidate], 2u);
+  EXPECT_EQ(total[Counter::kMsgInvalidateAck], 2u);
+  // Fresh copies observed everywhere.
+  EXPECT_EQ(sys.memory(0).read(1), 2);
+  EXPECT_EQ(sys.memory(2).read(1), 2);
+}
+
+TEST(AtomicNode, RemoteWriteInvalidatesOtherReaders) {
+  AtomicSystem sys(3);
+  EXPECT_EQ(sys.memory(0).read(1), 0);
+  EXPECT_EQ(sys.memory(2).read(1), 0);
+  sys.memory(0).write(1, 42);  // owner is node 1; node 2's copy must die
+  EXPECT_EQ(sys.stats().total()[Counter::kMsgInvalidate], 1u);
+  EXPECT_EQ(sys.memory(2).read(1), 42);
+  EXPECT_EQ(sys.memory(0).read(1), 42);  // writer's own copy is fresh
+}
+
+TEST(AtomicNode, NoStaleReadAfterWriteCompletes) {
+  // Once any write completes, *no* processor may read the old value — the
+  // strong guarantee causal memory deliberately relaxes.
+  AtomicSystem sys(4);
+  for (NodeId p = 0; p < 4; ++p) EXPECT_EQ(sys.memory(p).read(1), 0);
+  sys.memory(3).write(1, 7);
+  for (NodeId p = 0; p < 4; ++p) EXPECT_EQ(sys.memory(p).read(1), 7);
+}
+
+TEST(AtomicNode, DiscardIsNoOp) {
+  AtomicSystem sys(2);
+  EXPECT_EQ(sys.memory(0).read(1), 0);
+  EXPECT_FALSE(sys.memory(0).discard(1));
+  EXPECT_EQ(sys.memory(0).read(1), 0);
+  EXPECT_EQ(sys.stats().total()[Counter::kMsgReadRequest], 1u);
+}
+
+TEST(AtomicNode, SpinUntilSeesPushedInvalidation) {
+  AtomicSystem sys(2);
+  EXPECT_EQ(sys.memory(0).read(1), 0);  // cache the flag
+  std::jthread writer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    sys.memory(1).write(1, 1);
+  });
+  EXPECT_EQ(spin_until_equals(sys.memory(0), 1, 1), 1);
+  // No discard-based refetches were needed.
+  EXPECT_EQ(sys.stats().node_snapshot(0)[Counter::kSpinRefetch], 0u);
+}
+
+TEST(AtomicNode, ConcurrentWritersSerializeAtOwner) {
+  AtomicSystem sys(3);
+  constexpr int kWritesEach = 100;
+  {
+    std::vector<std::jthread> threads;
+    for (NodeId p = 0; p < 3; ++p) {
+      threads.emplace_back([&sys, p] {
+        for (int i = 0; i < kWritesEach; ++i) {
+          sys.memory(p).write(1, static_cast<Value>(p * 1000 + i));
+        }
+      });
+    }
+  }
+  // The final value is one of the last writes; all replicas agree.
+  const Value v0 = sys.memory(0).read(1);
+  EXPECT_EQ(sys.memory(1).read(1), v0);
+  EXPECT_EQ(sys.memory(2).read(1), v0);
+}
+
+TEST(AtomicNode, RandomWorkloadIsSequentiallyConsistent) {
+  Recorder recorder(3);
+  {
+    AtomicSystem sys(3, {}, {}, nullptr, &recorder);
+    std::vector<std::jthread> threads;
+    for (NodeId p = 0; p < 3; ++p) {
+      threads.emplace_back([&sys, p] {
+        Rng rng(500 + p);
+        for (int i = 0; i < 12; ++i) {  // small: the SC check is exponential
+          const Addr a = rng.next_below(2);
+          if (rng.chance(0.5)) {
+            sys.memory(p).write(a, static_cast<Value>(p * 100 + i + 1));
+          } else {
+            (void)sys.memory(p).read(a);
+          }
+        }
+      });
+    }
+  }
+  const History h = recorder.history();
+  EXPECT_EQ(check_sequential_consistency(h), ScResult::kConsistent)
+      << h.to_string();
+  // Sequential consistency implies causal consistency.
+  EXPECT_FALSE(CausalChecker(h).check().has_value());
+}
+
+TEST(AtomicNode, WorksOverTcpTransport) {
+  SystemOptions opts;
+  opts.use_tcp = true;
+  AtomicSystem sys(3, {}, opts);
+  sys.memory(0).write(2, 5);
+  EXPECT_EQ(sys.memory(1).read(2), 5);
+  sys.memory(2).write(2, 6);
+  EXPECT_EQ(sys.memory(1).read(2), 6);
+}
+
+}  // namespace
+}  // namespace causalmem

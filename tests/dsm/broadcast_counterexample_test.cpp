@@ -1,0 +1,128 @@
+// E4: Figure 3 — "Causal Broadcasting is Not Causal Memory".
+//
+//   P1: w(x)5  w(y)3
+//   P2: w(x)2  r(y)3  r(x)5  w(z)4
+//   P3: r(z)4  r(x)2
+//
+// We drive the broadcast-memory model to produce exactly this execution
+// (shaping two channel latencies so the concurrent x-writes commit in
+// opposite orders at P2 and P3), then show the causal checker rejects it:
+// 2 is not in alpha(r(x)2). The same program on the causal DSM always yields
+// a checker-accepted history.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "causalmem/dsm/broadcast/node.hpp"
+#include "causalmem/dsm/causal/node.hpp"
+#include "causalmem/dsm/system.hpp"
+#include "causalmem/history/causal_checker.hpp"
+#include "causalmem/history/recorder.hpp"
+
+namespace causalmem {
+namespace {
+
+constexpr Addr kX = 0;
+constexpr Addr kY = 1;
+constexpr Addr kZ = 2;
+
+TEST(BroadcastCounterexample, HandWrittenFigure3IsRejected) {
+  const History h = HistoryBuilder(3)
+                        .write(0, kX, 5)
+                        .write(0, kY, 3)
+                        .write(1, kX, 2)
+                        .read(1, kY, 3)
+                        .read(1, kX, 5)
+                        .write(1, kZ, 4)
+                        .read(2, kZ, 4)
+                        .read(2, kX, 2)
+                        .build();
+  const auto violation = CausalChecker(h).check();
+  ASSERT_TRUE(violation.has_value());
+  // The offending read is P3's r(x)2 (paper: "2 is not in alpha(r(x)2)").
+  EXPECT_EQ(violation->read.proc, 2u);
+  EXPECT_EQ(violation->read.index, 1u);
+}
+
+TEST(BroadcastCounterexample, BroadcastMemoryProducesFigure3) {
+  Recorder recorder(3);
+  Value p2_reads_x = -1, p3_reads_x = -1;
+  {
+    DsmSystem<BroadcastNode> sys(3, {}, {}, nullptr, &recorder);
+    auto* tr = sys.inmem_transport();
+    ASSERT_NE(tr, nullptr);
+    // NOTE: overrides must land before traffic; DsmSystem starts the
+    // transport in its constructor, but delivery threads only act on queued
+    // messages, and we only send after these calls return.
+    // P1 -> P2 slow enough that P2's w(x)2 is issued first; P2 -> P3 slower
+    // still so P1's messages beat P2's at P3.
+    LatencyModel to_p2;
+    to_p2.base = std::chrono::milliseconds(40);
+    LatencyModel to_p3;
+    to_p3.base = std::chrono::milliseconds(120);
+    tr->set_channel_latency(0, 1, to_p2);
+    tr->set_channel_latency(1, 2, to_p3);
+
+    std::jthread p1([&] {
+      sys.memory(0).write(kX, 5);
+      sys.memory(0).write(kY, 3);
+    });
+    std::jthread p2([&] {
+      sys.memory(1).write(kX, 2);
+      (void)spin_until_equals(sys.memory(1), kY, 3);
+      p2_reads_x = sys.memory(1).read(kX);
+      sys.memory(1).write(kZ, 4);
+    });
+    std::jthread p3([&] {
+      (void)spin_until_equals(sys.memory(2), kZ, 4);
+      p3_reads_x = sys.memory(2).read(kX);
+    });
+    p1.join();
+    p2.join();
+    p3.join();
+    wait_broadcast_quiescent(sys);
+  }
+
+  // The shaped schedule must reproduce the figure's values.
+  ASSERT_EQ(p2_reads_x, 5) << "x-writes should commit 2-then-5 at P2";
+  ASSERT_EQ(p3_reads_x, 2) << "x-writes should commit 5-then-2 at P3";
+
+  const History h = recorder.history();
+  const auto violation = CausalChecker(h).check();
+  EXPECT_TRUE(violation.has_value())
+      << "causal broadcast delivery still violated causal memory\n"
+      << h.to_string();
+}
+
+TEST(BroadcastCounterexample, SameProgramOnCausalDsmIsAlwaysCorrect) {
+  // owner(x)=P0, owner(y)=P1, owner(z)=P2 via striping; every interleaving
+  // of this program on the causal DSM must pass the checker.
+  for (int round = 0; round < 5; ++round) {
+    Recorder recorder(3);
+    {
+      DsmSystem<CausalNode> sys(3, {}, {}, nullptr, &recorder);
+      std::jthread p1([&] {
+        sys.memory(0).write(kX, 5);
+        sys.memory(0).write(kY, 3);
+      });
+      std::jthread p2([&] {
+        sys.memory(1).write(kX, 2);
+        (void)spin_until_equals(sys.memory(1), kY, 3);
+        (void)sys.memory(1).read(kX);
+        sys.memory(1).write(kZ, 4);
+      });
+      std::jthread p3([&] {
+        (void)spin_until_equals(sys.memory(2), kZ, 4);
+        (void)sys.memory(2).read(kX);
+      });
+    }
+    const History h = recorder.history();
+    const auto violation = CausalChecker(h).check();
+    EXPECT_FALSE(violation.has_value())
+        << violation->reason << "\n" << h.to_string();
+  }
+}
+
+}  // namespace
+}  // namespace causalmem

@@ -1,0 +1,84 @@
+#include "causalmem/dsm/broadcast/node.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "causalmem/dsm/system.hpp"
+
+namespace causalmem {
+namespace {
+
+using BroadcastSystem = DsmSystem<BroadcastNode>;
+
+TEST(BroadcastNode, WritePropagatesToAllReplicas) {
+  BroadcastSystem sys(3);
+  sys.node(0).write(5, 42);
+  wait_broadcast_quiescent(sys);
+  for (NodeId p = 0; p < 3; ++p) EXPECT_EQ(sys.memory(p).read(5), 42);
+  EXPECT_EQ(sys.stats().total()[Counter::kMsgBroadcast], 2u);
+}
+
+TEST(BroadcastNode, ReadsAreAlwaysLocal) {
+  BroadcastSystem sys(2);
+  for (int i = 0; i < 10; ++i) (void)sys.memory(0).read(3);
+  EXPECT_EQ(sys.stats().total()[Counter::kMsgReadRequest], 0u);
+}
+
+TEST(BroadcastNode, CausalDeliveryOrdersDependentWrites) {
+  // P0 writes x then y; with causal delivery no replica may apply y's write
+  // while x's is still missing. We delay channel 0->2 heavily relative to
+  // nothing else — but both writes share that channel (FIFO), so delivery
+  // order is preserved regardless.
+  BroadcastSystem sys(3);
+  sys.node(0).write(1, 10);
+  sys.node(0).write(2, 20);
+  wait_broadcast_quiescent(sys);
+  EXPECT_EQ(sys.memory(2).read(1), 10);
+  EXPECT_EQ(sys.memory(2).read(2), 20);
+}
+
+TEST(BroadcastNode, TransitiveCausalityAcrossReplicas) {
+  // P0 writes x; P1 sees it, then writes y. P2 must never apply y before x
+  // even if P0's channel to P2 is slow: y's stamp forces the hold-back.
+  SystemOptions opts;
+  BroadcastSystem sys(3, {}, opts);
+  auto* tr = sys.inmem_transport();
+  ASSERT_NE(tr, nullptr);
+  // (Latency overrides must be set before start, which DsmSystem already
+  // did; so instead rely on the hold-back rule itself: issue P1's dependent
+  // write only after it observed P0's.)
+  sys.node(0).write(1, 10);
+  wait_broadcast_quiescent(sys);
+  EXPECT_EQ(sys.memory(1).read(1), 10);
+  sys.node(1).write(2, 20);  // causally after P0's write at P1
+  wait_broadcast_quiescent(sys);
+  EXPECT_EQ(sys.memory(2).read(2), 20);
+  EXPECT_EQ(sys.memory(2).read(1), 10);
+}
+
+TEST(BroadcastNode, ConcurrentWritesConvergeToSomeOrder) {
+  BroadcastSystem sys(2);
+  sys.node(0).write(7, 100);
+  sys.node(1).write(7, 200);
+  wait_broadcast_quiescent(sys);
+  // Replicas may disagree (that is the Figure 3 point) but each holds one of
+  // the two values.
+  const Value v0 = sys.memory(0).read(7);
+  const Value v1 = sys.memory(1).read(7);
+  EXPECT_TRUE(v0 == 100 || v0 == 200);
+  EXPECT_TRUE(v1 == 100 || v1 == 200);
+}
+
+TEST(BroadcastNode, QuiescenceCountsAllWrites) {
+  BroadcastSystem sys(3);
+  for (int i = 0; i < 5; ++i) sys.node(0).write(i, i);
+  for (int i = 0; i < 3; ++i) sys.node(1).write(10 + i, i);
+  wait_broadcast_quiescent(sys);
+  for (NodeId p = 0; p < 3; ++p) {
+    EXPECT_EQ(sys.node(p).applied_count(), 8u);
+  }
+}
+
+}  // namespace
+}  // namespace causalmem

@@ -1,0 +1,272 @@
+#include "causalmem/dsm/causal/node.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "causalmem/dsm/system.hpp"
+#include "causalmem/history/causal_checker.hpp"
+#include "causalmem/history/recorder.hpp"
+
+namespace causalmem {
+namespace {
+
+using CausalSystem = DsmSystem<CausalNode>;
+
+TEST(CausalNode, OwnedReadAndWriteAreLocal) {
+  CausalSystem sys(2);
+  // Node 0 owns even addresses (striped).
+  sys.memory(0).write(0, 42);
+  EXPECT_EQ(sys.memory(0).read(0), 42);
+  EXPECT_EQ(sys.stats().total().messages_sent(), 0u);
+}
+
+TEST(CausalNode, RemoteReadFetchesFromOwner) {
+  CausalSystem sys(2);
+  sys.memory(1).write(1, 7);  // node 1 owns addr 1
+  EXPECT_EQ(sys.memory(0).read(1), 7);
+  const auto total = sys.stats().total();
+  EXPECT_EQ(total[Counter::kMsgReadRequest], 1u);
+  EXPECT_EQ(total[Counter::kMsgReadReply], 1u);
+}
+
+TEST(CausalNode, RemoteReadIsCachedAfterMiss) {
+  CausalSystem sys(2);
+  sys.memory(1).write(1, 7);
+  EXPECT_EQ(sys.memory(0).read(1), 7);
+  EXPECT_TRUE(sys.node(0).is_cached(1));
+  EXPECT_EQ(sys.memory(0).read(1), 7);  // hit
+  EXPECT_EQ(sys.stats().total()[Counter::kMsgReadRequest], 1u);
+}
+
+TEST(CausalNode, RemoteWriteIsCertifiedByOwner) {
+  CausalSystem sys(2);
+  sys.memory(0).write(1, 99);  // owner is node 1
+  const auto total = sys.stats().total();
+  EXPECT_EQ(total[Counter::kMsgWriteRequest], 1u);
+  EXPECT_EQ(total[Counter::kMsgWriteReply], 1u);
+  // The owner stores the value; the writer caches it.
+  EXPECT_EQ(sys.memory(1).read(1), 99);
+  EXPECT_TRUE(sys.node(0).is_cached(1));
+  EXPECT_EQ(sys.memory(0).read(1), 99);
+}
+
+TEST(CausalNode, UnwrittenLocationReadsInitialValue) {
+  CausalSystem sys(3);
+  EXPECT_EQ(sys.memory(0).read(5), kInitialValue);
+  EXPECT_EQ(sys.memory(2).read(4), kInitialValue);
+}
+
+TEST(CausalNode, WriteIncrementsOwnClockComponent) {
+  CausalSystem sys(2);
+  sys.memory(0).write(0, 1);
+  sys.memory(0).write(0, 2);
+  const VectorClock vt = sys.node(0).vector_time();
+  EXPECT_EQ(vt[0], 2u);
+  EXPECT_EQ(vt[1], 0u);
+}
+
+TEST(CausalNode, RemoteWriteMergesOwnerClockIntoWriter) {
+  CausalSystem sys(2);
+  sys.memory(1).write(1, 5);  // owner's clock: [0,1]
+  sys.memory(0).write(1, 6);  // writer gets owner's clock in the W_REPLY
+  const VectorClock vt0 = sys.node(0).vector_time();
+  EXPECT_GE(vt0[0], 1u);
+  EXPECT_GE(vt0[1], 1u);
+}
+
+TEST(CausalNode, ReadMissInvalidatesStrictlyOlderCachedValues) {
+  // Node 0 caches y written by node 1; then node 1 writes y' and x (causally
+  // after y). When node 0 fetches x it must invalidate its stale y.
+  CausalSystem sys(2);
+  sys.memory(1).write(1, 10);       // y := 10
+  EXPECT_EQ(sys.memory(0).read(1), 10);
+  EXPECT_TRUE(sys.node(0).is_cached(1));
+  sys.memory(1).write(1, 11);       // y := 11 (overwrites 10)
+  sys.memory(1).write(3, 30);       // x := 30, causally after y=11
+  EXPECT_EQ(sys.memory(0).read(3), 30);
+  EXPECT_FALSE(sys.node(0).is_cached(1))
+      << "cached y=10 is older than x=30's writestamp and must be dropped";
+}
+
+TEST(CausalNode, ConcurrentCachedValuesSurviveInvalidation) {
+  // Values written concurrently by different owners are not ordered by their
+  // writestamps, so introducing one must not invalidate the other.
+  CausalSystem sys(3);
+  sys.memory(1).write(1, 100);  // owner 1, independent
+  sys.memory(2).write(2, 200);  // owner 2, independent (concurrent)
+  EXPECT_EQ(sys.memory(0).read(1), 100);
+  EXPECT_EQ(sys.memory(0).read(2), 200);
+  EXPECT_TRUE(sys.node(0).is_cached(1));
+  EXPECT_TRUE(sys.node(0).is_cached(2));
+}
+
+TEST(CausalNode, OwnedLocationsAreNeverInvalidated) {
+  CausalSystem sys(2);
+  sys.memory(0).write(0, 1);        // owned by 0
+  sys.memory(1).write(1, 2);
+  sys.memory(1).write(3, 3);
+  EXPECT_EQ(sys.memory(0).read(1), 2);
+  EXPECT_EQ(sys.memory(0).read(3), 3);
+  EXPECT_EQ(sys.memory(0).read(0), 1);  // still there, still local
+  EXPECT_EQ(sys.stats().node_snapshot(0)[Counter::kMsgReadRequest], 2u);
+}
+
+TEST(CausalNode, DiscardDropsCachedCopy) {
+  CausalSystem sys(2);
+  sys.memory(1).write(1, 5);
+  EXPECT_EQ(sys.memory(0).read(1), 5);
+  EXPECT_TRUE(sys.node(0).is_cached(1));
+  EXPECT_TRUE(sys.memory(0).discard(1));
+  EXPECT_FALSE(sys.node(0).is_cached(1));
+  // Next read refetches.
+  EXPECT_EQ(sys.memory(0).read(1), 5);
+  EXPECT_EQ(sys.stats().total()[Counter::kMsgReadRequest], 2u);
+}
+
+TEST(CausalNode, DiscardOfOwnedLocationIsRefused) {
+  CausalSystem sys(2);
+  sys.memory(0).write(0, 9);
+  EXPECT_FALSE(sys.memory(0).discard(0));
+  EXPECT_EQ(sys.memory(0).read(0), 9);
+}
+
+TEST(CausalNode, SpinUntilSeesOwnerUpdateViaDiscard) {
+  CausalSystem sys(2);
+  // Node 0 caches flag=0; node 1 (owner) later writes 1. Without discard the
+  // cached copy would never change — spin_until must converge anyway.
+  EXPECT_EQ(sys.memory(0).read(1), 0);
+  std::jthread writer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    sys.memory(1).write(1, 1);
+  });
+  EXPECT_EQ(spin_until_equals(sys.memory(0), 1, 1), 1);
+  EXPECT_GE(sys.stats().node_snapshot(0)[Counter::kSpinTransition], 1u);
+}
+
+TEST(CausalNode, LruCapacityEvictsColdestPage) {
+  CausalConfig cfg;
+  cfg.cache_capacity_pages = 2;
+  // Three independent owners write concurrently: the fetched stamps are
+  // pairwise concurrent so nothing is invalidated — only LRU eviction can
+  // shrink the cache.
+  CausalSystem sys(4, cfg);
+  sys.memory(1).write(1, 1);
+  sys.memory(2).write(2, 2);
+  sys.memory(3).write(3, 3);
+  EXPECT_EQ(sys.memory(0).read(1), 1);
+  EXPECT_EQ(sys.memory(0).read(2), 2);
+  EXPECT_EQ(sys.memory(0).read(3), 3);  // evicts addr 1 (coldest)
+  EXPECT_FALSE(sys.node(0).is_cached(1));
+  EXPECT_TRUE(sys.node(0).is_cached(2));
+  EXPECT_TRUE(sys.node(0).is_cached(3));
+  EXPECT_GE(sys.stats().node_snapshot(0)[Counter::kDiscard], 1u);
+}
+
+TEST(CausalNode, FlushAllStrategyDropsWholeCache) {
+  CausalConfig cfg;
+  cfg.invalidation = InvalidationStrategy::kFlushAll;
+  CausalSystem sys(3, cfg);
+  sys.memory(1).write(1, 1);
+  sys.memory(2).write(2, 2);
+  EXPECT_EQ(sys.memory(0).read(1), 1);
+  EXPECT_EQ(sys.memory(0).read(2), 2);  // flush-all drops cached addr 1
+  EXPECT_FALSE(sys.node(0).is_cached(1));
+  EXPECT_TRUE(sys.node(0).is_cached(2));
+}
+
+TEST(CausalNode, ReadOnlyPagesSurviveInvalidationSweeps) {
+  CausalConfig cfg;
+  cfg.invalidation = InvalidationStrategy::kFlushAll;  // harshest sweep
+  CausalSystem sys(2, cfg);
+  sys.memory(1).write(1, 123);  // the "constant"
+  sys.memory(0).mark_read_only(1, 2);
+  EXPECT_EQ(sys.memory(0).read(1), 123);
+  sys.memory(1).write(3, 1);
+  EXPECT_EQ(sys.memory(0).read(3), 1);  // sweep happens here
+  EXPECT_TRUE(sys.node(0).is_cached(1)) << "read-only page must survive";
+}
+
+TEST(CausalNode, OwnerWinsRejectsConcurrentRemoteWrite) {
+  CausalConfig cfg;
+  cfg.conflict = ConflictPolicy::kOwnerWins;
+  CausalSystem sys(2, cfg);
+  // Owner writes its own location; node 0 writes the same location without
+  // having seen the owner's value -> concurrent -> rejected.
+  sys.memory(1).write(1, 10);
+  sys.memory(0).write(1, 20);
+  EXPECT_EQ(sys.memory(1).read(1), 10) << "owner's value must be favored";
+  // The loser must not keep its rejected value cached.
+  EXPECT_EQ(sys.memory(0).read(1), 10);
+}
+
+TEST(CausalNode, OwnerWinsAcceptsCausallyLaterWrite) {
+  CausalConfig cfg;
+  cfg.conflict = ConflictPolicy::kOwnerWins;
+  CausalSystem sys(2, cfg);
+  sys.memory(1).write(1, 10);
+  EXPECT_EQ(sys.memory(0).read(1), 10);  // node 0 now causally after w(10)
+  sys.memory(0).write(1, 20);            // dominates: legitimate overwrite
+  EXPECT_EQ(sys.memory(1).read(1), 20);
+}
+
+TEST(CausalNode, WriteToReadOnlyLocationAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        CausalSystem sys(2);
+        sys.memory(0).mark_read_only(0, 1);
+        sys.memory(0).write(0, 1);
+      },
+      "read-only");
+}
+
+TEST(CausalNode, ConcurrentWorkloadIsCausallyConsistent) {
+  Recorder recorder(3);
+  {
+    CausalSystem sys(3, {}, {}, nullptr, &recorder);
+    std::vector<std::jthread> threads;
+    for (NodeId p = 0; p < 3; ++p) {
+      threads.emplace_back([&sys, p] {
+        Rng rng(1000 + p);
+        for (int i = 0; i < 200; ++i) {
+          const Addr a = rng.next_below(6);
+          if (rng.chance(0.5)) {
+            sys.memory(p).write(a, static_cast<Value>(rng.next_below(1000)));
+          } else {
+            (void)sys.memory(p).read(a);
+          }
+        }
+      });
+    }
+    threads.clear();  // join
+  }
+  const auto violation = CausalChecker(recorder.history()).check();
+  EXPECT_FALSE(violation.has_value())
+      << violation->reason << "\n" << recorder.history().to_string();
+}
+
+TEST(CausalNode, WorksOverTcpTransport) {
+  SystemOptions opts;
+  opts.use_tcp = true;
+  CausalSystem sys(3, {}, opts);
+  sys.memory(0).write(0, 11);
+  sys.memory(1).write(1, 22);
+  EXPECT_EQ(sys.memory(2).read(0), 11);
+  EXPECT_EQ(sys.memory(2).read(1), 22);
+  sys.memory(2).write(0, 33);
+  EXPECT_EQ(sys.memory(0).read(0), 33);
+}
+
+TEST(CausalNode, CodecExerciseModePreservesProtocol) {
+  SystemOptions opts;
+  opts.exercise_codec = true;
+  CausalSystem sys(2, {}, opts);
+  sys.memory(1).write(1, 77);
+  EXPECT_EQ(sys.memory(0).read(1), 77);
+  sys.memory(0).write(1, 88);
+  EXPECT_EQ(sys.memory(1).read(1), 88);
+}
+
+}  // namespace
+}  // namespace causalmem

@@ -1,0 +1,43 @@
+#include "causalmem/dsm/ownership.hpp"
+
+#include <gtest/gtest.h>
+
+namespace causalmem {
+namespace {
+
+TEST(StripedOwnership, RoundRobinWithUnitBlock) {
+  StripedOwnership own(3);
+  EXPECT_EQ(own.owner(0), 0u);
+  EXPECT_EQ(own.owner(1), 1u);
+  EXPECT_EQ(own.owner(2), 2u);
+  EXPECT_EQ(own.owner(3), 0u);
+  EXPECT_EQ(own.owner(100), 100u % 3);
+}
+
+TEST(StripedOwnership, BlocksKeepNeighboursTogether) {
+  StripedOwnership own(2, 4);
+  for (Addr a = 0; a < 4; ++a) EXPECT_EQ(own.owner(a), 0u);
+  for (Addr a = 4; a < 8; ++a) EXPECT_EQ(own.owner(a), 1u);
+  for (Addr a = 8; a < 12; ++a) EXPECT_EQ(own.owner(a), 0u);
+}
+
+TEST(ExplicitOwnership, AssignmentsOverrideFallback) {
+  ExplicitOwnership own(4);
+  own.assign(0, 3);
+  own.assign(7, 1);
+  EXPECT_EQ(own.owner(0), 3u);
+  EXPECT_EQ(own.owner(7), 1u);
+  // Unassigned addresses fall back to striping over 4 nodes.
+  EXPECT_EQ(own.owner(5), 1u);
+  EXPECT_EQ(own.owner(6), 2u);
+}
+
+TEST(ExplicitOwnership, ReassignmentTakesLastValue) {
+  ExplicitOwnership own(2);
+  own.assign(9, 0);
+  own.assign(9, 1);
+  EXPECT_EQ(own.owner(9), 1u);
+}
+
+}  // namespace
+}  // namespace causalmem

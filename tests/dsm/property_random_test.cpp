@@ -1,0 +1,186 @@
+// Property tests: for every configuration of the causal DSM, every recorded
+// random concurrent execution must satisfy Definition 2 (checked by the
+// Definition-1 oracle). This is the main falsification harness for the
+// protocol implementation — invalidation strategies, conflict policies,
+// write modes, page sizes, latency/jitter, cache pressure and the TCP
+// transport are all swept.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+
+#include "causalmem/common/rng.hpp"
+#include "causalmem/dsm/causal/node.hpp"
+#include "causalmem/dsm/system.hpp"
+#include "causalmem/history/causal_checker.hpp"
+#include "causalmem/history/recorder.hpp"
+
+namespace causalmem {
+namespace {
+
+struct PropertyCase {
+  std::string name;
+  std::size_t nodes{3};
+  std::size_t addrs{8};
+  int ops_per_node{150};
+  int threads_per_node{1};
+  double write_ratio{0.5};
+  double discard_ratio{0.0};
+  CausalConfig config{};
+  SystemOptions options{};
+  std::uint64_t seeds{3};
+};
+
+std::ostream& operator<<(std::ostream& os, const PropertyCase& c) {
+  return os << c.name;
+}
+
+class CausalPropertyTest : public ::testing::TestWithParam<PropertyCase> {};
+
+TEST_P(CausalPropertyTest, RandomExecutionIsCausallyConsistent) {
+  const PropertyCase& pc = GetParam();
+  for (std::uint64_t seed = 1; seed <= pc.seeds; ++seed) {
+    Recorder recorder(pc.nodes);
+    {
+      DsmSystem<CausalNode> sys(pc.nodes, pc.config, pc.options, nullptr,
+                                &recorder);
+      std::vector<std::jthread> threads;
+      for (NodeId p = 0; p < pc.nodes; ++p) {
+        for (int t = 0; t < pc.threads_per_node; ++t) {
+          threads.emplace_back([&sys, &pc, p, t, seed] {
+            Rng rng(seed * 7919 + p * 104729 + t * 7547);
+            SharedMemory& mem = sys.memory(p);
+            for (int i = 0; i < pc.ops_per_node; ++i) {
+              const Addr a = rng.next_below(pc.addrs);
+              const double roll = rng.next_double();
+              if (roll < pc.write_ratio) {
+                mem.write(a, static_cast<Value>(rng.next() >> 8));
+              } else if (roll < pc.write_ratio + pc.discard_ratio) {
+                (void)mem.discard(a);
+              } else {
+                (void)mem.read(a);
+              }
+            }
+            mem.flush();
+          });
+        }
+      }
+    }
+    const History h = recorder.history();
+    const auto violation = CausalChecker(h).check();
+    ASSERT_FALSE(violation.has_value())
+        << pc.name << " seed=" << seed << ": " << violation->reason;
+  }
+}
+
+std::vector<PropertyCase> make_cases() {
+  std::vector<PropertyCase> cases;
+
+  PropertyCase base;
+  base.name = "figure4_default";
+  cases.push_back(base);
+
+  PropertyCase two = base;
+  two.name = "two_nodes_hot_location";
+  two.nodes = 2;
+  two.addrs = 2;
+  two.ops_per_node = 250;
+  cases.push_back(two);
+
+  PropertyCase five = base;
+  five.name = "five_nodes";
+  five.nodes = 5;
+  five.ops_per_node = 80;
+  cases.push_back(five);
+
+  PropertyCase writes = base;
+  writes.name = "write_heavy";
+  writes.write_ratio = 0.8;
+  cases.push_back(writes);
+
+  PropertyCase reads = base;
+  reads.name = "read_heavy_with_discards";
+  reads.write_ratio = 0.2;
+  reads.discard_ratio = 0.2;
+  cases.push_back(reads);
+
+  PropertyCase flush = base;
+  flush.name = "flush_all_invalidation";
+  flush.config.invalidation = InvalidationStrategy::kFlushAll;
+  cases.push_back(flush);
+
+  PropertyCase owner_wins = base;
+  owner_wins.name = "owner_wins_conflicts";
+  owner_wins.config.conflict = ConflictPolicy::kOwnerWins;
+  owner_wins.write_ratio = 0.7;
+  owner_wins.addrs = 3;
+  cases.push_back(owner_wins);
+
+  PropertyCase async = base;
+  async.name = "async_writes";
+  async.config.write_mode = WriteMode::kAsync;
+  cases.push_back(async);
+
+  PropertyCase paged = base;
+  paged.name = "page_size_4";
+  paged.config.page_size = 4;
+  paged.addrs = 16;
+  cases.push_back(paged);
+
+  PropertyCase tiny_cache = base;
+  tiny_cache.name = "cache_pressure";
+  tiny_cache.config.cache_capacity_pages = 2;
+  cases.push_back(tiny_cache);
+
+  PropertyCase jitter = base;
+  jitter.name = "latency_jitter";
+  jitter.options.latency.base = std::chrono::microseconds(20);
+  jitter.options.latency.jitter = std::chrono::microseconds(80);
+  jitter.ops_per_node = 60;
+  jitter.seeds = 2;
+  cases.push_back(jitter);
+
+  PropertyCase codec = base;
+  codec.name = "codec_exercised";
+  codec.options.exercise_codec = true;
+  codec.seeds = 2;
+  cases.push_back(codec);
+
+  PropertyCase tcp = base;
+  tcp.name = "tcp_transport";
+  tcp.options.use_tcp = true;
+  tcp.ops_per_node = 60;
+  tcp.seeds = 2;
+  cases.push_back(tcp);
+
+  PropertyCase async_paged = base;
+  async_paged.name = "async_plus_pages";
+  async_paged.config.write_mode = WriteMode::kAsync;
+  async_paged.config.page_size = 4;
+  async_paged.addrs = 16;
+  cases.push_back(async_paged);
+
+  PropertyCase read_through = base;
+  read_through.name = "read_through_atomic_mode";
+  read_through.config.read_through = true;
+  read_through.ops_per_node = 80;
+  cases.push_back(read_through);
+
+  // NOTE deliberately absent: a "threads_per_node > 1, check the per-NODE
+  // history" case. A node shared by several application threads is NOT one
+  // causal process: two concurrent in-flight reads can complete out of
+  // knowledge order, so the interleaved per-node sequence can violate
+  // Definition 1 even though each *thread's* own sequence is causal (see
+  // tests/dsm/scale_test.cpp and DESIGN.md §6 rule 5).
+
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, CausalPropertyTest, ::testing::ValuesIn(make_cases()),
+    [](const ::testing::TestParamInfo<PropertyCase>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace causalmem

@@ -1,0 +1,95 @@
+#include "causalmem/dsm/system.hpp"
+
+#include <gtest/gtest.h>
+
+#include "causalmem/dsm/atomic/node.hpp"
+#include "causalmem/dsm/broadcast/node.hpp"
+#include "causalmem/dsm/causal/node.hpp"
+#include "causalmem/history/recorder.hpp"
+
+namespace causalmem {
+namespace {
+
+TEST(DsmSystem, BasicsAndAccessors) {
+  DsmSystem<CausalNode> sys(3);
+  EXPECT_EQ(sys.node_count(), 3u);
+  EXPECT_EQ(sys.memory(1).node_id(), 1u);
+  EXPECT_NE(sys.inmem_transport(), nullptr);
+  EXPECT_EQ(sys.stats().node_count(), 3u);
+}
+
+TEST(DsmSystem, TcpSystemHasNoInmemTransport) {
+  SystemOptions opts;
+  opts.use_tcp = true;
+  DsmSystem<CausalNode> sys(2, {}, opts);
+  EXPECT_EQ(sys.inmem_transport(), nullptr);
+  sys.memory(0).write(1, 5);
+  EXPECT_EQ(sys.memory(1).read(1), 5);
+}
+
+TEST(DsmSystem, ShutdownIsIdempotent) {
+  DsmSystem<CausalNode> sys(2);
+  sys.memory(0).write(1, 1);
+  sys.shutdown();
+  sys.shutdown();
+}
+
+TEST(DsmSystem, DefaultOwnershipStripesByPageSize) {
+  CausalConfig cfg;
+  cfg.page_size = 4;
+  DsmSystem<CausalNode> sys(2, cfg);
+  // Pages of 4 striped over 2 nodes.
+  EXPECT_EQ(sys.ownership().owner(0), 0u);
+  EXPECT_EQ(sys.ownership().owner(3), 0u);
+  EXPECT_EQ(sys.ownership().owner(4), 1u);
+  EXPECT_EQ(sys.ownership().owner(7), 1u);
+}
+
+TEST(DsmSystem, ObserverReceivesAllOperations) {
+  Recorder rec(2);
+  {
+    DsmSystem<CausalNode> sys(2, {}, {}, nullptr, &rec);
+    sys.memory(0).write(0, 1);
+    (void)sys.memory(1).read(0);
+    sys.memory(1).write(1, 2);
+  }
+  EXPECT_EQ(rec.op_count(), 3u);
+}
+
+TEST(DsmSystem, WorksForAllThreeMemoryKinds) {
+  {
+    DsmSystem<CausalNode> sys(2);
+    sys.memory(0).write(0, 1);
+    EXPECT_EQ(sys.memory(1).read(0), 1);
+  }
+  {
+    DsmSystem<AtomicNode> sys(2);
+    sys.memory(0).write(0, 1);
+    EXPECT_EQ(sys.memory(1).read(0), 1);
+  }
+  {
+    DsmSystem<BroadcastNode> sys(2);
+    sys.node(0).write(0, 1);
+    wait_broadcast_quiescent(sys);
+    EXPECT_EQ(sys.memory(1).read(0), 1);
+  }
+}
+
+TEST(SpinUntil, ReturnsImmediatelyWhenPredicateHolds) {
+  DsmSystem<CausalNode> sys(2);
+  sys.memory(0).write(0, 7);
+  EXPECT_EQ(spin_until_equals(sys.memory(0), 0, 7), 7);
+  EXPECT_EQ(sys.stats().node_snapshot(0)[Counter::kSpinRefetch], 0u);
+  EXPECT_EQ(sys.stats().node_snapshot(0)[Counter::kSpinTransition], 1u);
+}
+
+TEST(SpinUntil, GenericPredicate) {
+  DsmSystem<CausalNode> sys(2);
+  sys.memory(1).write(1, 10);
+  const Value got =
+      spin_until(sys.memory(0), 1, [](Value v) { return v >= 10; });
+  EXPECT_EQ(got, 10);
+}
+
+}  // namespace
+}  // namespace causalmem

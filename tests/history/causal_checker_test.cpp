@@ -1,0 +1,198 @@
+#include "causalmem/history/causal_checker.hpp"
+
+#include <gtest/gtest.h>
+
+namespace causalmem {
+namespace {
+
+constexpr Addr kX = 0;
+constexpr Addr kY = 1;
+
+TEST(CausalChecker, EmptyHistoryIsCorrect) {
+  EXPECT_TRUE(is_causally_consistent(History{{{}, {}}}));
+}
+
+TEST(CausalChecker, SingleProcessSequentialIsCorrect) {
+  const History h = HistoryBuilder(1)
+                        .write(0, kX, 1)
+                        .read(0, kX, 1)
+                        .write(0, kX, 2)
+                        .read(0, kX, 2)
+                        .build();
+  EXPECT_TRUE(is_causally_consistent(h));
+}
+
+TEST(CausalChecker, ProgramOrderStaleReadIsViolation) {
+  // A process may never read its own overwritten value.
+  const History h = HistoryBuilder(1)
+                        .write(0, kX, 1)
+                        .write(0, kX, 2)
+                        .read(0, kX, 1)
+                        .build();
+  const auto v = CausalChecker(h).check();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->read, (OpRef{0, 2}));
+}
+
+TEST(CausalChecker, ReadOfInitialAfterOwnWriteIsViolation) {
+  const History h =
+      HistoryBuilder(1).write(0, kX, 1).read(0, kX, 0).build();
+  EXPECT_FALSE(is_causally_consistent(h));
+}
+
+TEST(CausalChecker, ConcurrentWriteRemainsLiveAcrossProcesses) {
+  // P0 writes x; P1 never communicates with P0 and may read the initial 0.
+  const History h = HistoryBuilder(2)
+                        .write(0, kX, 1)
+                        .read(1, kX, 0)
+                        .build();
+  EXPECT_TRUE(is_causally_consistent(h));
+}
+
+TEST(CausalChecker, ReadEstablishesCausalityForLaterReads) {
+  // Once P1 reads x=1 (causally after w(x)1), it may not go back to 0.
+  const History h = HistoryBuilder(2)
+                        .write(0, kX, 1)
+                        .read(1, kX, 1)
+                        .read(1, kX, 0)
+                        .build();
+  const auto v = CausalChecker(h).check();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->read, (OpRef{1, 1}));
+}
+
+TEST(CausalChecker, TransitivityThroughThirdProcess) {
+  // w0(x)1 -> r1(x)1 -> w1(y)2 -> r2(y)2; then P2 reading x=0 is stale.
+  const History h = HistoryBuilder(3)
+                        .write(0, kX, 1)
+                        .read(1, kX, 1)
+                        .write(1, kY, 2)
+                        .read(2, kY, 2)
+                        .read(2, kX, 0)
+                        .build();
+  const auto v = CausalChecker(h).check();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->read, (OpRef{2, 1}));
+}
+
+TEST(CausalChecker, SameChainWithFreshValueIsCorrect) {
+  const History h = HistoryBuilder(3)
+                        .write(0, kX, 1)
+                        .read(1, kX, 1)
+                        .write(1, kY, 2)
+                        .read(2, kY, 2)
+                        .read(2, kX, 1)
+                        .build();
+  EXPECT_TRUE(is_causally_consistent(h));
+}
+
+TEST(CausalChecker, InterveningReadServesNotice) {
+  // P1 reads v' (newer) then reads v (older) — the intervening read of v'
+  // killed v even though v' and v were written by different processes.
+  const History h = HistoryBuilder(3)
+                        .write(0, kX, 1)   // older (read by P2 first... )
+                        .read(2, kX, 1)
+                        .write(2, kX, 5)   // causally after w(x)1
+                        .read(1, kX, 5)    // P1 sees the newer value
+                        .read(1, kX, 1)    // ...then regresses: violation
+                        .build();
+  const auto v = CausalChecker(h).check();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->read, (OpRef{1, 1}));
+}
+
+TEST(CausalChecker, ReadsOfConcurrentWritesMayDisagree) {
+  // "Subsequent readers may disagree on the relative ordering of these
+  // concurrent writes" — P2 and P3 order them oppositely; both correct.
+  const History h = HistoryBuilder(4)
+                        .write(0, kX, 1)
+                        .write(1, kX, 2)
+                        .read(2, kX, 1)
+                        .read(2, kX, 2)
+                        .read(3, kX, 2)
+                        .read(3, kX, 1)
+                        .build();
+  EXPECT_TRUE(is_causally_consistent(h));
+}
+
+TEST(CausalChecker, NoRegressionBetweenConcurrentValuesOnceChosen) {
+  // Although w(x)1 and w(x)2 are concurrent, once P2 has read 1 and then 2,
+  // its own read of 2 *intervenes* between w(x)1 and any later read — so
+  // going back to 1 violates Definition 1 (the intervening-operation clause
+  // is structural; it does not require the writes themselves to be ordered).
+  const History h = HistoryBuilder(3)
+                        .write(0, kX, 1)
+                        .write(1, kX, 2)
+                        .read(2, kX, 1)
+                        .read(2, kX, 2)
+                        .read(2, kX, 1)
+                        .build();
+  const auto v = CausalChecker(h).check();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->read, (OpRef{2, 2}));
+}
+
+TEST(CausalChecker, ReadFromCausalFutureIsViolation) {
+  // P0 reads y=1 before (in causal order) the write of y=1 exists: the write
+  // is causally after the read via P1's read of x.
+  const History h = HistoryBuilder(2)
+                        .read(0, kY, 1)
+                        .write(0, kX, 1)
+                        .read(1, kX, 1)
+                        .write(1, kY, 1)
+                        .build();
+  const auto v = CausalChecker(h).check();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->read, (OpRef{0, 0}));
+  EXPECT_NE(v->reason.find("future"), std::string::npos);
+}
+
+TEST(CausalChecker, DanglingReadIsViolation) {
+  History h;
+  h.per_process.resize(1);
+  h.per_process[0].push_back(
+      Operation{OpKind::kRead, 0, kX, 7, WriteTag{5, 1}, true});
+  const auto v = CausalChecker(h).check();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_NE(v->reason.find("no write"), std::string::npos);
+}
+
+TEST(CausalChecker, OwnWriteThenReadOfConcurrentValueIsCorrect) {
+  // P0 writes x=1; P1 writes x=2 concurrently; P0 may then read 2 (it is
+  // concurrent with P0's read) — and afterwards may NOT go back to 1,
+  // because its own read of 2 intervenes.
+  const History ok = HistoryBuilder(2)
+                         .write(0, kX, 1)
+                         .write(1, kX, 2)
+                         .read(0, kX, 2)
+                         .build();
+  EXPECT_TRUE(is_causally_consistent(ok));
+
+  const History bad = HistoryBuilder(2)
+                          .write(0, kX, 1)
+                          .write(1, kX, 2)
+                          .read(0, kX, 2)
+                          .read(0, kX, 1)
+                          .build();
+  const auto v = CausalChecker(bad).check();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->read, (OpRef{0, 2}));
+}
+
+TEST(CausalChecker, LiveSetOfFreshReadIncludesInitialValue) {
+  const History h = HistoryBuilder(2).write(0, kX, 1).read(1, kX, 0).build();
+  const CausalChecker chk(h);
+  EXPECT_EQ(chk.live_set(OpRef{1, 0}), (std::set<Value>{0, 1}));
+}
+
+TEST(CausalChecker, PrecedesIsIrreflexiveAndRespectsProgramOrder) {
+  const History h =
+      HistoryBuilder(1).write(0, kX, 1).write(0, kX, 2).build();
+  const CausalChecker chk(h);
+  EXPECT_TRUE(chk.precedes(OpRef{0, 0}, OpRef{0, 1}));
+  EXPECT_FALSE(chk.precedes(OpRef{0, 1}, OpRef{0, 0}));
+  EXPECT_FALSE(chk.precedes(OpRef{0, 0}, OpRef{0, 0}));
+}
+
+}  // namespace
+}  // namespace causalmem

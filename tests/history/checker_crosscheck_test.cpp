@@ -1,0 +1,216 @@
+// Cross-validation of CausalChecker against a deliberately naive,
+// independent implementation of the paper's Definition 1: adjacency-matrix
+// transitive closure (Floyd–Warshall), rebuilt from scratch for every read
+// with that read's own reads-from edge removed. Random small histories —
+// both plausible and adversarial — must get identical verdicts and live
+// sets from both implementations.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "causalmem/common/rng.hpp"
+#include "causalmem/history/causal_checker.hpp"
+#include "causalmem/history/history.hpp"
+
+namespace causalmem {
+namespace {
+
+// --------------------------------------------------------------------------
+// The naive reference implementation.
+// --------------------------------------------------------------------------
+
+struct RefNode {
+  Operation op;
+  bool is_initial{false};
+  OpRef ref{};
+  int rf_source{-1};  // reads: node index of the write read from
+};
+
+struct RefGraph {
+  std::vector<RefNode> nodes;
+  // adj[i][j]: direct edge i -> j; rf edges are tracked separately per read
+  // so they can be excluded one at a time.
+  std::vector<std::vector<bool>> adj;
+
+  static RefGraph build(const History& h) {
+    RefGraph g;
+    // Initial writes, one per distinct address.
+    std::vector<Addr> addrs;
+    for (const auto& seq : h.per_process) {
+      for (const auto& op : seq) {
+        bool seen = false;
+        for (const Addr a : addrs) seen = seen || a == op.addr;
+        if (!seen) addrs.push_back(op.addr);
+      }
+    }
+    for (const Addr a : addrs) {
+      RefNode n;
+      n.op = Operation{OpKind::kWrite, kNoNode, a, kInitialValue, WriteTag{},
+                       true};
+      n.is_initial = true;
+      g.nodes.push_back(n);
+    }
+    const std::size_t inits = g.nodes.size();
+    for (NodeId p = 0; p < h.per_process.size(); ++p) {
+      for (std::size_t i = 0; i < h.per_process[p].size(); ++i) {
+        RefNode n;
+        n.op = h.per_process[p][i];
+        n.ref = OpRef{p, i};
+        g.nodes.push_back(n);
+      }
+    }
+    const std::size_t total = g.nodes.size();
+    g.adj.assign(total, std::vector<bool>(total, false));
+    // Program order + init edges.
+    std::size_t idx = inits;
+    for (NodeId p = 0; p < h.per_process.size(); ++p) {
+      for (std::size_t i = 0; i < h.per_process[p].size(); ++i, ++idx) {
+        if (i == 0) {
+          for (std::size_t k = 0; k < inits; ++k) g.adj[k][idx] = true;
+        } else {
+          g.adj[idx - 1][idx] = true;
+        }
+      }
+    }
+    // Reads-from sources (edges added per query so they can be excluded).
+    for (std::size_t r = inits; r < total; ++r) {
+      if (g.nodes[r].op.kind != OpKind::kRead) continue;
+      for (std::size_t w = 0; w < total; ++w) {
+        const RefNode& wn = g.nodes[w];
+        if (wn.op.kind != OpKind::kWrite || wn.op.addr != g.nodes[r].op.addr) {
+          continue;
+        }
+        if (wn.op.tag == g.nodes[r].op.tag) {
+          g.nodes[r].rf_source = static_cast<int>(w);
+        }
+      }
+    }
+    return g;
+  }
+
+  /// Full closure including all rf edges except `excluded_read`'s own.
+  [[nodiscard]] std::vector<std::vector<bool>> closure(
+      int excluded_read) const {
+    auto c = adj;
+    for (std::size_t r = 0; r < nodes.size(); ++r) {
+      if (nodes[r].op.kind != OpKind::kRead || nodes[r].rf_source < 0) continue;
+      if (static_cast<int>(r) == excluded_read) continue;
+      c[static_cast<std::size_t>(nodes[r].rf_source)][r] = true;
+    }
+    const std::size_t n = nodes.size();
+    for (std::size_t k = 0; k < n; ++k) {
+      for (std::size_t i = 0; i < n; ++i) {
+        if (!c[i][k]) continue;
+        for (std::size_t j = 0; j < n; ++j) {
+          if (c[k][j]) c[i][j] = true;
+        }
+      }
+    }
+    return c;
+  }
+
+  /// Definition 1, verbatim, for the read at node index r.
+  [[nodiscard]] std::set<Value> live_set(std::size_t r) const {
+    const auto c = closure(static_cast<int>(r));
+    std::set<Value> live;
+    for (std::size_t w = 0; w < nodes.size(); ++w) {
+      const RefNode& wn = nodes[w];
+      if (wn.op.kind != OpKind::kWrite || wn.op.addr != nodes[r].op.addr) {
+        continue;
+      }
+      if (c[r][w]) continue;  // causally follows the read
+      if (!c[w][r]) {
+        live.insert(wn.op.value);  // concurrent
+        continue;
+      }
+      bool overwritten = false;
+      for (std::size_t m = 0; m < nodes.size(); ++m) {
+        if (m == w || m == r) continue;
+        if (nodes[m].op.addr != nodes[r].op.addr) continue;
+        if (nodes[m].op.tag == wn.op.tag) continue;
+        if (c[w][m] && c[m][r]) overwritten = true;
+      }
+      if (!overwritten) live.insert(wn.op.value);
+    }
+    return live;
+  }
+
+  [[nodiscard]] bool check() const {
+    for (std::size_t r = 0; r < nodes.size(); ++r) {
+      if (nodes[r].op.kind != OpKind::kRead) continue;
+      if (nodes[r].rf_source < 0) return false;  // dangling read
+      if (!live_set(r).contains(nodes[r].op.value)) return false;
+    }
+    return true;
+  }
+};
+
+// --------------------------------------------------------------------------
+// Random history generation: reads pick either a plausible value (a write to
+// the same address or the initial 0), biased but unconstrained, so both
+// correct and violating histories appear.
+// --------------------------------------------------------------------------
+
+History random_history(Rng& rng, std::size_t procs, std::size_t addrs,
+                       std::size_t ops) {
+  HistoryBuilder hb(procs);
+  Value next_value = 1;
+  std::vector<std::vector<Value>> values_of_addr(addrs);
+  for (std::size_t i = 0; i < ops; ++i) {
+    const NodeId p = static_cast<NodeId>(rng.next_below(procs));
+    const Addr a = rng.next_below(addrs);
+    if (rng.chance(0.5)) {
+      hb.write(p, a, next_value);
+      values_of_addr[a].push_back(next_value);
+      ++next_value;
+    } else {
+      const auto& vals = values_of_addr[a];
+      if (vals.empty() || rng.chance(0.2)) {
+        hb.read(p, a, 0);
+      } else {
+        hb.read(p, a, vals[rng.next_below(vals.size())]);
+      }
+    }
+  }
+  return hb.build();
+}
+
+TEST(CheckerCrossCheck, VerdictsMatchBruteForceOnRandomHistories) {
+  Rng rng(20260705);
+  int correct = 0, violating = 0;
+  for (int trial = 0; trial < 400; ++trial) {
+    const History h =
+        random_history(rng, 2 + rng.next_below(2), 2, 6 + rng.next_below(7));
+    const RefGraph ref = RefGraph::build(h);
+    const bool ref_ok = ref.check();
+    const bool chk_ok = !CausalChecker(h).check().has_value();
+    ASSERT_EQ(chk_ok, ref_ok) << "verdict mismatch on:\n" << h.to_string();
+    (ref_ok ? correct : violating) += 1;
+  }
+  // The generator must exercise both outcomes for this test to mean much.
+  EXPECT_GT(correct, 20);
+  EXPECT_GT(violating, 20);
+}
+
+TEST(CheckerCrossCheck, LiveSetsMatchBruteForce) {
+  Rng rng(424242);
+  int reads_checked = 0;
+  for (int trial = 0; trial < 150; ++trial) {
+    const History h = random_history(rng, 3, 2, 8);
+    const RefGraph ref = RefGraph::build(h);
+    const CausalChecker chk(h);
+    for (std::size_t node = 0; node < ref.nodes.size(); ++node) {
+      if (ref.nodes[node].op.kind != OpKind::kRead) continue;
+      ASSERT_EQ(chk.live_set(ref.nodes[node].ref), ref.live_set(node))
+          << "live-set mismatch for " << ref.nodes[node].op.to_string()
+          << " in:\n"
+          << h.to_string();
+      ++reads_checked;
+    }
+  }
+  EXPECT_GT(reads_checked, 100);
+}
+
+}  // namespace
+}  // namespace causalmem

@@ -1,0 +1,167 @@
+// E2/E3/E4/E5: the paper's worked examples, checked verbatim.
+#include <gtest/gtest.h>
+
+#include "causalmem/history/causal_checker.hpp"
+#include "causalmem/history/history.hpp"
+#include "causalmem/history/sc_checker.hpp"
+
+namespace causalmem {
+namespace {
+
+constexpr Addr kX = 0;
+constexpr Addr kY = 1;
+constexpr Addr kZ = 2;
+
+// Figure 1:
+//   P1: w(x)1 w(y)2 r(y)2 r(x)1
+//   P2: w(z)1 r(y)2 r(x)1
+History figure1() {
+  return HistoryBuilder(2)
+      .write(0, kX, 1)
+      .write(0, kY, 2)
+      .read(0, kY, 2)
+      .read(0, kX, 1)
+      .write(1, kZ, 1)
+      .read(1, kY, 2)
+      .read(1, kX, 1)
+      .build();
+}
+
+TEST(Figure1, IsACorrectCausalExecution) {
+  EXPECT_TRUE(is_causally_consistent(figure1()));
+}
+
+TEST(Figure1, WritesOfXAndZAreConcurrent) {
+  const History h = figure1();
+  const CausalChecker chk(h);
+  const OpRef wx{0, 0};  // w(x)1
+  const OpRef wz{1, 0};  // w(z)1
+  EXPECT_TRUE(chk.concurrent(wx, wz));
+  EXPECT_FALSE(chk.precedes(wx, wz));
+  EXPECT_FALSE(chk.precedes(wz, wx));
+}
+
+TEST(Figure1, TransitivePrecedenceThroughReads) {
+  // The paper: w(x)1 *-> r1(y)2 — and, via P2's read of y, w(y)2 *-> r2(x)1.
+  const CausalChecker chk(figure1());
+  EXPECT_TRUE(chk.precedes(OpRef{0, 0}, OpRef{0, 2}));  // w(x)1 *-> r1(y)2
+  EXPECT_TRUE(chk.precedes(OpRef{0, 1}, OpRef{1, 1}));  // w(y)2 *-> r2(y)2
+  EXPECT_TRUE(chk.precedes(OpRef{0, 0}, OpRef{1, 2}));  // w(x)1 *-> r2(x)1
+}
+
+TEST(Figure1, EstablishVersusConfirm) {
+  // r2(y)2 *establishes* causality between otherwise-concurrent ops;
+  // r1(x)1 merely *confirms* program order.
+  const CausalChecker chk(figure1());
+  // Before P2's read, w(y)2 and w(z)1 are concurrent.
+  EXPECT_TRUE(chk.concurrent(OpRef{0, 1}, OpRef{1, 0}));
+  // After it, w(y)2 precedes P2's subsequent operations.
+  EXPECT_TRUE(chk.precedes(OpRef{0, 1}, OpRef{1, 2}));
+}
+
+// Figure 2:
+//   P1: w(x)2 w(y)2 w(y)3 r(z)5 w(x)4
+//   P2: w(x)1 r(y)3 w(x)7 w(z)5 r(x)4 r(x)9
+//   P3: r(z)5 w(x)9
+History figure2() {
+  HistoryBuilder hb(3);
+  hb.write(0, kX, 2).write(0, kY, 2).write(0, kY, 3);
+  hb.write(1, kX, 1).read(1, kY, 3).write(1, kX, 7).write(1, kZ, 5);
+  hb.read(0, kZ, 5).write(0, kX, 4);
+  hb.read(2, kZ, 5).write(2, kX, 9);
+  hb.read(1, kX, 4).read(1, kX, 9);
+  return hb.build();
+}
+
+TEST(Figure2, IsACorrectCausalExecution) {
+  const History h = figure2();
+  const auto violation = CausalChecker(h).check();
+  EXPECT_FALSE(violation.has_value())
+      << violation->reason << "\n" << h.to_string();
+}
+
+TEST(Figure2, LiveSetOfR1Z5MatchesPaper) {
+  // alpha(r1(z)5) = {0, 5}
+  const CausalChecker chk(figure2());
+  EXPECT_EQ(chk.live_set(OpRef{0, 3}), (std::set<Value>{0, 5}));
+}
+
+TEST(Figure2, LiveSetOfR3Z5MatchesPaper) {
+  // r3(z)5 is correct by the same argument: alpha = {0, 5}
+  const CausalChecker chk(figure2());
+  EXPECT_EQ(chk.live_set(OpRef{2, 0}), (std::set<Value>{0, 5}));
+}
+
+TEST(Figure2, LiveSetOfR2Y3MatchesPaper) {
+  // alpha(r2(y)3) = {0, 2, 3}
+  const CausalChecker chk(figure2());
+  EXPECT_EQ(chk.live_set(OpRef{1, 1}), (std::set<Value>{0, 2, 3}));
+}
+
+TEST(Figure2, LiveSetOfR2X4MatchesPaper) {
+  // alpha(r2(x)4) = {4, 7, 9}: 1, 2 and the initial 0 are overwritten by
+  // P2's write of 7; 4 and 9 remain concurrent.
+  const CausalChecker chk(figure2());
+  EXPECT_EQ(chk.live_set(OpRef{1, 4}), (std::set<Value>{4, 7, 9}));
+}
+
+TEST(Figure2, SecondReadOfXMayOnlyReturn4Or9) {
+  // "P2's second read of x may correctly return only 4 or 9."
+  const CausalChecker chk(figure2());
+  EXPECT_EQ(chk.live_set(OpRef{1, 5}), (std::set<Value>{4, 9}));
+}
+
+// Figure 3 (not causal memory):
+//   P1: w(x)5 w(y)3
+//   P2: w(x)2 r(y)3 r(x)5 w(z)4
+//   P3: r(z)4 r(x)2
+TEST(Figure3, IsRejectedByTheCausalChecker) {
+  const History h = HistoryBuilder(3)
+                        .write(0, kX, 5)
+                        .write(0, kY, 3)
+                        .write(1, kX, 2)
+                        .read(1, kY, 3)
+                        .read(1, kX, 5)
+                        .write(1, kZ, 4)
+                        .read(2, kZ, 4)
+                        .read(2, kX, 2)
+                        .build();
+  const auto violation = CausalChecker(h).check();
+  ASSERT_TRUE(violation.has_value());
+  EXPECT_EQ(violation->read, (OpRef{2, 1}));  // r3(x)2
+}
+
+TEST(Figure3, TwoIsNotInAlphaOfTheFinalRead) {
+  const History h = HistoryBuilder(3)
+                        .write(0, kX, 5)
+                        .write(0, kY, 3)
+                        .write(1, kX, 2)
+                        .read(1, kY, 3)
+                        .read(1, kX, 5)
+                        .write(1, kZ, 4)
+                        .read(2, kZ, 4)
+                        .read(2, kX, 2)
+                        .build();
+  const CausalChecker chk(h);
+  const std::set<Value> alpha = chk.live_set(OpRef{2, 1});
+  EXPECT_FALSE(alpha.contains(2)) << "the paper: 2 is not in alpha(r(x)2)";
+  EXPECT_TRUE(alpha.contains(5));
+}
+
+// Figure 5 is covered end-to-end in tests/dsm/weak_execution_test.cpp; here
+// we pin just the checker verdicts.
+TEST(Figure5, CausalYesSequentialNo) {
+  const History h = HistoryBuilder(2)
+                        .read(0, kY, 0)
+                        .write(0, kX, 1)
+                        .read(0, kY, 0)
+                        .read(1, kX, 0)
+                        .write(1, kY, 1)
+                        .read(1, kX, 0)
+                        .build();
+  EXPECT_TRUE(is_causally_consistent(h));
+  EXPECT_EQ(check_sequential_consistency(h), ScResult::kInconsistent);
+}
+
+}  // namespace
+}  // namespace causalmem

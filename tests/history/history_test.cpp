@@ -1,0 +1,71 @@
+#include "causalmem/history/history.hpp"
+
+#include <gtest/gtest.h>
+
+#include "causalmem/history/recorder.hpp"
+
+namespace causalmem {
+namespace {
+
+TEST(HistoryBuilder, WritesGetSequentialTags) {
+  const History h =
+      HistoryBuilder(2).write(0, 1, 10).write(0, 1, 20).write(1, 2, 30).build();
+  EXPECT_EQ(h.op({0, 0}).tag, (WriteTag{0, 1}));
+  EXPECT_EQ(h.op({0, 1}).tag, (WriteTag{0, 2}));
+  EXPECT_EQ(h.op({1, 0}).tag, (WriteTag{1, 1}));
+}
+
+TEST(HistoryBuilder, ReadsResolveToMatchingWrite) {
+  const History h =
+      HistoryBuilder(2).write(0, 5, 77).read(1, 5, 77).build();
+  EXPECT_EQ(h.op({1, 0}).tag, h.op({0, 0}).tag);
+}
+
+TEST(HistoryBuilder, ReadOfZeroResolvesToInitialWrite) {
+  const History h = HistoryBuilder(1).read(0, 9, 0).build();
+  EXPECT_TRUE(h.op({0, 0}).tag.is_initial());
+}
+
+TEST(HistoryBuilder, CrossProcessResolution) {
+  const History h = HistoryBuilder(3)
+                        .write(2, 1, 42)
+                        .read(0, 1, 42)
+                        .read(1, 1, 42)
+                        .build();
+  EXPECT_EQ(h.op({0, 0}).tag, (WriteTag{2, 1}));
+  EXPECT_EQ(h.op({1, 0}).tag, (WriteTag{2, 1}));
+}
+
+TEST(History, TotalOpsAndToString) {
+  const History h =
+      HistoryBuilder(2).write(0, 0, 1).read(1, 0, 1).read(1, 0, 1).build();
+  EXPECT_EQ(h.total_ops(), 3u);
+  const std::string s = h.to_string();
+  EXPECT_NE(s.find("P0: w0(x0)1"), std::string::npos);
+  EXPECT_NE(s.find("P1: r1(x0)1 r1(x0)1"), std::string::npos);
+}
+
+TEST(Recorder, CapturesProgramOrder) {
+  Recorder rec(2);
+  rec.on_write(0, 3, 7, WriteTag{0, 1}, true, OpTiming{});
+  rec.on_read(1, 3, 7, WriteTag{0, 1}, OpTiming{});
+  rec.on_read(0, 3, 7, WriteTag{0, 1}, OpTiming{});
+  const History h = rec.history();
+  ASSERT_EQ(h.per_process[0].size(), 2u);
+  ASSERT_EQ(h.per_process[1].size(), 1u);
+  EXPECT_EQ(h.per_process[0][0].kind, OpKind::kWrite);
+  EXPECT_EQ(h.per_process[0][1].kind, OpKind::kRead);
+  EXPECT_EQ(rec.op_count(), 3u);
+}
+
+TEST(Recorder, TracksRejectedWrites) {
+  Recorder rec(1);
+  rec.on_write(0, 3, 7, WriteTag{0, 1}, false, OpTiming{});
+  const History h = rec.history();
+  EXPECT_FALSE(h.per_process[0][0].applied);
+  EXPECT_NE(h.per_process[0][0].to_string().find("rejected"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace causalmem

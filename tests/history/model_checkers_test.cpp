@@ -1,0 +1,204 @@
+// Tests for the PRAM and slow-memory checkers and the consistency hierarchy
+//   sequential => causal => PRAM => slow
+// on both hand-written litmus histories and real DSM executions.
+#include "causalmem/history/model_checkers.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "causalmem/common/rng.hpp"
+#include "causalmem/dsm/broadcast/node.hpp"
+#include "causalmem/dsm/causal/node.hpp"
+#include "causalmem/dsm/system.hpp"
+#include "causalmem/history/causal_checker.hpp"
+#include "causalmem/history/recorder.hpp"
+#include "causalmem/history/sc_checker.hpp"
+
+namespace causalmem {
+namespace {
+
+constexpr Addr kX = 0;
+constexpr Addr kY = 1;
+
+TEST(PramChecker, SequentialHistoryIsPram) {
+  const History h = HistoryBuilder(2)
+                        .write(0, kX, 1)
+                        .read(1, kX, 1)
+                        .write(1, kX, 2)
+                        .read(0, kX, 2)
+                        .build();
+  EXPECT_TRUE(is_pram_consistent(h));
+}
+
+TEST(PramChecker, PerWriterOrderViolationDetected) {
+  // P0 writes x=1 then x=2; P1 sees 2 then 1 — not PRAM.
+  const History h = HistoryBuilder(2)
+                        .write(0, kX, 1)
+                        .write(0, kX, 2)
+                        .read(1, kX, 2)
+                        .read(1, kX, 1)
+                        .build();
+  EXPECT_EQ(check_pram_consistency(h), ScResult::kInconsistent);
+}
+
+TEST(PramChecker, PipelinedCrossLocationOrderEnforced) {
+  // P0: w(x)1 w(y)1; P1: r(y)1 r(x)0 — sees y=1 but misses the earlier
+  // x=1 from the same writer: not PRAM (but slow, below).
+  const History h = HistoryBuilder(2)
+                        .write(0, kX, 1)
+                        .write(0, kY, 1)
+                        .read(1, kY, 1)
+                        .read(1, kX, 0)
+                        .build();
+  EXPECT_EQ(check_pram_consistency(h), ScResult::kInconsistent);
+  EXPECT_TRUE(is_slow_consistent(h));
+  EXPECT_FALSE(is_causally_consistent(h));
+}
+
+TEST(PramChecker, Figure3IsPramButNotCausal) {
+  // The broadcast counterexample: per-sender delivery order holds, so PRAM
+  // accepts what causal memory rejects.
+  const History h = HistoryBuilder(3)
+                        .write(0, kX, 5)
+                        .write(0, kY, 3)
+                        .write(1, kX, 2)
+                        .read(1, kY, 3)
+                        .read(1, kX, 5)
+                        .write(1, kX /*z*/ + 2, 4)
+                        .read(2, kX + 2, 4)
+                        .read(2, kX, 2)
+                        .build();
+  EXPECT_TRUE(is_pram_consistent(h)) << h.to_string();
+  EXPECT_FALSE(is_causally_consistent(h));
+}
+
+TEST(PramChecker, Figure5IsPram) {
+  const History h = HistoryBuilder(2)
+                        .read(0, kY, 0)
+                        .write(0, kX, 1)
+                        .read(0, kY, 0)
+                        .read(1, kX, 0)
+                        .write(1, kY, 1)
+                        .read(1, kX, 0)
+                        .build();
+  EXPECT_TRUE(is_pram_consistent(h));
+  EXPECT_TRUE(is_causally_consistent(h));
+  EXPECT_FALSE(is_sequentially_consistent(h));
+}
+
+TEST(SlowChecker, PerWriterPerLocationRegressionDetected) {
+  const History h = HistoryBuilder(2)
+                        .write(0, kX, 1)
+                        .write(0, kX, 2)
+                        .read(1, kX, 2)
+                        .read(1, kX, 1)
+                        .build();
+  const auto v = check_slow_consistency(h);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->read, (OpRef{1, 1}));
+}
+
+TEST(SlowChecker, RegressionToInitialDetected) {
+  const History h = HistoryBuilder(2)
+                        .write(0, kX, 1)
+                        .read(1, kX, 1)
+                        .read(1, kX, 0)
+                        .build();
+  const auto v = check_slow_consistency(h);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_NE(v->reason.find("initial"), std::string::npos);
+}
+
+TEST(SlowChecker, DifferentWritersMayInterleaveFreely) {
+  // Concurrent writers: a reader may flip between their values at will.
+  const History h = HistoryBuilder(3)
+                        .write(0, kX, 1)
+                        .write(1, kX, 2)
+                        .read(2, kX, 1)
+                        .read(2, kX, 2)
+                        .read(2, kX, 1)
+                        .read(2, kX, 2)
+                        .build();
+  EXPECT_TRUE(is_slow_consistent(h));
+  // ...which causal memory does NOT allow (the read of 2 intervenes).
+  EXPECT_FALSE(is_causally_consistent(h));
+}
+
+TEST(SlowChecker, OwnWritesAreImmediatelyVisible) {
+  const History h = HistoryBuilder(1)
+                        .write(0, kX, 1)
+                        .write(0, kX, 2)
+                        .read(0, kX, 1)  // own regression
+                        .build();
+  EXPECT_FALSE(is_slow_consistent(h));
+}
+
+TEST(SlowChecker, CrossLocationReorderingAllowed) {
+  const History h = HistoryBuilder(2)
+                        .write(0, kX, 1)
+                        .write(0, kY, 2)
+                        .read(1, kY, 2)
+                        .read(1, kX, 0)
+                        .build();
+  EXPECT_TRUE(is_slow_consistent(h));
+}
+
+// --- hierarchy on real executions --------------------------------------
+
+TEST(Hierarchy, CausalDsmExecutionsSatisfyPramAndSlow) {
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    Recorder recorder(3);
+    {
+      DsmSystem<CausalNode> sys(3, {}, {}, nullptr, &recorder);
+      std::vector<std::jthread> threads;
+      for (NodeId p = 0; p < 3; ++p) {
+        threads.emplace_back([&sys, p, seed] {
+          Rng rng(seed * 31 + p);
+          for (int i = 0; i < 10; ++i) {  // small: PRAM search is exponential
+            const Addr a = rng.next_below(2);
+            if (rng.chance(0.5)) {
+              sys.memory(p).write(a, static_cast<Value>(p * 1000 + i + 1));
+            } else {
+              (void)sys.memory(p).read(a);
+            }
+          }
+        });
+      }
+    }
+    const History h = recorder.history();
+    EXPECT_FALSE(CausalChecker(h).check().has_value()) << h.to_string();
+    EXPECT_TRUE(is_pram_consistent(h)) << h.to_string();
+    EXPECT_TRUE(is_slow_consistent(h)) << h.to_string();
+  }
+}
+
+TEST(Hierarchy, BroadcastMemoryExecutionsArePramAndSlow) {
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    Recorder recorder(3);
+    {
+      DsmSystem<BroadcastNode> sys(3, {}, {}, nullptr, &recorder);
+      std::vector<std::jthread> threads;
+      for (NodeId p = 0; p < 3; ++p) {
+        threads.emplace_back([&sys, p, seed] {
+          Rng rng(seed * 77 + p);
+          for (int i = 0; i < 10; ++i) {
+            const Addr a = rng.next_below(2);
+            if (rng.chance(0.5)) {
+              sys.memory(p).write(a, static_cast<Value>(p * 1000 + i + 1));
+            } else {
+              (void)sys.memory(p).read(a);
+            }
+          }
+        });
+      }
+      wait_broadcast_quiescent(sys);
+    }
+    const History h = recorder.history();
+    EXPECT_TRUE(is_pram_consistent(h)) << h.to_string();
+    EXPECT_TRUE(is_slow_consistent(h)) << h.to_string();
+  }
+}
+
+}  // namespace
+}  // namespace causalmem

@@ -1,0 +1,91 @@
+#include "causalmem/history/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "causalmem/history/causal_checker.hpp"
+
+namespace causalmem {
+namespace {
+
+TEST(Trace, FormatThenParseRoundTrips) {
+  const History h = HistoryBuilder(2)
+                        .write(0, 3, 10)
+                        .read(1, 3, 10)
+                        .write(1, 4, 20)
+                        .read(0, 4, 0)
+                        .build();
+  std::istringstream in(format_trace(h));
+  const auto parsed = parse_trace(in);
+  ASSERT_TRUE(std::holds_alternative<History>(parsed));
+  const History& back = std::get<History>(parsed);
+  ASSERT_EQ(back.process_count(), 2u);
+  ASSERT_EQ(back.total_ops(), 4u);
+  EXPECT_EQ(back.op({1, 0}).tag, back.op({0, 0}).tag);  // rf resolved
+  EXPECT_TRUE(back.op({0, 1}).tag.is_initial());
+}
+
+TEST(Trace, CommentsAndBlanksIgnored) {
+  std::istringstream in("# header\n\nw 0 1 5\n  # indented? no: comments "
+                        "start the line\nr 0 1 5\n");
+  const auto parsed = parse_trace(in);
+  ASSERT_TRUE(std::holds_alternative<History>(parsed)) << "parse failed";
+  EXPECT_EQ(std::get<History>(parsed).total_ops(), 2u);
+}
+
+TEST(Trace, MalformedLineReported) {
+  std::istringstream in("w 0 1 5\nx 0 1\n");
+  const auto parsed = parse_trace(in);
+  const auto* err = std::get_if<TraceParseError>(&parsed);
+  ASSERT_NE(err, nullptr);
+  EXPECT_EQ(err->line, 2u);
+}
+
+TEST(Trace, DanglingReadReported) {
+  std::istringstream in("r 0 1 99\n");
+  const auto parsed = parse_trace(in);
+  const auto* err = std::get_if<TraceParseError>(&parsed);
+  ASSERT_NE(err, nullptr);
+  EXPECT_NE(err->message.find("no write"), std::string::npos);
+}
+
+TEST(Trace, AmbiguousValueReported) {
+  std::istringstream in("w 0 1 5\nw 1 1 5\nr 0 1 5\n");
+  const auto parsed = parse_trace(in);
+  const auto* err = std::get_if<TraceParseError>(&parsed);
+  ASSERT_NE(err, nullptr);
+  EXPECT_NE(err->message.find("ambiguous"), std::string::npos);
+}
+
+TEST(Trace, EmptyTraceReported) {
+  std::istringstream in("# nothing\n");
+  const auto parsed = parse_trace(in);
+  EXPECT_NE(std::get_if<TraceParseError>(&parsed), nullptr);
+}
+
+TEST(Trace, ParsedFigure3IsStillRejectedByChecker) {
+  std::istringstream in(
+      "w 0 0 5\nw 0 1 3\nw 1 0 2\nr 1 1 3\nr 1 0 5\nw 1 2 4\nr 2 2 4\n"
+      "r 2 0 2\n");
+  const auto parsed = parse_trace(in);
+  ASSERT_TRUE(std::holds_alternative<History>(parsed));
+  EXPECT_FALSE(is_causally_consistent(std::get<History>(parsed)));
+}
+
+TEST(CheckAll, ReportsEveryViolatingRead) {
+  const History h = HistoryBuilder(2)
+                        .write(0, 0, 1)
+                        .write(0, 0, 2)
+                        .read(1, 0, 2)
+                        .read(1, 0, 1)   // violation 1
+                        .read(1, 0, 1)   // violation 2
+                        .build();
+  const auto all = CausalChecker(h).check_all();
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0].read, (OpRef{1, 1}));
+  EXPECT_EQ(all[1].read, (OpRef{1, 2}));
+}
+
+}  // namespace
+}  // namespace causalmem

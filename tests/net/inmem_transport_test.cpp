@@ -1,0 +1,160 @@
+#include "causalmem/net/inmem_transport.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <vector>
+
+namespace causalmem {
+namespace {
+
+Message make_msg(NodeId from, NodeId to, std::uint64_t seq) {
+  Message m;
+  m.type = MsgType::kBroadcastUpdate;
+  m.from = from;
+  m.to = to;
+  m.request_id = seq;
+  m.stamp = VectorClock(2);
+  return m;
+}
+
+TEST(InMemTransport, DeliversToRegisteredHandler) {
+  InMemTransport t(2);
+  std::atomic<int> got{0};
+  t.register_node(0, [&](const Message&) {});
+  t.register_node(1, [&](const Message& m) {
+    EXPECT_EQ(m.to, 1u);
+    got.fetch_add(1);
+  });
+  t.start();
+  t.send(make_msg(0, 1, 1));
+  while (t.delivered_count() < 1) std::this_thread::yield();
+  EXPECT_EQ(got.load(), 1);
+  t.shutdown();
+}
+
+TEST(InMemTransport, PerChannelFifoWithoutLatency) {
+  InMemTransport t(2);
+  std::vector<std::uint64_t> order;
+  std::mutex mu;
+  t.register_node(0, [](const Message&) {});
+  t.register_node(1, [&](const Message& m) {
+    std::scoped_lock lock(mu);
+    order.push_back(m.request_id);
+  });
+  t.start();
+  constexpr std::uint64_t kCount = 2000;
+  for (std::uint64_t i = 0; i < kCount; ++i) t.send(make_msg(0, 1, i));
+  while (t.delivered_count() < kCount) std::this_thread::yield();
+  t.shutdown();
+  ASSERT_EQ(order.size(), kCount);
+  for (std::uint64_t i = 0; i < kCount; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(InMemTransport, PerChannelFifoSurvivesJitter) {
+  LatencyModel lat;
+  lat.base = std::chrono::microseconds(50);
+  lat.jitter = std::chrono::microseconds(200);
+  InMemTransport t(2, lat);
+  std::vector<std::uint64_t> order;
+  std::mutex mu;
+  t.register_node(0, [](const Message&) {});
+  t.register_node(1, [&](const Message& m) {
+    std::scoped_lock lock(mu);
+    order.push_back(m.request_id);
+  });
+  t.start();
+  constexpr std::uint64_t kCount = 200;
+  for (std::uint64_t i = 0; i < kCount; ++i) t.send(make_msg(0, 1, i));
+  while (t.delivered_count() < kCount) std::this_thread::yield();
+  t.shutdown();
+  ASSERT_EQ(order.size(), kCount);
+  for (std::uint64_t i = 0; i < kCount; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(InMemTransport, BaseLatencyDelaysDelivery) {
+  LatencyModel lat;
+  lat.base = std::chrono::microseconds(20000);  // 20 ms
+  InMemTransport t(2, lat);
+  t.register_node(0, [](const Message&) {});
+  t.register_node(1, [](const Message&) {});
+  t.start();
+  const auto start = std::chrono::steady_clock::now();
+  t.send(make_msg(0, 1, 0));
+  while (t.delivered_count() < 1) std::this_thread::yield();
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_GE(elapsed, std::chrono::milliseconds(19));
+  t.shutdown();
+}
+
+TEST(InMemTransport, ChannelLatencyOverrideIsPerDirection) {
+  LatencyModel slow;
+  slow.base = std::chrono::microseconds(30000);
+  InMemTransport t(2);
+  t.set_channel_latency(0, 1, slow);
+  std::atomic<int> got_at_1{0}, got_at_0{0};
+  t.register_node(0, [&](const Message&) { got_at_0.fetch_add(1); });
+  t.register_node(1, [&](const Message&) { got_at_1.fetch_add(1); });
+  t.start();
+  t.send(make_msg(0, 1, 0));  // slow direction
+  t.send(make_msg(1, 0, 0));  // fast direction
+  while (got_at_0.load() < 1) std::this_thread::yield();
+  EXPECT_EQ(got_at_1.load(), 0);  // slow message still in flight
+  while (got_at_1.load() < 1) std::this_thread::yield();
+  t.shutdown();
+}
+
+TEST(InMemTransport, CodecExerciseRoundTripsMessages) {
+  InMemTransport t(2, {}, /*exercise_codec=*/true);
+  std::atomic<bool> ok{false};
+  t.register_node(0, [](const Message&) {});
+  t.register_node(1, [&](const Message& m) {
+    ok.store(m.request_id == 42 && m.value == -7 &&
+             m.tag == WriteTag{0, 3});
+  });
+  t.start();
+  Message m = make_msg(0, 1, 42);
+  m.value = -7;
+  m.tag = WriteTag{0, 3};
+  t.send(std::move(m));
+  while (t.delivered_count() < 1) std::this_thread::yield();
+  EXPECT_TRUE(ok.load());
+  t.shutdown();
+}
+
+TEST(InMemTransport, SendAfterShutdownIsDropped) {
+  InMemTransport t(2);
+  t.register_node(0, [](const Message&) {});
+  t.register_node(1, [](const Message&) {});
+  t.start();
+  t.shutdown();
+  t.send(make_msg(0, 1, 0));  // must not crash or deliver
+  EXPECT_EQ(t.delivered_count(), 0u);
+}
+
+TEST(InMemTransport, ManyToOneAllDelivered) {
+  constexpr std::size_t kNodes = 5;
+  InMemTransport t(kNodes);
+  std::atomic<std::uint64_t> got{0};
+  for (NodeId i = 0; i < kNodes; ++i) {
+    t.register_node(i, [&](const Message&) { got.fetch_add(1); });
+  }
+  t.start();
+  constexpr std::uint64_t kPer = 300;
+  {
+    std::vector<std::jthread> senders;
+    for (NodeId i = 1; i < kNodes; ++i) {
+      senders.emplace_back([&t, i] {
+        for (std::uint64_t s = 0; s < kPer; ++s) t.send(make_msg(i, 0, s));
+      });
+    }
+  }
+  while (got.load() < kPer * (kNodes - 1)) std::this_thread::yield();
+  EXPECT_EQ(got.load(), kPer * (kNodes - 1));
+  t.shutdown();
+}
+
+}  // namespace
+}  // namespace causalmem

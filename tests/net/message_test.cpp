@@ -1,0 +1,69 @@
+#include "causalmem/net/message.hpp"
+
+#include <gtest/gtest.h>
+
+namespace causalmem {
+namespace {
+
+Message sample_message() {
+  Message m;
+  m.type = MsgType::kWrite;
+  m.from = 2;
+  m.to = 5;
+  m.request_id = 77;
+  m.addr = 1234;
+  m.value = -42;
+  m.tag = WriteTag{2, 9};
+  m.stamp = VectorClock(std::vector<std::uint64_t>{1, 0, 9, 4});
+  m.accepted = false;
+  m.cells.push_back(CellUpdate{1234, -42, WriteTag{2, 9}});
+  m.cells.push_back(CellUpdate{1235, 7, WriteTag{0, 3}});
+  return m;
+}
+
+TEST(Message, CodecRoundTripPreservesAllFields) {
+  const Message m = sample_message();
+  const Message back = Message::decode(m.encode());
+  EXPECT_EQ(back.type, m.type);
+  EXPECT_EQ(back.from, m.from);
+  EXPECT_EQ(back.to, m.to);
+  EXPECT_EQ(back.request_id, m.request_id);
+  EXPECT_EQ(back.addr, m.addr);
+  EXPECT_EQ(back.value, m.value);
+  EXPECT_EQ(back.tag, m.tag);
+  EXPECT_EQ(back.stamp, m.stamp);
+  EXPECT_EQ(back.accepted, m.accepted);
+  ASSERT_EQ(back.cells.size(), 2u);
+  EXPECT_EQ(back.cells[0].addr, 1234u);
+  EXPECT_EQ(back.cells[0].value, -42);
+  EXPECT_EQ(back.cells[1].tag, (WriteTag{0, 3}));
+}
+
+TEST(Message, MinimalMessageRoundTrips) {
+  Message m;
+  m.type = MsgType::kRead;
+  m.from = 0;
+  m.to = 1;
+  m.addr = 9;
+  m.stamp = VectorClock(2);
+  const Message back = Message::decode(m.encode());
+  EXPECT_EQ(back.type, MsgType::kRead);
+  EXPECT_EQ(back.addr, 9u);
+  EXPECT_TRUE(back.accepted);
+  EXPECT_TRUE(back.cells.empty());
+}
+
+TEST(Message, TypeNamesAreDistinct) {
+  EXPECT_STREQ(msg_type_name(MsgType::kRead), "READ");
+  EXPECT_STREQ(msg_type_name(MsgType::kWriteReply), "W_REPLY");
+  EXPECT_STREQ(msg_type_name(MsgType::kInvalidate), "INV");
+  EXPECT_STREQ(msg_type_name(MsgType::kBroadcastUpdate), "BCAST");
+}
+
+TEST(Message, ToStringMentionsRejection) {
+  const Message m = sample_message();
+  EXPECT_NE(m.to_string().find("REJECTED"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace causalmem

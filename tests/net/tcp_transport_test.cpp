@@ -1,0 +1,88 @@
+#include "causalmem/net/tcp_transport.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace causalmem {
+namespace {
+
+Message make_msg(NodeId from, NodeId to, std::uint64_t seq) {
+  Message m;
+  m.type = MsgType::kBroadcastUpdate;
+  m.from = from;
+  m.to = to;
+  m.request_id = seq;
+  m.stamp = VectorClock(std::vector<std::uint64_t>{seq, seq + 1});
+  return m;
+}
+
+TEST(TcpTransport, DeliversOverLoopback) {
+  TcpTransport t(2);
+  std::atomic<int> got{0};
+  t.register_node(0, [](const Message&) {});
+  t.register_node(1, [&](const Message& m) {
+    EXPECT_EQ(m.request_id, 7u);
+    EXPECT_EQ(m.stamp[0], 7u);
+    got.fetch_add(1);
+  });
+  t.start();
+  t.send(make_msg(0, 1, 7));
+  while (got.load() < 1) std::this_thread::yield();
+  t.shutdown();
+}
+
+TEST(TcpTransport, FifoPerChannel) {
+  TcpTransport t(2);
+  std::vector<std::uint64_t> order;
+  std::mutex mu;
+  std::atomic<std::uint64_t> got{0};
+  t.register_node(0, [](const Message&) {});
+  t.register_node(1, [&](const Message& m) {
+    {
+      std::scoped_lock lock(mu);
+      order.push_back(m.request_id);
+    }
+    got.fetch_add(1);
+  });
+  t.start();
+  constexpr std::uint64_t kCount = 500;
+  for (std::uint64_t i = 0; i < kCount; ++i) t.send(make_msg(0, 1, i));
+  while (got.load() < kCount) std::this_thread::yield();
+  t.shutdown();
+  ASSERT_EQ(order.size(), kCount);
+  for (std::uint64_t i = 0; i < kCount; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(TcpTransport, FullMeshBidirectional) {
+  constexpr std::size_t kNodes = 4;
+  TcpTransport t(kNodes);
+  std::atomic<std::uint64_t> got{0};
+  for (NodeId i = 0; i < kNodes; ++i) {
+    t.register_node(i, [&](const Message&) { got.fetch_add(1); });
+  }
+  t.start();
+  for (NodeId i = 0; i < kNodes; ++i) {
+    for (NodeId j = 0; j < kNodes; ++j) {
+      if (i != j) t.send(make_msg(i, j, 1));
+    }
+  }
+  const std::uint64_t expected = kNodes * (kNodes - 1);
+  while (got.load() < expected) std::this_thread::yield();
+  EXPECT_EQ(got.load(), expected);
+  t.shutdown();
+}
+
+TEST(TcpTransport, ShutdownIsIdempotent) {
+  TcpTransport t(3);
+  for (NodeId i = 0; i < 3; ++i) t.register_node(i, [](const Message&) {});
+  t.start();
+  t.shutdown();
+  t.shutdown();  // second call must be a no-op
+}
+
+}  // namespace
+}  // namespace causalmem

@@ -1,0 +1,31 @@
+#include "causalmem/stats/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace causalmem {
+namespace {
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"n", "causal", "atomic"});
+  t.add_row({"2", "10", "11"});
+  t.add_row({"16", "38", "53"});
+  std::ostringstream oss;
+  t.print(oss);
+  const std::string out = oss.str();
+  EXPECT_NE(out.find("| causal |"), std::string::npos);
+  EXPECT_NE(out.find("|  2 |"), std::string::npos);
+  EXPECT_NE(out.find("| 16 |"), std::string::npos);
+  // Header + separator + 2 rows = 4 lines.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(Table, NumFormatsFixedPrecision) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(2.0, 0), "2");
+  EXPECT_EQ(Table::num(-1.5, 1), "-1.5");
+}
+
+}  // namespace
+}  // namespace causalmem
