@@ -5,6 +5,8 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <string_view>
 #include <vector>
 
 #include "causalmem/apps/solver/solver.hpp"
@@ -70,6 +72,37 @@ inline LatencyModel latency_us(std::uint64_t micros) {
   LatencyModel m;
   m.base = std::chrono::microseconds(micros);
   return m;
+}
+
+/// Parses `--drop-rate=X` (X in [0, 1]) from argv; 0 when absent, so the
+/// default benchmark run stays on the fault-free fast path.
+inline double parse_drop_rate(int argc, char** argv) {
+  constexpr std::string_view kFlag = "--drop-rate=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg(argv[i]);
+    if (arg.substr(0, kFlag.size()) == kFlag) {
+      const double rate = std::strtod(arg.data() + kFlag.size(), nullptr);
+      if (rate < 0.0 || rate > 1.0) {
+        std::fprintf(stderr, "drop rate must be in [0, 1], got %s\n",
+                     arg.data() + kFlag.size());
+        std::exit(1);
+      }
+      return rate;
+    }
+  }
+  return 0.0;
+}
+
+/// Applies the --drop-rate axis: a positive rate wraps the transport in
+/// FaultyTransport(drop_rate) + ReliableChannel, so the measured workload
+/// pays real recovery cost (visible in the net.* counters); rate 0 leaves
+/// the options untouched — no extra layers, counters stay zero.
+inline SystemOptions with_drop_rate(SystemOptions options, double drop_rate) {
+  if (drop_rate > 0.0) {
+    options.faults.drop_rate = drop_rate;
+    options.reliable = true;
+  }
+  return options;
 }
 
 }  // namespace causalmem::bench

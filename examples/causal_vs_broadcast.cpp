@@ -73,14 +73,14 @@ void report(const char* label, const History& h) {
 int main() {
   {
     Recorder rec(3);
-    DsmSystem<BroadcastNode> sys(3, {}, {}, nullptr, &rec);
     // Shape delivery so the concurrent x-writes commit 2-then-5 at P2 but
     // 5-then-2 at P3 (both orders are legal causal broadcast deliveries).
     LatencyModel to_p2, to_p3;
     to_p2.base = std::chrono::milliseconds(40);
     to_p3.base = std::chrono::milliseconds(120);
-    sys.inmem_transport()->set_channel_latency(0, 1, to_p2);
-    sys.inmem_transport()->set_channel_latency(1, 2, to_p3);
+    SystemOptions options;
+    options.channel_latencies = {{0, 1, to_p2}, {1, 2, to_p3}};
+    DsmSystem<BroadcastNode> sys(3, {}, options, nullptr, &rec);
     run_program(sys);
     wait_broadcast_quiescent(sys);
     report("== Figure 3 program on causal-broadcast memory ==", rec.history());

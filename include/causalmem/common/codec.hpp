@@ -71,7 +71,10 @@ class ByteReader {
 
   [[nodiscard]] std::string get_string() {
     const auto n = get<std::uint32_t>();
-    CM_EXPECTS_MSG(pos_ + n <= bytes_.size(), "codec under-run (string)");
+    // Validate the wire count against the bytes actually present BEFORE
+    // allocating: a corrupt count must fail the contract check, not reserve
+    // gigabytes first.
+    CM_EXPECTS_MSG(n <= remaining(), "codec under-run (string)");
     std::string s(reinterpret_cast<const char*>(bytes_.data() + pos_), n);
     pos_ += n;
     return s;
@@ -80,6 +83,10 @@ class ByteReader {
   template <typename T>
   [[nodiscard]] std::vector<T> get_vector() {
     const auto n = get<std::uint32_t>();
+    // Same rule as get_string: each element needs sizeof(T) payload bytes,
+    // so any count exceeding remaining()/sizeof(T) is corrupt — check it
+    // before reserve() can allocate from the unvalidated count.
+    CM_EXPECTS_MSG(remaining() / sizeof(T) >= n, "codec under-run (vector)");
     std::vector<T> v;
     v.reserve(n);
     for (std::uint32_t i = 0; i < n; ++i) v.push_back(get<T>());

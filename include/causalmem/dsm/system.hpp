@@ -12,19 +12,42 @@
 #include "causalmem/dsm/memory.hpp"
 #include "causalmem/dsm/observer.hpp"
 #include "causalmem/dsm/ownership.hpp"
+#include "causalmem/net/fault_injection.hpp"
 #include "causalmem/net/inmem_transport.hpp"
+#include "causalmem/net/reliable_channel.hpp"
 #include "causalmem/net/tcp_transport.hpp"
 #include "causalmem/stats/counters.hpp"
 
 namespace causalmem {
 
+/// One directed-channel latency override (in-memory transport only).
+struct ChannelLatencyOverride {
+  NodeId from{0};
+  NodeId to{0};
+  LatencyModel latency{};
+};
+
 struct SystemOptions {
   /// Injected per-message latency (in-memory transport only).
   LatencyModel latency{};
+  /// Per-channel latency overrides, applied before the transport starts
+  /// (set_channel_latency's contract). In-memory transport only.
+  std::vector<ChannelLatencyOverride> channel_latencies;
   /// Run over real loopback TCP sockets instead of the in-memory transport.
   bool use_tcp{false};
   /// In-memory transport: round-trip every message through the byte codec.
   bool exercise_codec{false};
+  /// Fault injection: when faults.any(), the base transport is wrapped in a
+  /// FaultyTransport (seeded drop/dup/delay). Without `reliable` the
+  /// protocols lose the paper's reliable-FIFO assumption and a blocked
+  /// requester can wait forever — enable faults only together with
+  /// `reliable` unless the test wants exactly that failure.
+  FaultModel faults{};
+  /// Wrap the (possibly faulty) transport in a ReliableChannel, restoring
+  /// reliable-FIFO delivery via sequence numbers, cumulative acks and
+  /// timeout-driven retransmission.
+  bool reliable{false};
+  ReliableConfig reliable_config{};
 };
 
 template <typename NodeT>
@@ -44,12 +67,34 @@ class DsmSystem {
                        ? std::move(ownership)
                        : std::make_unique<StripedOwnership>(n, page_size_of(config))) {
     CM_EXPECTS(n > 0);
+    std::unique_ptr<Transport> transport;
     if (options.use_tcp) {
-      transport_ = std::make_unique<TcpTransport>(n);
+      transport = std::make_unique<TcpTransport>(n);
     } else {
-      transport_ = std::make_unique<InMemTransport>(n, options.latency,
+      auto inmem = std::make_unique<InMemTransport>(n, options.latency,
                                                     options.exercise_codec);
+      inmem_ = inmem.get();
+      transport = std::move(inmem);
     }
+    CM_EXPECTS_MSG(options.channel_latencies.empty() || inmem_ != nullptr,
+                   "channel_latencies require the in-memory transport");
+    for (const ChannelLatencyOverride& o : options.channel_latencies) {
+      inmem_->set_channel_latency(o.from, o.to, o.latency);
+    }
+    if (options.faults.any()) {
+      auto faulty =
+          std::make_unique<FaultyTransport>(std::move(transport), options.faults);
+      faulty_ = faulty.get();
+      transport = std::move(faulty);
+    }
+    if (options.reliable) {
+      auto reliable = std::make_unique<ReliableChannel>(
+          std::move(transport), options.reliable_config);
+      reliable_ = reliable.get();
+      transport = std::move(reliable);
+    }
+    transport_ = std::move(transport);
+    transport_->attach_stats(&stats_);
     nodes_.reserve(n);
     for (NodeId i = 0; i < n; ++i) {
       nodes_.push_back(std::make_unique<NodeT>(i, n, *ownership_, *transport_,
@@ -78,11 +123,16 @@ class DsmSystem {
   [[nodiscard]] const Ownership& ownership() const noexcept { return *ownership_; }
   [[nodiscard]] Transport& transport() noexcept { return *transport_; }
 
-  /// The in-memory transport, or nullptr when running over TCP. Tests use
-  /// this to shape per-channel latencies.
-  [[nodiscard]] InMemTransport* inmem_transport() noexcept {
-    return dynamic_cast<InMemTransport*>(transport_.get());
-  }
+  /// The in-memory transport at the bottom of the stack, or nullptr when
+  /// running over TCP. Tests use this to shape per-channel latencies.
+  [[nodiscard]] InMemTransport* inmem_transport() noexcept { return inmem_; }
+
+  /// The fault-injection layer, or nullptr when options.faults is inactive.
+  /// Tests use this to crash nodes / partition channels mid-run.
+  [[nodiscard]] FaultyTransport* faulty_transport() noexcept { return faulty_; }
+
+  /// The reliable-delivery adapter, or nullptr when options.reliable is off.
+  [[nodiscard]] ReliableChannel* reliable_channel() noexcept { return reliable_; }
 
  private:
   template <typename C>
@@ -97,6 +147,10 @@ class DsmSystem {
   StatsRegistry stats_;
   std::unique_ptr<Ownership> ownership_;
   std::unique_ptr<Transport> transport_;
+  // Non-owning views into the transport stack (bottom to top).
+  InMemTransport* inmem_{nullptr};
+  FaultyTransport* faulty_{nullptr};
+  ReliableChannel* reliable_{nullptr};
   std::vector<std::unique_ptr<NodeT>> nodes_;
 };
 

@@ -39,8 +39,9 @@ class InMemTransport final : public Transport {
   }
 
   /// Overrides the latency of one directed channel (tests drive specific
-  /// interleavings with this, e.g. the Figure 3 counterexample). Call
-  /// before start().
+  /// interleavings with this, e.g. the Figure 3 counterexample). Must be
+  /// called before start() — enforced; DsmSystem callers pass
+  /// SystemOptions::channel_latencies instead.
   void set_channel_latency(NodeId from, NodeId to, LatencyModel latency);
 
  private:

@@ -26,6 +26,10 @@ enum class MsgType : std::uint8_t {
 
   // Causal-broadcast memory (Figure 3 model).
   kBroadcastUpdate, ///< writer -> peer: apply (x, v) with this stamp
+
+  // Reliable-delivery adapter (net/reliable_channel.hpp). Not a protocol
+  // message: never reaches a DSM node's handler.
+  kRelAck,          ///< receiver -> sender: cumulative ack for one channel
 };
 
 [[nodiscard]] const char* msg_type_name(MsgType t) noexcept;
@@ -59,6 +63,13 @@ struct Message {
 
   /// Page-mode replies: all cells of the page (addr is the page base).
   std::vector<CellUpdate> cells;
+
+  /// Reliable-channel framing (net/reliable_channel.hpp): per-channel
+  /// sequence number (0 = unsequenced / not going through the adapter) and
+  /// the piggybacked cumulative ack for the reverse channel. kRelAck
+  /// messages carry only rel_ack. Zero overhead when the adapter is absent.
+  std::uint64_t rel_seq{0};
+  std::uint64_t rel_ack{0};
 
   [[nodiscard]] std::vector<std::byte> encode() const;
   static Message decode(std::span<const std::byte> bytes);

@@ -1,0 +1,119 @@
+// Reliable-delivery adapter: restores the paper's "reliable, ordered message
+// passing between any two processors" contract on top of an unreliable
+// transport (typically a FaultyTransport injecting drop/dup/delay).
+//
+// Mechanism, per directed channel (s -> d):
+//   - the sender stamps every message with a per-channel sequence number
+//     (Message::rel_seq, 1-based) and keeps a copy until it is acked;
+//   - the receiver delivers strictly in sequence order, buffering gaps and
+//     dropping duplicates, so the layer above sees exactly-once FIFO;
+//   - the receiver acks cumulatively: a standalone REL_ACK after every data
+//     frame, plus a piggybacked ack (Message::rel_ack) on reverse-channel
+//     data, both meaning "everything <= k arrived";
+//   - a retransmission thread re-sends unacked messages after a timeout
+//     that backs off exponentially per message (initial_rto doubling up to
+//     max_rto); its scan loop paces itself with common/backoff.hpp.
+//
+// DSM nodes use the adapter unchanged through the Transport interface: the
+// wrapped handler re-assembles the channel and invokes the node's handler
+// with the original message (rel_* fields are transport-private).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "causalmem/net/transport.hpp"
+#include "causalmem/stats/counters.hpp"
+
+namespace causalmem {
+
+struct ReliableConfig {
+  /// First retransmission timeout. Generous relative to a loopback RTT so a
+  /// fault-free channel never retransmits spuriously.
+  std::chrono::microseconds initial_rto{2000};
+  /// Exponential backoff cap: rto doubles per retransmission up to this.
+  std::chrono::microseconds max_rto{64000};
+  /// Upper bound on the retransmit scan pacing (Backoff max_sleep).
+  std::chrono::microseconds tick{500};
+};
+
+class ReliableChannel final : public Transport {
+ public:
+  explicit ReliableChannel(std::unique_ptr<Transport> inner,
+                           ReliableConfig config = {});
+  ~ReliableChannel() override;
+
+  void register_node(NodeId id, Handler handler) override;
+  void start() override;
+  void send(Message m) override;
+  void shutdown() override;
+  [[nodiscard]] std::size_t node_count() const override {
+    return inner_->node_count();
+  }
+  void attach_stats(StatsRegistry* stats) noexcept override;
+
+  [[nodiscard]] Transport& inner() noexcept { return *inner_; }
+
+  // Recovery-cost totals (also bumped per node when a StatsRegistry is
+  // attached: retransmits/acks on the sender, dup-drops on the receiver).
+  [[nodiscard]] std::uint64_t retransmit_count() const noexcept {
+    return retransmits_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t dup_dropped_count() const noexcept {
+    return dup_drops_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t acks_sent_count() const noexcept {
+    return acks_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Pending {
+    Message msg;
+    Clock::time_point deadline;
+    std::chrono::microseconds rto;
+  };
+
+  /// Both halves of one directed channel (s -> d): the sender half lives at
+  /// s, the receiver half at d; in-process transports hold them together.
+  struct Channel {
+    std::mutex mu;
+    // Sender side.
+    std::uint64_t next_send_seq{1};
+    std::map<std::uint64_t, Pending> outstanding;
+    // Receiver side.
+    std::uint64_t next_deliver_seq{1};
+    std::map<std::uint64_t, Message> reorder;
+  };
+
+  [[nodiscard]] Channel& channel(NodeId from, NodeId to) {
+    return *channels_[from * inner_->node_count() + to];
+  }
+  void bump_node(NodeId node, Counter c) noexcept;
+  void on_receive(const Message& m);
+  void apply_ack(NodeId sender, NodeId receiver, std::uint64_t acked);
+  void send_ack(NodeId receiver, NodeId sender, std::uint64_t acked);
+  bool retransmit_due();  ///< one scan; true if anything was re-sent
+  void run_retransmitter(const std::stop_token& st);
+
+  std::unique_ptr<Transport> inner_;
+  ReliableConfig config_;
+  std::vector<Handler> handlers_;
+  std::vector<std::unique_ptr<Channel>> channels_;  // n*n, index from*n+to
+
+  std::jthread retransmitter_;
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> retransmits_{0};
+  std::atomic<std::uint64_t> dup_drops_{0};
+  std::atomic<std::uint64_t> acks_{0};
+};
+
+}  // namespace causalmem

@@ -15,6 +15,8 @@
 
 namespace causalmem {
 
+class StatsRegistry;
+
 class Transport {
  public:
   using Handler = std::function<void(const Message&)>;
@@ -23,6 +25,11 @@ class Transport {
   Transport(const Transport&) = delete;
   Transport& operator=(const Transport&) = delete;
   virtual ~Transport() = default;
+
+  /// Optionally attaches per-node counters; transports bump the net.*
+  /// counters (send failures, injected faults, retransmissions) on it.
+  /// Decorators forward the registry down the stack. Call before start().
+  virtual void attach_stats(StatsRegistry* stats) noexcept { stats_ = stats; }
 
   /// Registers the message handler for node `id`. Must be called for every
   /// node before `start()`.
@@ -40,6 +47,9 @@ class Transport {
 
   /// Number of registered endpoints.
   [[nodiscard]] virtual std::size_t node_count() const = 0;
+
+ protected:
+  StatsRegistry* stats_{nullptr};
 };
 
 /// Latency injected per message: base + uniform jitter in [0, jitter].

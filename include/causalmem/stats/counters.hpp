@@ -37,6 +37,17 @@ enum class Counter : std::size_t {
   kSpinRefetch,          ///< a wait(B) poll that re-fetched from the owner
   kSpinTransition,       ///< a wait(B) that finally observed the new value
 
+  // --- transport recovery cost (NOT message counters: E1's protocol
+  // accounting must separate protocol cost from recovery cost) ---
+  kNetRetransmit,        ///< ReliableChannel: timeout-driven retransmission
+  kNetDupDropped,        ///< ReliableChannel: receive-side duplicate dropped
+  kNetAckSent,           ///< ReliableChannel: cumulative ack sent
+  kNetFaultDrop,         ///< FaultyTransport: message dropped (incl. crash/partition)
+  kNetFaultDup,          ///< FaultyTransport: duplicate copy injected
+  kNetFaultDelay,        ///< FaultyTransport: extra delay injected
+  kNetSendFailed,        ///< TcpTransport: frame write failed / connection broken
+  kNetFrameError,        ///< TcpTransport: corrupt frame length, connection torn down
+
   kCounterCount,
 };
 

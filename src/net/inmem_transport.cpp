@@ -41,8 +41,9 @@ void InMemTransport::start() {
 void InMemTransport::set_channel_latency(NodeId from, NodeId to,
                                          LatencyModel latency) {
   CM_EXPECTS(from < endpoints_.size() && to < endpoints_.size());
+  CM_EXPECTS_MSG(!started_.load(), "set_channel_latency after start()");
   Channel& ch = *channels_[from * endpoints_.size() + to];
-  std::scoped_lock lock(ch.mu);  // only affects sends issued after this call
+  std::scoped_lock lock(ch.mu);
   ch.has_override = true;
   ch.override_latency = latency;
 }

@@ -13,6 +13,7 @@ const char* msg_type_name(MsgType t) noexcept {
     case MsgType::kInvalidate: return "INV";
     case MsgType::kInvalidateAck: return "INV_ACK";
     case MsgType::kBroadcastUpdate: return "BCAST";
+    case MsgType::kRelAck: return "REL_ACK";
   }
   return "?";
 }
@@ -47,6 +48,8 @@ std::vector<std::byte> Message::encode() const {
   w.put<std::uint8_t>(accepted ? 1 : 0);
   w.put<std::uint32_t>(static_cast<std::uint32_t>(cells.size()));
   for (const auto& c : cells) c.encode(w);
+  w.put(rel_seq);
+  w.put(rel_ack);
   return std::move(w).take();
 }
 
@@ -64,8 +67,17 @@ Message Message::decode(std::span<const std::byte> bytes) {
   m.stamp = VectorClock::decode(r);
   m.accepted = r.get<std::uint8_t>() != 0;
   const auto n = r.get<std::uint32_t>();
+  // Each cell occupies a fixed number of wire bytes; checking the count
+  // against the remaining payload first keeps a corrupt count from forcing
+  // a huge allocation before the under-run is caught.
+  constexpr std::size_t kCellWireBytes =
+      sizeof(Addr) + sizeof(Value) + sizeof(NodeId) + sizeof(std::uint64_t);
+  CM_EXPECTS_MSG(r.remaining() / kCellWireBytes >= n,
+                 "codec under-run (cell count)");
   m.cells.reserve(n);
   for (std::uint32_t i = 0; i < n; ++i) m.cells.push_back(CellUpdate::decode(r));
+  m.rel_seq = r.get<std::uint64_t>();
+  m.rel_ack = r.get<std::uint64_t>();
   CM_ENSURES(r.exhausted());
   return m;
 }
@@ -77,6 +89,8 @@ std::string Message::to_string() const {
       << stamp.to_string();
   if (!accepted) oss << " REJECTED";
   if (!cells.empty()) oss << " cells=" << cells.size();
+  if (rel_seq != 0) oss << " rseq=" << rel_seq;
+  if (rel_ack != 0) oss << " rack=" << rel_ack;
   return oss.str();
 }
 

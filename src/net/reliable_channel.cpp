@@ -1,0 +1,196 @@
+#include "causalmem/net/reliable_channel.hpp"
+
+#include "causalmem/common/backoff.hpp"
+#include "causalmem/common/expect.hpp"
+#include "causalmem/common/logging.hpp"
+
+namespace causalmem {
+
+ReliableChannel::ReliableChannel(std::unique_ptr<Transport> inner,
+                                 ReliableConfig config)
+    : inner_(std::move(inner)), config_(config) {
+  CM_EXPECTS(inner_ != nullptr);
+  CM_EXPECTS(config_.initial_rto.count() > 0);
+  CM_EXPECTS(config_.max_rto >= config_.initial_rto);
+  const std::size_t n = inner_->node_count();
+  handlers_.resize(n);
+  channels_.reserve(n * n);
+  for (std::size_t i = 0; i < n * n; ++i) {
+    channels_.push_back(std::make_unique<Channel>());
+  }
+}
+
+ReliableChannel::~ReliableChannel() { shutdown(); }
+
+void ReliableChannel::attach_stats(StatsRegistry* stats) noexcept {
+  stats_ = stats;
+  inner_->attach_stats(stats);
+}
+
+void ReliableChannel::bump_node(NodeId node, Counter c) noexcept {
+  if (stats_ != nullptr && node < inner_->node_count()) {
+    stats_->node(node).bump(c);
+  }
+}
+
+void ReliableChannel::register_node(NodeId id, Handler handler) {
+  CM_EXPECTS(id < inner_->node_count());
+  CM_EXPECTS_MSG(!started_.load(), "register_node after start()");
+  CM_EXPECTS(handler != nullptr);
+  handlers_[id] = std::move(handler);
+  inner_->register_node(id, [this](const Message& m) { on_receive(m); });
+}
+
+void ReliableChannel::start() {
+  CM_EXPECTS_MSG(!started_.exchange(true), "transport started twice");
+  inner_->start();
+  retransmitter_ =
+      std::jthread([this](const std::stop_token& st) { run_retransmitter(st); });
+}
+
+void ReliableChannel::send(Message m) {
+  if (stopping_.load(std::memory_order_acquire)) return;
+  const std::size_t n = inner_->node_count();
+  CM_EXPECTS(m.from < n && m.to < n);
+  if (m.from == m.to) {  // loopback needs no reliability machinery
+    inner_->send(std::move(m));
+    return;
+  }
+  {
+    // Piggyback the reverse channel's cumulative ack. Separate critical
+    // section from the sequence assignment below — channel locks never nest.
+    Channel& rev = channel(m.to, m.from);
+    std::scoped_lock lock(rev.mu);
+    m.rel_ack = rev.next_deliver_seq - 1;
+  }
+  {
+    Channel& ch = channel(m.from, m.to);
+    std::scoped_lock lock(ch.mu);
+    m.rel_seq = ch.next_send_seq++;
+    ch.outstanding.emplace(
+        m.rel_seq,
+        Pending{m, Clock::now() + config_.initial_rto, config_.initial_rto});
+  }
+  inner_->send(std::move(m));
+}
+
+void ReliableChannel::apply_ack(NodeId sender, NodeId receiver,
+                                std::uint64_t acked) {
+  if (acked == 0) return;
+  Channel& ch = channel(sender, receiver);
+  std::scoped_lock lock(ch.mu);
+  ch.outstanding.erase(ch.outstanding.begin(),
+                       ch.outstanding.upper_bound(acked));
+}
+
+void ReliableChannel::send_ack(NodeId receiver, NodeId sender,
+                               std::uint64_t acked) {
+  if (stopping_.load(std::memory_order_acquire)) return;
+  Message ack;
+  ack.type = MsgType::kRelAck;
+  ack.from = receiver;
+  ack.to = sender;
+  ack.rel_ack = acked;
+  acks_.fetch_add(1, std::memory_order_relaxed);
+  bump_node(receiver, Counter::kNetAckSent);
+  inner_->send(std::move(ack));
+}
+
+void ReliableChannel::on_receive(const Message& m) {
+  if (m.type == MsgType::kRelAck) {
+    apply_ack(/*sender=*/m.to, /*receiver=*/m.from, m.rel_ack);
+    return;
+  }
+  if (m.rel_seq == 0) {
+    // Unsequenced (loopback or a sender bypassing the adapter): deliver
+    // directly, reliability is not our problem for these.
+    handlers_[m.to](m);
+    return;
+  }
+  apply_ack(/*sender=*/m.to, /*receiver=*/m.from, m.rel_ack);
+
+  std::vector<Message> ready;
+  std::uint64_t ack_val = 0;
+  {
+    Channel& ch = channel(m.from, m.to);
+    std::scoped_lock lock(ch.mu);
+    if (m.rel_seq < ch.next_deliver_seq || ch.reorder.contains(m.rel_seq)) {
+      // Duplicate (retransmission that crossed its ack, or an injected
+      // copy). Drop it but re-ack: the first ack may have been lost.
+      dup_drops_.fetch_add(1, std::memory_order_relaxed);
+      bump_node(m.to, Counter::kNetDupDropped);
+    } else {
+      ch.reorder.emplace(m.rel_seq, m);
+      while (!ch.reorder.empty() &&
+             ch.reorder.begin()->first == ch.next_deliver_seq) {
+        ready.push_back(std::move(ch.reorder.begin()->second));
+        ch.reorder.erase(ch.reorder.begin());
+        ++ch.next_deliver_seq;
+      }
+    }
+    ack_val = ch.next_deliver_seq - 1;
+  }
+  // Deliver outside the channel lock: handlers are protocol state machines
+  // that send replies, and those sends re-enter this adapter. FIFO is
+  // preserved because exactly one inner delivery thread serves a given
+  // (src,dst) channel.
+  for (const Message& r : ready) handlers_[m.to](r);
+  send_ack(/*receiver=*/m.to, /*sender=*/m.from, ack_val);
+}
+
+bool ReliableChannel::retransmit_due() {
+  const auto now = Clock::now();
+  const std::size_t n = inner_->node_count();
+  bool any = false;
+  std::vector<Message> resend;
+  for (std::size_t s = 0; s < n; ++s) {
+    for (std::size_t d = 0; d < n; ++d) {
+      if (s == d) continue;
+      resend.clear();
+      {
+        Channel& ch = channel(static_cast<NodeId>(s), static_cast<NodeId>(d));
+        std::scoped_lock lock(ch.mu);
+        for (auto& [seq, pending] : ch.outstanding) {
+          if (pending.deadline > now) continue;
+          pending.rto = std::min(pending.rto * 2, config_.max_rto);
+          pending.deadline = now + pending.rto;
+          resend.push_back(pending.msg);
+        }
+      }
+      for (Message& m : resend) {
+        retransmits_.fetch_add(1, std::memory_order_relaxed);
+        bump_node(m.from, Counter::kNetRetransmit);
+        CM_LOG_DEBUG("reliable retransmit " << m.to_string());
+        inner_->send(std::move(m));
+      }
+      any = any || !resend.empty();
+    }
+  }
+  return any;
+}
+
+void ReliableChannel::run_retransmitter(const std::stop_token& st) {
+  // Backoff paces the scan: tight after a retransmission burst (more loss is
+  // likely), escalating to max_sleep = tick when all channels are clean.
+  Backoff pacer(config_.tick);
+  while (!st.stop_requested()) {
+    if (retransmit_due()) {
+      pacer.reset();
+    } else {
+      pacer.pause();
+    }
+  }
+}
+
+void ReliableChannel::shutdown() {
+  if (stopping_.exchange(true)) return;
+  if (retransmitter_.joinable()) {
+    retransmitter_.request_stop();
+    retransmitter_.join();
+  }
+  // Unacked messages die with the channel: the system is quiescing, and the
+  // Transport contract already drops post-shutdown sends.
+  inner_->shutdown();
+}
+
+}  // namespace causalmem

@@ -12,6 +12,7 @@
 
 #include "causalmem/common/expect.hpp"
 #include "causalmem/common/logging.hpp"
+#include "causalmem/stats/counters.hpp"
 
 namespace causalmem {
 
@@ -108,10 +109,11 @@ TcpTransport::TcpTransport(std::size_t n) : n_(n), handlers_(n) {
       if (!write_all(fd, &hello, sizeof(hello))) throw_errno("hello");
       auto conn = std::make_shared<Conn>();
       conn->fd = fd;
+      conn->owner = static_cast<NodeId>(j);
       conn_[j][k] = conn;
-      conn_[k][j] = conn;
     }
-    // ...then accept all lower-numbered dialers.
+    // ...then accept all lower-numbered dialers. Each side of a pair holds
+    // its own Conn around its own end of the one TCP connection.
     for (std::size_t accepted = 0; accepted < j; ++accepted) {
       const int fd = ::accept(listeners[j], nullptr, nullptr);
       if (fd < 0) throw_errno("accept");
@@ -119,12 +121,9 @@ TcpTransport::TcpTransport(std::size_t n) : n_(n), handlers_(n) {
       std::uint32_t hello = 0;
       if (!read_exact(fd, &hello, sizeof(hello))) throw_errno("hello read");
       CM_ASSERT_MSG(hello < n, "bogus hello id");
-      // The pair object already exists only if the dialer stored it; here the
-      // acceptor side owns the canonical fd, so replace the dialer's view.
       auto conn = std::make_shared<Conn>();
       conn->fd = fd;
-      // The dialer created its own Conn with its fd; both ends need their own
-      // socket of the same TCP connection. conn_[j][hello] is j's view.
+      conn->owner = static_cast<NodeId>(j);
       conn_[j][hello] = conn;
     }
   }
@@ -145,21 +144,38 @@ void TcpTransport::start() {
   for (std::size_t i = 0; i < n_; ++i) {
     CM_EXPECTS_MSG(handlers_[i] != nullptr, "node missing handler");
   }
-  // One reader per endpoint per peer connection view.
+  // One reader per endpoint per peer connection.
   for (std::size_t i = 0; i < n_; ++i) {
     for (std::size_t j = 0; j < n_; ++j) {
       if (i == j || conn_[i][j] == nullptr) continue;
       Conn& c = *conn_[i][j];
-      if (c.reader.joinable()) continue;  // pair object shared; one reader
       c.reader = std::jthread([this, &c] { run_reader(c); });
     }
   }
+}
+
+void TcpTransport::mark_broken(Conn& conn, const char* why) {
+  if (conn.broken.exchange(true)) return;
+  CM_LOG_WARN("tcp connection (node " << conn.owner << ") torn down: " << why);
+  // SHUT_RDWR wakes this side's reader and pushes an EOF/RST to the peer,
+  // whose reader then exits too — the pair is dead in both directions. The
+  // fd itself is closed once, in shutdown().
+  if (conn.fd >= 0) ::shutdown(conn.fd, SHUT_RDWR);
 }
 
 void TcpTransport::run_reader(Conn& conn) {
   for (;;) {
     std::uint32_t len = 0;
     if (!read_exact(conn.fd, &len, sizeof(len))) return;
+    // Never trust the length prefix: a corrupt frame must not drive a
+    // multi-gigabyte allocation. Tear the connection down instead.
+    if (len == 0 || len > kMaxFrameBytes) {
+      if (stats_ != nullptr && conn.owner < n_) {
+        stats_->node(conn.owner).bump(Counter::kNetFrameError);
+      }
+      mark_broken(conn, "corrupt frame length");
+      return;
+    }
     std::vector<std::byte> payload(len);
     if (!read_exact(conn.fd, payload.data(), len)) return;
     if (stopping_.load(std::memory_order_acquire)) return;
@@ -174,14 +190,37 @@ void TcpTransport::send(Message m) {
   if (stopping_.load(std::memory_order_acquire)) return;
   auto conn = conn_[m.from][m.to];
   CM_ASSERT(conn != nullptr);
+  if (conn->broken.load(std::memory_order_acquire)) {
+    // Fail fast: the connection already died; count the lost send so the
+    // blocked-requester symptom is visible in stats instead of silent.
+    if (stats_ != nullptr) stats_->node(m.from).bump(Counter::kNetSendFailed);
+    return;
+  }
   write_frame(*conn, m.encode());
+}
+
+void TcpTransport::send_raw(NodeId from, NodeId to,
+                            std::span<const std::byte> bytes) {
+  CM_EXPECTS(from < n_ && to < n_ && from != to);
+  auto conn = conn_[from][to];
+  CM_ASSERT(conn != nullptr);
+  std::scoped_lock lock(conn->write_mu);
+  (void)write_all(conn->fd, bytes.data(), bytes.size());
 }
 
 void TcpTransport::write_frame(Conn& conn, const std::vector<std::byte>& payload) {
   const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
   std::scoped_lock lock(conn.write_mu);
-  if (!write_all(conn.fd, &len, sizeof(len))) return;
-  (void)write_all(conn.fd, payload.data(), payload.size());
+  // A failed send means the reply the peer owes us will never come; silently
+  // dropping it would leave a blocked requester waiting forever. Count it,
+  // log it, and break the connection so later sends fail fast.
+  if (!write_all(conn.fd, &len, sizeof(len)) ||
+      !write_all(conn.fd, payload.data(), payload.size())) {
+    if (stats_ != nullptr && conn.owner < n_) {
+      stats_->node(conn.owner).bump(Counter::kNetSendFailed);
+    }
+    mark_broken(conn, "frame write failed");
+  }
 }
 
 void TcpTransport::shutdown() {
@@ -193,9 +232,8 @@ void TcpTransport::shutdown() {
       }
     }
   }
-  // After construction every cell holds its own per-side Conn (the dialer's
-  // temporary alias was replaced during the accept phase), so each cell is
-  // joined and closed exactly once.
+  // Every cell owns a distinct per-side Conn, so each is joined and closed
+  // exactly once.
   for (std::size_t i = 0; i < n_; ++i) {
     for (std::size_t j = 0; j < n_; ++j) {
       auto& c = conn_[i][j];

@@ -21,6 +21,14 @@ const char* counter_name(Counter c) noexcept {
     case Counter::kDiscard: return "cache.discarded";
     case Counter::kSpinRefetch: return "spin.refetch";
     case Counter::kSpinTransition: return "spin.transition";
+    case Counter::kNetRetransmit: return "net.retransmit";
+    case Counter::kNetDupDropped: return "net.dup_dropped";
+    case Counter::kNetAckSent: return "net.ack";
+    case Counter::kNetFaultDrop: return "net.fault_drop";
+    case Counter::kNetFaultDup: return "net.fault_dup";
+    case Counter::kNetFaultDelay: return "net.fault_delay";
+    case Counter::kNetSendFailed: return "net.send_failed";
+    case Counter::kNetFrameError: return "net.frame_error";
     case Counter::kCounterCount: break;
   }
   return "unknown";

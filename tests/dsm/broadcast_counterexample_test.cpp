@@ -49,20 +49,16 @@ TEST(BroadcastCounterexample, BroadcastMemoryProducesFigure3) {
   Recorder recorder(3);
   Value p2_reads_x = -1, p3_reads_x = -1;
   {
-    DsmSystem<BroadcastNode> sys(3, {}, {}, nullptr, &recorder);
-    auto* tr = sys.inmem_transport();
-    ASSERT_NE(tr, nullptr);
-    // NOTE: overrides must land before traffic; DsmSystem starts the
-    // transport in its constructor, but delivery threads only act on queued
-    // messages, and we only send after these calls return.
     // P1 -> P2 slow enough that P2's w(x)2 is issued first; P2 -> P3 slower
-    // still so P1's messages beat P2's at P3.
+    // still so P1's messages beat P2's at P3. Overrides go through
+    // SystemOptions so they land before the transport starts.
     LatencyModel to_p2;
     to_p2.base = std::chrono::milliseconds(40);
     LatencyModel to_p3;
     to_p3.base = std::chrono::milliseconds(120);
-    tr->set_channel_latency(0, 1, to_p2);
-    tr->set_channel_latency(1, 2, to_p3);
+    SystemOptions options;
+    options.channel_latencies = {{0, 1, to_p2}, {1, 2, to_p3}};
+    DsmSystem<BroadcastNode> sys(3, {}, options, nullptr, &recorder);
 
     std::jthread p1([&] {
       sys.memory(0).write(kX, 5);

@@ -153,6 +153,24 @@ std::vector<PropertyCase> make_cases() {
   tcp.seeds = 2;
   cases.push_back(tcp);
 
+  PropertyCase faulty = base;
+  faulty.name = "faulty_reliable_drop15";
+  faulty.options.faults.drop_rate = 0.15;
+  faulty.options.faults.dup_rate = 0.05;
+  faulty.options.faults.delay_rate = 0.05;
+  faulty.options.faults.delay_base = std::chrono::microseconds(200);
+  faulty.options.faults.delay_jitter = std::chrono::microseconds(500);
+  faulty.options.reliable = true;
+  faulty.ops_per_node = 60;
+  faulty.seeds = 2;
+  cases.push_back(faulty);
+
+  PropertyCase faulty_paged = faulty;
+  faulty_paged.name = "faulty_reliable_pages";
+  faulty_paged.config.page_size = 4;
+  faulty_paged.addrs = 16;
+  cases.push_back(faulty_paged);
+
   PropertyCase async_paged = base;
   async_paged.name = "async_plus_pages";
   async_paged.config.write_mode = WriteMode::kAsync;

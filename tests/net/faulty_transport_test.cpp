@@ -1,0 +1,207 @@
+#include "causalmem/net/fault_injection.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "causalmem/net/inmem_transport.hpp"
+#include "causalmem/stats/counters.hpp"
+
+namespace causalmem {
+namespace {
+
+Message make_msg(NodeId from, NodeId to, std::uint64_t seq) {
+  Message m;
+  m.type = MsgType::kBroadcastUpdate;
+  m.from = from;
+  m.to = to;
+  m.request_id = seq;
+  m.stamp = VectorClock(2);
+  return m;
+}
+
+/// Polls until `pred` holds or ~2s elapse; returns the final predicate value.
+template <typename Pred>
+bool eventually(Pred pred) {
+  for (int i = 0; i < 2000; ++i) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return pred();
+}
+
+FaultyTransport make_faulty(std::size_t n, FaultModel model) {
+  return FaultyTransport(std::make_unique<InMemTransport>(n), model);
+}
+
+TEST(FaultyTransport, DropRateOneDropsEverything) {
+  FaultModel model;
+  model.drop_rate = 1.0;
+  FaultyTransport t = make_faulty(2, model);
+  std::atomic<int> got{0};
+  t.register_node(0, [](const Message&) {});
+  t.register_node(1, [&](const Message&) { got.fetch_add(1); });
+  t.start();
+  for (int i = 0; i < 50; ++i) t.send(make_msg(0, 1, i));
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(got.load(), 0);
+  EXPECT_EQ(t.drops_injected(), 50u);
+  t.shutdown();
+}
+
+TEST(FaultyTransport, ZeroModelIsTransparent) {
+  FaultyTransport t = make_faulty(2, {});
+  std::atomic<int> got{0};
+  t.register_node(0, [](const Message&) {});
+  t.register_node(1, [&](const Message&) { got.fetch_add(1); });
+  t.start();
+  for (int i = 0; i < 100; ++i) t.send(make_msg(0, 1, i));
+  EXPECT_TRUE(eventually([&] { return got.load() == 100; }));
+  EXPECT_EQ(t.drops_injected(), 0u);
+  EXPECT_EQ(t.dups_injected(), 0u);
+  EXPECT_EQ(t.delays_injected(), 0u);
+  t.shutdown();
+}
+
+TEST(FaultyTransport, SeededDropsAreDeterministic) {
+  const auto run = [] {
+    FaultModel model;
+    model.drop_rate = 0.3;
+    model.seed = 42;
+    FaultyTransport t = make_faulty(2, model);
+    t.register_node(0, [](const Message&) {});
+    t.register_node(1, [](const Message&) {});
+    t.start();
+    for (int i = 0; i < 200; ++i) t.send(make_msg(0, 1, i));
+    const std::uint64_t drops = t.drops_injected();
+    t.shutdown();
+    return drops;
+  };
+  const std::uint64_t a = run();
+  const std::uint64_t b = run();
+  EXPECT_GT(a, 20u);  // ~60 expected
+  EXPECT_LT(a, 120u);
+  EXPECT_EQ(a, b) << "same seed, same send sequence => same fault sequence";
+}
+
+TEST(FaultyTransport, DuplicationDeliversExtraCopies) {
+  FaultModel model;
+  model.dup_rate = 1.0;
+  model.delay_base = std::chrono::microseconds(100);
+  model.delay_jitter = std::chrono::microseconds(100);
+  FaultyTransport t = make_faulty(2, model);
+  std::atomic<int> got{0};
+  t.register_node(0, [](const Message&) {});
+  t.register_node(1, [&](const Message&) { got.fetch_add(1); });
+  t.start();
+  for (int i = 0; i < 30; ++i) t.send(make_msg(0, 1, i));
+  EXPECT_TRUE(eventually([&] { return got.load() == 60; }))
+      << "every message must arrive twice, got " << got.load();
+  EXPECT_EQ(t.dups_injected(), 30u);
+  t.shutdown();
+}
+
+TEST(FaultyTransport, DelayHoldsMessagesBack) {
+  FaultModel model;
+  model.delay_rate = 1.0;
+  model.delay_base = std::chrono::milliseconds(30);
+  model.delay_jitter = std::chrono::microseconds(0);
+  FaultyTransport t = make_faulty(2, model);
+  std::atomic<int> got{0};
+  t.register_node(0, [](const Message&) {});
+  t.register_node(1, [&](const Message&) { got.fetch_add(1); });
+  t.start();
+  const auto start = std::chrono::steady_clock::now();
+  t.send(make_msg(0, 1, 0));
+  EXPECT_TRUE(eventually([&] { return got.load() == 1; }));
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_GE(elapsed, std::chrono::milliseconds(29));
+  EXPECT_EQ(t.delays_injected(), 1u);
+  t.shutdown();
+}
+
+TEST(FaultyTransport, DelayBreaksChannelFifo) {
+  // A delayed message must be overtaken by later undelayed sends — this is
+  // precisely the reordering the ReliableChannel adapter exists to repair.
+  FaultModel model;
+  model.delay_rate = 0.5;  // seeded: some messages delayed, some not
+  model.delay_base = std::chrono::milliseconds(20);
+  model.delay_jitter = std::chrono::milliseconds(10);
+  FaultyTransport t = make_faulty(2, model);
+  std::vector<std::uint64_t> order;
+  std::mutex mu;
+  std::atomic<int> got{0};
+  t.register_node(0, [](const Message&) {});
+  t.register_node(1, [&](const Message& m) {
+    {
+      std::scoped_lock lock(mu);
+      order.push_back(m.request_id);
+    }
+    got.fetch_add(1);
+  });
+  t.start();
+  constexpr int kCount = 100;
+  for (int i = 0; i < kCount; ++i) t.send(make_msg(0, 1, i));
+  ASSERT_TRUE(eventually([&] { return got.load() == kCount; }));
+  t.shutdown();
+  bool reordered = false;
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    if (order[i] < order[i - 1]) reordered = true;
+  }
+  EXPECT_TRUE(reordered) << "a 50% delay rate must reorder some pairs";
+}
+
+TEST(FaultyTransport, CrashedNodeIsSilenced) {
+  FaultyTransport t = make_faulty(3, {});
+  std::atomic<int> got_1{0}, got_2{0};
+  t.register_node(0, [](const Message&) {});
+  t.register_node(1, [&](const Message&) { got_1.fetch_add(1); });
+  t.register_node(2, [&](const Message&) { got_2.fetch_add(1); });
+  t.start();
+  t.crash_node(1);
+  t.send(make_msg(0, 1, 0));  // to the crashed node: dropped
+  t.send(make_msg(1, 2, 0));  // from the crashed node: dropped
+  t.send(make_msg(0, 2, 0));  // bystander channel: unaffected
+  EXPECT_TRUE(eventually([&] { return got_2.load() == 1; }));
+  EXPECT_EQ(got_1.load(), 0);
+  EXPECT_EQ(t.drops_injected(), 2u);
+  t.shutdown();
+}
+
+TEST(FaultyTransport, PartitionTogglesOneDirection) {
+  FaultyTransport t = make_faulty(2, {});
+  std::atomic<int> got_0{0}, got_1{0};
+  t.register_node(0, [&](const Message&) { got_0.fetch_add(1); });
+  t.register_node(1, [&](const Message&) { got_1.fetch_add(1); });
+  t.start();
+  t.set_partition(0, 1, true);
+  t.send(make_msg(0, 1, 0));  // blocked direction
+  t.send(make_msg(1, 0, 0));  // reverse direction stays open
+  EXPECT_TRUE(eventually([&] { return got_0.load() == 1; }));
+  EXPECT_EQ(got_1.load(), 0);
+  t.set_partition(0, 1, false);  // heal
+  t.send(make_msg(0, 1, 1));
+  EXPECT_TRUE(eventually([&] { return got_1.load() == 1; }));
+  t.shutdown();
+}
+
+TEST(FaultyTransport, CountersLandInAttachedStats) {
+  FaultModel model;
+  model.drop_rate = 1.0;
+  FaultyTransport t = make_faulty(2, model);
+  StatsRegistry stats(2);
+  t.attach_stats(&stats);
+  t.register_node(0, [](const Message&) {});
+  t.register_node(1, [](const Message&) {});
+  t.start();
+  for (int i = 0; i < 10; ++i) t.send(make_msg(0, 1, i));
+  EXPECT_EQ(stats.node(0).get(Counter::kNetFaultDrop), 10u);
+  EXPECT_EQ(stats.total().messages_sent(), 0u)
+      << "fault counters must not pollute protocol message accounting";
+  t.shutdown();
+}
+
+}  // namespace
+}  // namespace causalmem

@@ -3,9 +3,13 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <cstring>
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "causalmem/stats/counters.hpp"
 
 namespace causalmem {
 namespace {
@@ -82,6 +86,83 @@ TEST(TcpTransport, ShutdownIsIdempotent) {
   t.start();
   t.shutdown();
   t.shutdown();  // second call must be a no-op
+}
+
+/// A raw frame whose 4-byte length prefix claims `claimed` payload bytes,
+/// carrying `actual` bytes of zeros behind it.
+std::vector<std::byte> raw_frame(std::uint32_t claimed, std::size_t actual) {
+  std::vector<std::byte> bytes(sizeof(std::uint32_t) + actual);
+  std::memcpy(bytes.data(), &claimed, sizeof(claimed));
+  return bytes;
+}
+
+TEST(TcpTransport, OversizedFrameTearsConnectionDownNotProcess) {
+  TcpTransport t(3);
+  StatsRegistry stats(3);
+  t.attach_stats(&stats);
+  std::atomic<int> got_1{0}, got_2{0};
+  t.register_node(0, [](const Message&) {});
+  t.register_node(1, [&](const Message&) { got_1.fetch_add(1); });
+  t.register_node(2, [&](const Message&) { got_2.fetch_add(1); });
+  t.start();
+
+  // A length prefix past the cap must not drive a giant allocation or an
+  // assert; node 1's reader tears the 0<->1 connection down.
+  t.send_raw(0, 1, raw_frame(TcpTransport::kMaxFrameBytes + 1, 0));
+  for (int i = 0; i < 2000 && stats.node(1).get(Counter::kNetFrameError) == 0;
+       ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(stats.node(1).get(Counter::kNetFrameError), 1u);
+
+  // The torn-down pair makes later 0->1 sends fail (fast once the write
+  // error is seen) instead of blocking; the counter makes the loss visible.
+  for (int i = 0; i < 2000 && stats.node(0).get(Counter::kNetSendFailed) == 0;
+       ++i) {
+    t.send(make_msg(0, 1, i));
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_GT(stats.node(0).get(Counter::kNetSendFailed), 0u);
+
+  // Bystander channels are unaffected: the process and the rest of the mesh
+  // stay up.
+  t.send(make_msg(0, 2, 0));
+  t.send(make_msg(2, 1, 0));
+  while (got_2.load() < 1 || got_1.load() < 1) std::this_thread::yield();
+  t.shutdown();
+}
+
+TEST(TcpTransport, ZeroLengthFrameIsRejected) {
+  TcpTransport t(2);
+  StatsRegistry stats(2);
+  t.attach_stats(&stats);
+  t.register_node(0, [](const Message&) {});
+  t.register_node(1, [](const Message&) {});
+  t.start();
+  t.send_raw(0, 1, raw_frame(0, 0));
+  for (int i = 0; i < 2000 && stats.node(1).get(Counter::kNetFrameError) == 0;
+       ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(stats.node(1).get(Counter::kNetFrameError), 1u);
+  t.shutdown();
+}
+
+TEST(TcpTransport, TruncatedFrameDoesNotHangShutdown) {
+  TcpTransport t(2);
+  std::atomic<int> got{0};
+  t.register_node(0, [](const Message&) {});
+  t.register_node(1, [&](const Message&) { got.fetch_add(1); });
+  t.start();
+  t.send(make_msg(0, 1, 1));  // a good frame first
+  while (got.load() < 1) std::this_thread::yield();
+  // Claim 64 payload bytes but deliver only 8: node 1's reader blocks
+  // mid-frame. shutdown() must still wake it and join cleanly (no hang —
+  // the test finishing is the assertion).
+  t.send_raw(0, 1, raw_frame(64, 8));
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  t.shutdown();
+  EXPECT_EQ(got.load(), 1);
 }
 
 }  // namespace
