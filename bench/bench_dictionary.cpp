@@ -29,6 +29,7 @@ constexpr int kOpsPerProc = 300;
 struct DictResult {
   double ops_per_ms{0};
   std::uint64_t messages{0};
+  obs::RunMetrics metrics;
 };
 
 template <typename NodeT>
@@ -81,16 +82,21 @@ DictResult run_dict(std::size_t procs, std::uint64_t latency,
   r.ops_per_ms = static_cast<double>(procs * kOpsPerProc) /
                  std::max(0.001, static_cast<double>(elapsed.count()) / 1e3);
   r.messages = sys.stats().total().messages_sent();
+  r.metrics.capture(sys.stats());
   return r;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string json_path = parse_json_path(argc, argv);
   std::printf("E13: dictionary throughput, causal (owner-wins, row=page) vs "
               "atomic (%d ops/process, 30%% insert / 15%% delete / 25%% "
               "fresh lookup / 30%% cached lookup, %zu slots/row)\n\n",
               kOpsPerProc, kSlots);
+  obs::MetricsExporter exporter("bench_dictionary");
+  exporter.set_meta("experiment", "E13");
+  exporter.set_meta("workload", "dictionary");
   Table table({"procs", "latency us", "causal ops/ms", "causal msgs",
                "atomic ops/ms", "atomic msgs", "causal/atomic"});
   for (const std::size_t procs : {2u, 4u, 8u}) {
@@ -104,9 +110,25 @@ int main() {
                      Table::num(c.ops_per_ms, 1), std::to_string(c.messages),
                      Table::num(a.ops_per_ms, 1), std::to_string(a.messages),
                      Table::num(c.ops_per_ms / a.ops_per_ms, 2) + "x"});
+      const auto export_run = [&](const char* memory, const DictResult& r) {
+        obs::RunMetrics& rm = exporter.add_run(
+            std::string(memory) + " procs=" + std::to_string(procs) +
+            " lat=" + std::to_string(lat) + "us");
+        const std::string name = rm.label;
+        rm = r.metrics;
+        rm.label = name;
+        rm.set_param("procs", static_cast<double>(procs));
+        rm.set_param("latency_us", static_cast<double>(lat));
+        rm.set_param("ops_per_proc", static_cast<double>(kOpsPerProc));
+        rm.set_value("ops_per_ms", r.ops_per_ms);
+        rm.set_value("messages", static_cast<double>(r.messages));
+      };
+      export_run("causal", c);
+      export_run("atomic", a);
     }
   }
   table.print(std::cout);
+  maybe_write_metrics(exporter, json_path);
   std::printf(
       "\nExpected: causal memory sends fewer messages throughout (inserts\n"
       "and owner-favored deletes never trigger invalidation rounds) and\n"

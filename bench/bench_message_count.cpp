@@ -23,11 +23,16 @@ using namespace causalmem::bench;
 int main(int argc, char** argv) {
   constexpr std::size_t kIterations = 20;
   const double drop_rate = parse_drop_rate(argc, argv);
+  const std::string json_path = parse_json_path(argc, argv);
   std::printf(
       "E1: messages per worker per solver iteration (Fig. 6 solver, %zu "
       "iterations, drop rate %.2f)\n\n",
       kIterations, drop_rate);
   const SystemOptions options = with_drop_rate({}, drop_rate);
+
+  obs::MetricsExporter exporter("bench_message_count");
+  exporter.set_meta("experiment", "E1");
+  exporter.set_meta("workload", "fig6_sync_solver");
 
   // The recovery columns (retransmits, receive-side duplicate drops, summed
   // over both runs) come from the net.* counters, which are *excluded* from
@@ -61,8 +66,26 @@ int main(int argc, char** argv) {
                    Table::num(atomic_noack_per, 1), std::to_string(3 * n + 5),
                    Table::num(atomic_per / causal_per, 2),
                    std::to_string(retransmits), std::to_string(dup_drops)});
+
+    const auto export_run = [&](const char* memory,
+                                const SolverRunResult& result,
+                                double per_worker_iter, double paper) {
+      obs::RunMetrics& rm =
+          exporter.add_run(std::string(memory) + " n=" + std::to_string(n));
+      rm = result.metrics;
+      rm.label = std::string(memory) + " n=" + std::to_string(n);
+      rm.set_param("n", static_cast<double>(n));
+      rm.set_param("iterations", static_cast<double>(kIterations));
+      rm.set_param("drop_rate", drop_rate);
+      rm.set_value("msgs_per_worker_iter", per_worker_iter);
+      rm.set_value("paper_msgs_per_worker_iter", paper);
+      rm.set_value("elapsed_us", static_cast<double>(result.elapsed.count()));
+    };
+    export_run("causal", causal, causal_per, static_cast<double>(2 * n + 6));
+    export_run("atomic", atomic, atomic_per, static_cast<double>(3 * n + 5));
   }
   table.print(std::cout);
+  maybe_write_metrics(exporter, json_path);
 
   std::printf(
       "\nReading the table: measured counts sit slightly above the paper's\n"

@@ -16,11 +16,17 @@ int main(int argc, char** argv) {
   constexpr std::size_t kN = 6;
   constexpr std::size_t kIterations = 10;
   const double drop_rate = parse_drop_rate(argc, argv);
+  const std::string json_path = parse_json_path(argc, argv);
+  const std::string trace_path = parse_flag_value(argc, argv, "--trace");
   const SolverProblem problem = SolverProblem::random(kN, 77);
 
   std::printf("E8: solver wall-clock vs injected message latency (n=%zu, %zu "
               "iterations, drop rate %.2f)\n\n",
               kN, kIterations, drop_rate);
+
+  obs::MetricsExporter exporter("bench_solver");
+  exporter.set_meta("experiment", "E8");
+  exporter.set_meta("workload", "fig6_sync_solver");
 
   Table table({"latency (us)", "causal (ms)", "atomic (ms)",
                "async causal (ms)", "atomic/causal", "retransmits"});
@@ -44,8 +50,47 @@ int main(int argc, char** argv) {
                    Table::num(atomic_ms, 1), Table::num(async_ms, 1),
                    Table::num(atomic_ms / causal_ms, 2),
                    std::to_string(retransmits)});
+
+    const auto export_run = [&](const char* label,
+                                const SolverRunResult& result) {
+      obs::RunMetrics& rm = exporter.add_run(std::string(label) + " lat=" +
+                                             std::to_string(lat) + "us");
+      const std::string name = rm.label;
+      rm = result.metrics;
+      rm.label = name;
+      rm.set_param("n", static_cast<double>(kN));
+      rm.set_param("iterations", static_cast<double>(kIterations));
+      rm.set_param("latency_us", static_cast<double>(lat));
+      rm.set_param("drop_rate", drop_rate);
+      rm.set_value("elapsed_ms",
+                   static_cast<double>(result.elapsed.count()) / 1e3);
+    };
+    export_run("causal", causal);
+    export_run("atomic", atomic);
+    export_run("async causal", async);
   }
   table.print(std::cout);
+
+  if (!trace_path.empty()) {
+    // A dedicated traced run (tracing perturbs nothing when off; keeping the
+    // timed sweep above untraced keeps its numbers honest). The exported
+    // Chrome-trace JSON loads directly in ui.perfetto.dev.
+    const auto traced = run_solver<CausalNode>(
+        problem, kIterations, false, {}, with_drop_rate({}, drop_rate), true,
+        trace_path);
+    std::printf("\ntrace of a causal solver run (%llu events, %llu dropped) "
+                "written to %s\n",
+                static_cast<unsigned long long>(traced.metrics.trace_retained),
+                static_cast<unsigned long long>(traced.metrics.trace_dropped),
+                trace_path.c_str());
+    obs::RunMetrics& rm = exporter.add_run("traced causal");
+    const std::string name = rm.label;
+    rm = traced.metrics;
+    rm.label = name;
+    rm.set_param("n", static_cast<double>(kN));
+    rm.set_param("iterations", static_cast<double>(kIterations));
+  }
+  maybe_write_metrics(exporter, json_path);
 
   std::printf("\nExpected shape: causal wins clearly where message handling\n"
               "dominates (low latency); at high latency the phase-structured\n"

@@ -6,6 +6,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -14,6 +15,7 @@
 #include "causalmem/dsm/broadcast/node.hpp"
 #include "causalmem/dsm/causal/node.hpp"
 #include "causalmem/dsm/system.hpp"
+#include "causalmem/obs/metrics_export.hpp"
 #include "causalmem/stats/table.hpp"
 
 namespace causalmem::bench {
@@ -21,6 +23,10 @@ namespace causalmem::bench {
 struct SolverRunResult {
   SolverRun run;
   StatsSnapshot stats;
+  /// Full per-node counters + merged latency histograms (+ trace summary
+  /// when tracing was on), captured before the system was torn down. Benches
+  /// copy this into a MetricsExporter run for --json output.
+  obs::RunMetrics metrics;
   std::chrono::microseconds elapsed{0};
 
   /// The paper counts protocol messages; busy-wait re-fetches (a READ +
@@ -36,12 +42,17 @@ struct SolverRunResult {
   }
 };
 
+/// Runs the Fig. 6 solver on a fresh DsmSystem<NodeT>. When `trace_path` is
+/// non-empty, tracing is enabled for the run and the Chrome-trace JSON
+/// (Perfetto-loadable) is written there after the system quiesces.
 template <typename NodeT>
 SolverRunResult run_solver(const SolverProblem& problem, std::size_t iterations,
                            bool async = false,
                            typename NodeT::Config config = {},
                            SystemOptions options = {},
-                           bool protect_constants = true) {
+                           bool protect_constants = true,
+                           const std::string& trace_path = {}) {
+  if (!trace_path.empty()) options.trace.enabled = true;
   const SolverLayout layout(problem.n);
   DsmSystem<NodeT> sys(layout.node_count(), config, options,
                        layout.make_ownership());
@@ -65,6 +76,18 @@ SolverRunResult run_solver(const SolverProblem& problem, std::size_t iterations,
   result.elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
       std::chrono::steady_clock::now() - start);
   result.stats = sys.stats().total();
+  result.metrics.capture(sys.stats());
+  if (sys.trace_hub() != nullptr) {
+    // Quiesce the tracer's writers (solver threads joined above; delivery
+    // threads stop here) before draining the rings.
+    sys.shutdown();
+    result.metrics.capture_trace(*sys.trace_hub());
+    if (!trace_path.empty() &&
+        !obs::write_chrome_trace(trace_path, *sys.trace_hub())) {
+      std::fprintf(stderr, "failed to write trace to %s\n", trace_path.c_str());
+      std::exit(1);
+    }
+  }
   return result;
 }
 
@@ -72,6 +95,45 @@ inline LatencyModel latency_us(std::uint64_t micros) {
   LatencyModel m;
   m.base = std::chrono::microseconds(micros);
   return m;
+}
+
+/// Parses `--<flag> <value>` or `--<flag>=<value>` from argv; empty string
+/// when absent. `flag` includes the leading dashes (e.g. "--json").
+inline std::string parse_flag_value(int argc, char** argv,
+                                    std::string_view flag) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg(argv[i]);
+    if (arg == flag) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires a value\n", std::string(flag).c_str());
+        std::exit(1);
+      }
+      return argv[i + 1];
+    }
+    if (arg.size() > flag.size() + 1 && arg.substr(0, flag.size()) == flag &&
+        arg[flag.size()] == '=') {
+      return std::string(arg.substr(flag.size() + 1));
+    }
+  }
+  return {};
+}
+
+/// `--json <path>`: where to write the machine-readable metrics document
+/// (schema causalmem-metrics-v1); empty = no export.
+inline std::string parse_json_path(int argc, char** argv) {
+  return parse_flag_value(argc, argv, "--json");
+}
+
+/// Writes the exporter's document to `path` (when non-empty), exiting
+/// non-zero on I/O failure so CI catches a broken export.
+inline void maybe_write_metrics(const obs::MetricsExporter& exporter,
+                                const std::string& path) {
+  if (path.empty()) return;
+  if (!exporter.write(path)) {
+    std::fprintf(stderr, "failed to write metrics to %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::printf("\nmetrics written to %s\n", path.c_str());
 }
 
 /// Parses `--drop-rate=X` (X in [0, 1]) from argv; 0 when absent, so the

@@ -1,14 +1,22 @@
 // Minimal leveled, thread-safe logger. Protocol code logs at DEBUG; the
-// default level is WARN so tests and benches stay quiet.
+// default level is WARN so tests and benches stay quiet. Output goes through
+// a pluggable sink (default: timestamped stderr) so tests can capture or
+// silence it.
 #pragma once
 
 #include <atomic>
+#include <functional>
 #include <sstream>
 #include <string>
 
 namespace causalmem {
 
 enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Receives every emitted (level-passing) log message. Called under the
+/// logger's emit mutex, so invocations are serialized; keep sinks fast and
+/// never log from inside one.
+using LogSink = std::function<void(LogLevel, const std::string&)>;
 
 namespace log_detail {
 
@@ -21,6 +29,11 @@ void emit(LogLevel level, const std::string& message);
 inline void set_log_level(LogLevel level) noexcept {
   log_detail::global_level().store(level, std::memory_order_relaxed);
 }
+
+/// Replaces the global log sink; an empty sink restores the default
+/// (timestamped stderr). The sink receives the raw message without the
+/// default's timestamp/level prefix.
+void set_log_sink(LogSink sink);
 
 [[nodiscard]] inline bool log_enabled(LogLevel level) noexcept {
   return level >= log_detail::global_level().load(std::memory_order_relaxed);

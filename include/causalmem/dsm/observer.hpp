@@ -4,10 +4,10 @@
 // each node's program order, under the node's operation lock.
 #pragma once
 
-#include <chrono>
 #include <cstdint>
 
 #include "causalmem/common/types.hpp"
+#include "causalmem/obs/clock.hpp"
 
 namespace causalmem {
 
@@ -19,11 +19,11 @@ struct OpTiming {
   std::uint64_t start_ns{0};
   std::uint64_t end_ns{0};
 
+  /// Reads the shared observability clock (obs::now_ns): one time source for
+  /// OpTiming, the tracer and the latency histograms, replaceable with a
+  /// FakeClock in deterministic tests.
   [[nodiscard]] static std::uint64_t now_ns() noexcept {
-    return static_cast<std::uint64_t>(
-        std::chrono::duration_cast<std::chrono::nanoseconds>(
-            std::chrono::steady_clock::now().time_since_epoch())
-            .count());
+    return obs::now_ns();
   }
 
   /// Starts a bracket now.

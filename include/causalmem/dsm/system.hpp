@@ -16,6 +16,7 @@
 #include "causalmem/net/inmem_transport.hpp"
 #include "causalmem/net/reliable_channel.hpp"
 #include "causalmem/net/tcp_transport.hpp"
+#include "causalmem/obs/trace.hpp"
 #include "causalmem/stats/counters.hpp"
 
 namespace causalmem {
@@ -25,6 +26,16 @@ struct ChannelLatencyOverride {
   NodeId from{0};
   NodeId to{0};
   LatencyModel latency{};
+};
+
+/// Protocol event tracing (obs::Tracer). Off by default: the disabled path
+/// at every instrumentation site is one relaxed load of a null pointer, so
+/// message counts and protocol behaviour are bit-identical with tracing off.
+struct TraceOptions {
+  bool enabled{false};
+  /// Ring-buffer capacity per node (rounded up to a power of two);
+  /// wraparound keeps the newest events.
+  std::size_t events_per_node{1u << 16};
 };
 
 struct SystemOptions {
@@ -48,6 +59,8 @@ struct SystemOptions {
   /// timeout-driven retransmission.
   bool reliable{false};
   ReliableConfig reliable_config{};
+  /// Protocol event tracing; see TraceOptions.
+  TraceOptions trace{};
 };
 
 template <typename NodeT>
@@ -67,6 +80,12 @@ class DsmSystem {
                        ? std::move(ownership)
                        : std::make_unique<StripedOwnership>(n, page_size_of(config))) {
     CM_EXPECTS(n > 0);
+    if (options.trace.enabled) {
+      trace_ = std::make_unique<obs::TraceHub>(n, options.trace.events_per_node);
+      for (NodeId i = 0; i < n; ++i) {
+        stats_.node(i).set_tracer(&trace_->node(i));
+      }
+    }
     std::unique_ptr<Transport> transport;
     if (options.use_tcp) {
       transport = std::make_unique<TcpTransport>(n);
@@ -134,6 +153,11 @@ class DsmSystem {
   /// The reliable-delivery adapter, or nullptr when options.reliable is off.
   [[nodiscard]] ReliableChannel* reliable_channel() noexcept { return reliable_; }
 
+  /// The per-node event tracers, or nullptr when options.trace is off.
+  /// Drain (trace_hub()->events()) only after application threads join and
+  /// the transport is shut down.
+  [[nodiscard]] obs::TraceHub* trace_hub() noexcept { return trace_.get(); }
+
  private:
   template <typename C>
   static Addr page_size_of(const C& config) {
@@ -145,6 +169,9 @@ class DsmSystem {
   }
 
   StatsRegistry stats_;
+  // Declared before transport_/nodes_ (and thus destroyed after them): the
+  // delivery threads and nodes may record into the tracers until shutdown.
+  std::unique_ptr<obs::TraceHub> trace_;
   std::unique_ptr<Ownership> ownership_;
   std::unique_ptr<Transport> transport_;
   // Non-owning views into the transport stack (bottom to top).

@@ -79,6 +79,9 @@ class ReliableChannel final : public Transport {
     Message msg;
     Clock::time_point deadline;
     std::chrono::microseconds rto;
+    /// obs::now_ns() at first transmission — retransmission-delay samples
+    /// (lat.retransmit_delay_ns) measure from here.
+    std::uint64_t first_sent_ns{0};
   };
 
   /// Both halves of one directed channel (s -> d): the sender half lives at

@@ -12,10 +12,10 @@
 #include <functional>
 
 #include "causalmem/net/message.hpp"
+#include "causalmem/obs/trace.hpp"
+#include "causalmem/stats/counters.hpp"
 
 namespace causalmem {
-
-class StatsRegistry;
 
 class Transport {
  public:
@@ -49,6 +49,19 @@ class Transport {
   [[nodiscard]] virtual std::size_t node_count() const = 0;
 
  protected:
+  /// Records a message-level trace event into `node`'s tracer. When tracing
+  /// is off (no registry, or no tracer attached) the cost is one null check
+  /// plus one relaxed load — transports call this unconditionally.
+  void trace_msg(NodeId node, obs::TraceEventKind kind,
+                 const Message& m) noexcept {
+    if (stats_ == nullptr) return;
+    if (obs::Tracer* t = stats_->tracer(node)) {
+      t->record(kind, static_cast<std::uint8_t>(m.type),
+                node == m.from ? m.to : m.from, m.addr,
+                m.stamp.size() != 0 ? &m.stamp : nullptr);
+    }
+  }
+
   StatsRegistry* stats_{nullptr};
 };
 

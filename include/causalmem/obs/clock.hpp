@@ -1,0 +1,80 @@
+// Single time source for the whole observability stack. OpTiming, the event
+// tracer, latency histograms and the log timestamps all read the same seam,
+// so a test can install a FakeClock and get deterministic timings without
+// sleeping. The default source is the steady clock; swapping sources is a
+// test-only operation and must happen while no timed code is running.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace causalmem::obs {
+
+/// Abstract time source: monotonic nanoseconds since an arbitrary epoch.
+class ClockSource {
+ public:
+  virtual ~ClockSource() = default;
+  [[nodiscard]] virtual std::uint64_t now_ns() noexcept = 0;
+};
+
+namespace detail {
+inline std::atomic<ClockSource*> g_clock{nullptr};
+}  // namespace detail
+
+/// The process steady clock, bypassing any installed source.
+[[nodiscard]] inline std::uint64_t steady_now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Current time from the installed source (steady clock when none).
+[[nodiscard]] inline std::uint64_t now_ns() noexcept {
+  ClockSource* src = detail::g_clock.load(std::memory_order_acquire);
+  return src != nullptr ? src->now_ns() : steady_now_ns();
+}
+
+/// Installs `source` as the global time source; nullptr restores the steady
+/// clock. `source` must outlive every reader — install before threads start
+/// and uninstall after they join.
+inline void set_clock_source(ClockSource* source) noexcept {
+  detail::g_clock.store(source, std::memory_order_release);
+}
+
+/// Manually advanced clock for deterministic tests.
+class FakeClock final : public ClockSource {
+ public:
+  explicit FakeClock(std::uint64_t start_ns = 0) noexcept : t_(start_ns) {}
+
+  [[nodiscard]] std::uint64_t now_ns() noexcept override {
+    return t_.load(std::memory_order_relaxed);
+  }
+
+  void advance_ns(std::uint64_t delta) noexcept {
+    t_.fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  void set_ns(std::uint64_t t) noexcept {
+    t_.store(t, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> t_;
+};
+
+/// RAII installer: swaps the global source in, restores the steady clock on
+/// scope exit.
+class ScopedClockSource {
+ public:
+  explicit ScopedClockSource(ClockSource* source) noexcept {
+    set_clock_source(source);
+  }
+  ~ScopedClockSource() { set_clock_source(nullptr); }
+
+  ScopedClockSource(const ScopedClockSource&) = delete;
+  ScopedClockSource& operator=(const ScopedClockSource&) = delete;
+};
+
+}  // namespace causalmem::obs

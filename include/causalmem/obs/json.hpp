@@ -1,0 +1,84 @@
+// Minimal JSON infrastructure for the metrics exporter: a streaming writer
+// (no DOM allocation on the hot path) and a small recursive-descent parser
+// used by tests and tools to validate that exported documents round-trip.
+// Deliberately not a general-purpose library — exactly what RFC 8259 needs
+// for the documents we emit.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace causalmem::obs {
+
+/// Streaming JSON writer. Usage:
+///   JsonWriter w;
+///   w.begin_object().key("n").value(3).end_object();
+///   std::string doc = std::move(w).str();
+/// Commas and separators are inserted automatically; the caller is
+/// responsible for matching begin/end pairs (checked with CM_EXPECTS).
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+  JsonWriter& key(std::string_view k);
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(double v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(bool v);
+  JsonWriter& null();
+
+  [[nodiscard]] std::string str() &&;
+  [[nodiscard]] const std::string& peek() const noexcept { return out_; }
+
+  static void append_escaped(std::string& out, std::string_view s);
+
+ private:
+  void pre_value();
+
+  std::string out_;
+  /// One entry per open container: true until the first element is written.
+  std::vector<bool> first_;
+  bool after_key_{false};
+};
+
+/// Parsed JSON document node.
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type{Type::kNull};
+  bool boolean{false};
+  double number{0.0};
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;  // insertion order
+
+  /// Object member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const JsonValue* find(std::string_view key) const noexcept;
+
+  [[nodiscard]] bool is_object() const noexcept {
+    return type == Type::kObject;
+  }
+  [[nodiscard]] bool is_array() const noexcept { return type == Type::kArray; }
+  [[nodiscard]] bool is_number() const noexcept {
+    return type == Type::kNumber;
+  }
+  [[nodiscard]] bool is_string() const noexcept {
+    return type == Type::kString;
+  }
+};
+
+/// Parses one JSON document (trailing whitespace allowed, trailing garbage
+/// rejected). Returns nullopt and fills `error` (if given) on failure.
+std::optional<JsonValue> parse_json(std::string_view text,
+                                    std::string* error = nullptr);
+
+}  // namespace causalmem::obs

@@ -1,0 +1,238 @@
+// Per-node protocol event tracer: a fixed-capacity ring buffer with a
+// relaxed-atomic write cursor. Writers (application threads, delivery
+// threads, the retransmitter, the fault timer) claim a slot with one
+// fetch_add and guard the payload write with a per-slot state CAS, so
+// recording is lock-free and wait-free for the common case; a writer that
+// finds its slot mid-overwrite (another writer lapped the ring onto it)
+// drops the event and bumps `dropped` instead of waiting. Capacity bounds
+// memory; wraparound keeps the newest events (drop-oldest).
+//
+// Reading the retained window (events()) is only consistent when writers are
+// quiescent — drain after joining application threads / shutting the
+// transport down. The tracer pointer reaches instrumentation sites through
+// NodeStats::tracer(), a single relaxed load, so the disabled path costs one
+// predictable-branch load and nothing else.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "causalmem/common/expect.hpp"
+#include "causalmem/common/types.hpp"
+#include "causalmem/obs/clock.hpp"
+#include "causalmem/vclock/vector_clock.hpp"
+
+namespace causalmem::obs {
+
+enum class TraceEventKind : std::uint8_t {
+  kSend = 0,     ///< wire-level send at the base transport
+  kRecv,         ///< wire-level delivery at the base transport
+  kReadHit,      ///< read satisfied locally (owned or cached)
+  kReadMiss,     ///< read needed an owner round trip
+  kReadDone,     ///< read completed (dur_ns = operation latency)
+  kWriteDone,    ///< write completed (dur_ns = operation latency)
+  kInvalidate,   ///< one cached page/cell invalidated
+  kDiscard,      ///< one cached page discarded (replacement / liveness)
+  kRetransmit,   ///< ReliableChannel re-sent an unacked message
+  kDupDrop,      ///< ReliableChannel dropped a receive-side duplicate
+  kAckSent,      ///< ReliableChannel sent a cumulative ack
+  kFaultDrop,    ///< FaultyTransport dropped a message (incl. crash/partition)
+  kFaultDup,     ///< FaultyTransport injected a duplicate copy
+  kFaultDelay,   ///< FaultyTransport held a message back
+  kKindCount,
+};
+
+inline constexpr std::size_t kNumTraceEventKinds =
+    static_cast<std::size_t>(TraceEventKind::kKindCount);
+
+[[nodiscard]] inline const char* trace_event_kind_name(
+    TraceEventKind k) noexcept {
+  switch (k) {
+    case TraceEventKind::kSend: return "send";
+    case TraceEventKind::kRecv: return "recv";
+    case TraceEventKind::kReadHit: return "read_hit";
+    case TraceEventKind::kReadMiss: return "read_miss";
+    case TraceEventKind::kReadDone: return "read";
+    case TraceEventKind::kWriteDone: return "write";
+    case TraceEventKind::kInvalidate: return "invalidate";
+    case TraceEventKind::kDiscard: return "discard";
+    case TraceEventKind::kRetransmit: return "retransmit";
+    case TraceEventKind::kDupDrop: return "dup_drop";
+    case TraceEventKind::kAckSent: return "ack";
+    case TraceEventKind::kFaultDrop: return "fault_drop";
+    case TraceEventKind::kFaultDup: return "fault_dup";
+    case TraceEventKind::kFaultDelay: return "fault_delay";
+    case TraceEventKind::kKindCount: break;
+  }
+  return "unknown";
+}
+
+struct TraceEvent {
+  std::uint64_t seq{0};     ///< global-per-tracer record order (unique)
+  std::uint64_t ts_ns{0};   ///< obs::now_ns() at record time (or caller's)
+  std::uint64_t dur_ns{0};  ///< 0 = instant; else a completed-span duration
+  NodeId node{kNoNode};     ///< the node whose tracer recorded the event
+  NodeId peer{kNoNode};     ///< other endpoint for message events
+  TraceEventKind kind{TraceEventKind::kSend};
+  std::uint8_t msg_type{0};  ///< MsgType value for message events, 0 = n/a
+  Addr addr{0};
+  std::vector<std::uint64_t> vclock;  ///< node's VT at the event; may be empty
+};
+
+class Tracer {
+ public:
+  /// `capacity` is rounded up to a power of two (minimum 2).
+  Tracer(NodeId node, std::size_t capacity)
+      : node_(node),
+        slots_(std::bit_ceil(std::max<std::size_t>(capacity, 2))),
+        mask_(slots_.size() - 1) {}
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Records one event. `ts_ns` 0 means "now"; pass an explicit start stamp
+  /// together with `dur_ns` for completed-span events.
+  void record(TraceEventKind kind, std::uint8_t msg_type = 0,
+              NodeId peer = kNoNode, Addr addr = 0,
+              const VectorClock* vt = nullptr, std::uint64_t ts_ns = 0,
+              std::uint64_t dur_ns = 0) noexcept {
+    const std::uint64_t ticket =
+        cursor_.fetch_add(1, std::memory_order_relaxed);
+    Slot& s = slots_[ticket & mask_];
+    std::uint64_t expected = s.state.load(std::memory_order_relaxed);
+    if (expected == kBusy ||
+        !s.state.compare_exchange_strong(expected, kBusy,
+                                         std::memory_order_acquire,
+                                         std::memory_order_relaxed)) {
+      // Another writer lapped the ring onto this slot mid-write; dropping
+      // beats waiting (the tracer must never become a synchronization point).
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    s.ev.seq = ticket;
+    s.ev.ts_ns = ts_ns != 0 ? ts_ns : now_ns();
+    s.ev.dur_ns = dur_ns;
+    s.ev.node = node_;
+    s.ev.peer = peer;
+    s.ev.kind = kind;
+    s.ev.msg_type = msg_type;
+    s.ev.addr = addr;
+    if (vt != nullptr) {
+      s.ev.vclock = vt->components();
+    } else {
+      s.ev.vclock.clear();
+    }
+    s.state.store(kFull, std::memory_order_release);
+  }
+
+  [[nodiscard]] NodeId node() const noexcept { return node_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return slots_.size(); }
+
+  /// Total record() calls (kept + overwritten + dropped).
+  [[nodiscard]] std::uint64_t attempted() const noexcept {
+    return cursor_.load(std::memory_order_relaxed);
+  }
+
+  /// Events abandoned because their slot was mid-overwrite.
+  [[nodiscard]] std::uint64_t dropped() const noexcept {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  /// The retained window, oldest first. Only consistent when writers are
+  /// quiescent (drain after threads join / transport shutdown).
+  [[nodiscard]] std::vector<TraceEvent> events() const {
+    std::vector<TraceEvent> out;
+    out.reserve(slots_.size());
+    for (const Slot& s : slots_) {
+      if (s.state.load(std::memory_order_acquire) == kFull) {
+        out.push_back(s.ev);
+      }
+    }
+    std::sort(out.begin(), out.end(),
+              [](const TraceEvent& a, const TraceEvent& b) {
+                return a.seq < b.seq;
+              });
+    return out;
+  }
+
+  void reset() noexcept {
+    for (Slot& s : slots_) s.state.store(kFree, std::memory_order_relaxed);
+    cursor_.store(0, std::memory_order_relaxed);
+    dropped_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  static constexpr std::uint64_t kFree = 0;
+  static constexpr std::uint64_t kBusy = 1;
+  static constexpr std::uint64_t kFull = 2;
+
+  struct Slot {
+    std::atomic<std::uint64_t> state{kFree};
+    TraceEvent ev;
+  };
+
+  const NodeId node_;
+  std::vector<Slot> slots_;
+  const std::uint64_t mask_;
+  std::atomic<std::uint64_t> cursor_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+};
+
+/// One tracer per node of a system; owned by DsmSystem when tracing is on.
+class TraceHub {
+ public:
+  TraceHub(std::size_t nodes, std::size_t capacity_per_node) {
+    CM_EXPECTS(nodes > 0);
+    tracers_.reserve(nodes);
+    for (NodeId i = 0; i < nodes; ++i) {
+      tracers_.push_back(std::make_unique<Tracer>(i, capacity_per_node));
+    }
+  }
+
+  [[nodiscard]] Tracer& node(NodeId i) {
+    CM_EXPECTS(i < tracers_.size());
+    return *tracers_[i];
+  }
+
+  [[nodiscard]] std::size_t node_count() const noexcept {
+    return tracers_.size();
+  }
+
+  /// All nodes' retained events merged, timestamp-ordered. Writers must be
+  /// quiescent.
+  [[nodiscard]] std::vector<TraceEvent> events() const {
+    std::vector<TraceEvent> out;
+    for (const auto& t : tracers_) {
+      auto e = t->events();
+      out.insert(out.end(), e.begin(), e.end());
+    }
+    std::sort(out.begin(), out.end(),
+              [](const TraceEvent& a, const TraceEvent& b) {
+                if (a.ts_ns != b.ts_ns) return a.ts_ns < b.ts_ns;
+                if (a.node != b.node) return a.node < b.node;
+                return a.seq < b.seq;
+              });
+    return out;
+  }
+
+  [[nodiscard]] std::uint64_t attempted() const noexcept {
+    std::uint64_t n = 0;
+    for (const auto& t : tracers_) n += t->attempted();
+    return n;
+  }
+
+  [[nodiscard]] std::uint64_t dropped() const noexcept {
+    std::uint64_t n = 0;
+    for (const auto& t : tracers_) n += t->dropped();
+    return n;
+  }
+
+ private:
+  std::vector<std::unique_ptr<Tracer>> tracers_;
+};
+
+}  // namespace causalmem::obs

@@ -12,8 +12,13 @@
 
 #include "causalmem/common/expect.hpp"
 #include "causalmem/common/types.hpp"
+#include "causalmem/obs/histogram.hpp"
 
 namespace causalmem {
+
+namespace obs {
+class Tracer;
+}  // namespace obs
 
 enum class Counter : std::size_t {
   // --- messages on the wire (sends) ---
@@ -56,6 +61,39 @@ inline constexpr std::size_t kNumCounters =
 
 [[nodiscard]] const char* counter_name(Counter c) noexcept;
 
+/// Latency distributions recorded next to the counters (obs::Histogram,
+/// log-bucketed, mergeable). Values are nanoseconds.
+enum class LatencyMetric : std::size_t {
+  kReadNs = 0,          ///< application-visible read latency
+  kWriteNs,             ///< application-visible write latency
+  kOwnerRttNs,          ///< request-send to reply-applied owner round trip
+  kRetransmitDelayNs,   ///< first-send to retransmission delay
+  kMetricCount,
+};
+
+inline constexpr std::size_t kNumLatencyMetrics =
+    static_cast<std::size_t>(LatencyMetric::kMetricCount);
+
+[[nodiscard]] const char* latency_metric_name(LatencyMetric m) noexcept;
+
+/// True for counters that belong to the transport recovery layer (net.*),
+/// reported separately from protocol cost.
+[[nodiscard]] constexpr bool is_recovery_counter(Counter c) noexcept {
+  switch (c) {
+    case Counter::kNetRetransmit:
+    case Counter::kNetDupDropped:
+    case Counter::kNetAckSent:
+    case Counter::kNetFaultDrop:
+    case Counter::kNetFaultDup:
+    case Counter::kNetFaultDelay:
+    case Counter::kNetSendFailed:
+    case Counter::kNetFrameError:
+      return true;
+    default:
+      return false;
+  }
+}
+
 /// True for counters that represent one message on the wire.
 [[nodiscard]] constexpr bool is_message_counter(Counter c) noexcept {
   switch (c) {
@@ -86,6 +124,10 @@ struct StatsSnapshot {
   StatsSnapshot& operator+=(const StatsSnapshot& other) noexcept;
   friend StatsSnapshot operator-(StatsSnapshot lhs, const StatsSnapshot& rhs) noexcept;
 
+  /// Aligned multi-line rendering: non-zero protocol counters first, then —
+  /// when any is non-zero — the net.* recovery counters in their own
+  /// section, so protocol vs recovery cost reads at a glance. Names are
+  /// left-aligned, values right-aligned.
   [[nodiscard]] std::string to_string() const;
 };
 
@@ -109,12 +151,36 @@ class NodeStats {
     return s;
   }
 
+  /// Records one latency sample (nanoseconds) into the metric's histogram.
+  void record_latency(LatencyMetric m, std::uint64_t ns) noexcept {
+    latency_[static_cast<std::size_t>(m)].record(ns);
+  }
+
+  [[nodiscard]] const obs::Histogram& latency(LatencyMetric m) const noexcept {
+    return latency_[static_cast<std::size_t>(m)];
+  }
+
+  /// The node's event tracer, or nullptr when tracing is disabled. A single
+  /// relaxed load — the whole cost of the disabled path at call sites.
+  [[nodiscard]] obs::Tracer* tracer() const noexcept {
+    return tracer_.load(std::memory_order_relaxed);
+  }
+
+  /// Attaches (or detaches, with nullptr) the node's tracer. The tracer must
+  /// outlive every thread that may record through this NodeStats.
+  void set_tracer(obs::Tracer* t) noexcept {
+    tracer_.store(t, std::memory_order_relaxed);
+  }
+
   void reset() noexcept {
     for (auto& v : values_) v.store(0, std::memory_order_relaxed);
+    for (auto& h : latency_) h.reset();
   }
 
  private:
   std::array<std::atomic<std::uint64_t>, kNumCounters> values_{};
+  std::array<obs::Histogram, kNumLatencyMetrics> latency_{};
+  std::atomic<obs::Tracer*> tracer_{nullptr};
 };
 
 /// Counters for a whole system of n nodes.
@@ -139,6 +205,25 @@ class StatsRegistry {
     StatsSnapshot s;
     for (const auto& n : per_node_) s += n.snapshot();
     return s;
+  }
+
+  /// One node's histogram snapshot for a metric.
+  [[nodiscard]] obs::HistogramSnapshot latency_snapshot(NodeId i,
+                                                        LatencyMetric m) const {
+    CM_EXPECTS(i < per_node_.size());
+    return per_node_[i].latency(m).snapshot();
+  }
+
+  /// Merged histogram over all nodes for a metric.
+  [[nodiscard]] obs::HistogramSnapshot latency_total(LatencyMetric m) const {
+    obs::HistogramSnapshot s;
+    for (const auto& n : per_node_) s += n.latency(m).snapshot();
+    return s;
+  }
+
+  /// The tracer of node `i`, or nullptr (out of range, or tracing off).
+  [[nodiscard]] obs::Tracer* tracer(NodeId i) const noexcept {
+    return i < per_node_.size() ? per_node_[i].tracer() : nullptr;
   }
 
   void reset() {

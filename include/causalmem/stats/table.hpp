@@ -11,7 +11,14 @@ namespace causalmem {
 
 class Table {
  public:
+  /// Per-column cell alignment. Numeric columns default to right alignment;
+  /// benches mark their label columns kLeft.
+  enum class Align { kRight, kLeft };
+
   explicit Table(std::vector<std::string> headers);
+
+  /// Sets one column's alignment (default: kRight, which suits numbers).
+  void set_align(std::size_t col, Align align);
 
   /// Adds a row; the number of cells must match the header count.
   void add_row(std::vector<std::string> cells);
@@ -24,6 +31,7 @@ class Table {
 
  private:
   std::vector<std::string> headers_;
+  std::vector<Align> aligns_;
   std::vector<std::vector<std::string>> rows_;
 };
 

@@ -1,10 +1,14 @@
 #include "causalmem/common/logging.hpp"
 
-#include <chrono>
 #include <cstdio>
 #include <mutex>
+#include <utility>
 
-namespace causalmem::log_detail {
+#include "causalmem/obs/clock.hpp"
+
+namespace causalmem {
+
+namespace log_detail {
 
 std::atomic<LogLevel>& global_level() noexcept {
   static std::atomic<LogLevel> level{LogLevel::kWarn};
@@ -29,16 +33,30 @@ std::mutex& emit_mutex() noexcept {
   return mu;
 }
 
+/// Guarded by emit_mutex(); empty = default stderr sink.
+LogSink& sink_slot() noexcept {
+  static LogSink sink;
+  return sink;
+}
+
 }  // namespace
 
 void emit(LogLevel level, const std::string& message) {
-  using namespace std::chrono;
-  const auto now = duration_cast<microseconds>(
-                       steady_clock::now().time_since_epoch())
-                       .count();
+  const auto now_us = obs::now_ns() / 1000;
   std::scoped_lock lock(emit_mutex());
-  std::fprintf(stderr, "[%12lld us] %s %s\n", static_cast<long long>(now),
+  if (const LogSink& sink = sink_slot(); sink) {
+    sink(level, message);
+    return;
+  }
+  std::fprintf(stderr, "[%12lld us] %s %s\n", static_cast<long long>(now_us),
                level_name(level), message.c_str());
 }
 
-}  // namespace causalmem::log_detail
+}  // namespace log_detail
+
+void set_log_sink(LogSink sink) {
+  std::scoped_lock lock(log_detail::emit_mutex());
+  log_detail::sink_slot() = std::move(sink);
+}
+
+}  // namespace causalmem

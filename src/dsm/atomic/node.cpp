@@ -1,8 +1,24 @@
 #include "causalmem/dsm/atomic/node.hpp"
 
 #include "causalmem/common/expect.hpp"
+#include "causalmem/obs/trace.hpp"
 
 namespace causalmem {
+
+namespace {
+
+/// Operation-completion span + latency sample (tr may be null: tracing off).
+void record_op_done(NodeStats& stats, obs::Tracer* tr, LatencyMetric metric,
+                    obs::TraceEventKind kind, Addr x,
+                    const OpTiming& done) noexcept {
+  const std::uint64_t dur = done.end_ns - done.start_ns;
+  stats.record_latency(metric, dur);
+  if (tr != nullptr) {
+    tr->record(kind, 0, kNoNode, x, nullptr, done.start_ns, dur);
+  }
+}
+
+}  // namespace
 
 AtomicNode::AtomicNode(NodeId id, std::size_t n, const Ownership& ownership,
                        Transport& transport, NodeStats& stats,
@@ -23,6 +39,7 @@ AtomicNode::AtomicNode(NodeId id, std::size_t n, const Ownership& ownership,
 
 Value AtomicNode::read(Addr x) {
   const OpTiming op_start = OpTiming::begin();
+  obs::Tracer* const tr = stats_.tracer();
   {
     std::unique_lock lock(mu_);
     if (ownership_.owner(x) == id_) {
@@ -30,23 +47,38 @@ Value AtomicNode::read(Addr x) {
       write_done_cv_.wait(lock, [&] { return !in_flight_.contains(x); });
       OwnedCell& c = owned_cell(x);
       stats_.bump(Counter::kReadHit);
+      if (tr != nullptr) {
+        tr->record(obs::TraceEventKind::kReadHit, 0, kNoNode, x);
+      }
       const Value v = c.value;
       const WriteTag tag = c.tag;
+      const OpTiming done = op_start.close();
+      record_op_done(stats_, tr, LatencyMetric::kReadNs,
+                     obs::TraceEventKind::kReadDone, x, done);
       if (observer_ != nullptr) {
-        observer_->on_read(id_, x, v, tag, op_start.close());
+        observer_->on_read(id_, x, v, tag, done);
       }
       return v;
     }
     if (auto it = cache_.find(x); it != cache_.end()) {
       stats_.bump(Counter::kReadHit);
+      if (tr != nullptr) {
+        tr->record(obs::TraceEventKind::kReadHit, 0, kNoNode, x);
+      }
       const Value v = it->second.value;
       const WriteTag tag = it->second.tag;
+      const OpTiming done = op_start.close();
+      record_op_done(stats_, tr, LatencyMetric::kReadNs,
+                     obs::TraceEventKind::kReadDone, x, done);
       if (observer_ != nullptr) {
-        observer_->on_read(id_, x, v, tag, op_start.close());
+        observer_->on_read(id_, x, v, tag, done);
       }
       return v;
     }
     stats_.bump(Counter::kReadMiss);
+    if (tr != nullptr) {
+      tr->record(obs::TraceEventKind::kReadMiss, 0, ownership_.owner(x), x);
+    }
   }
 
   std::uint64_t rid;
@@ -69,15 +101,19 @@ Value AtomicNode::read(Addr x) {
   // thread, *before* this future resolved — so an INV that the owner sends
   // after our R_REPLY (FIFO channel) can never race past the install.
   const Message rep = fut.get();
+  const OpTiming done = op_start.close();
+  record_op_done(stats_, tr, LatencyMetric::kReadNs,
+                 obs::TraceEventKind::kReadDone, x, done);
   std::unique_lock lock(mu_);
   if (observer_ != nullptr) {
-    observer_->on_read(id_, x, rep.value, rep.tag, op_start.close());
+    observer_->on_read(id_, x, rep.value, rep.tag, done);
   }
   return rep.value;
 }
 
 void AtomicNode::write(Addr x, Value v) {
   const OpTiming op_start = OpTiming::begin();
+  obs::Tracer* const tr = stats_.tracer();
   if (ownership_.owner(x) == id_) {
     std::unique_lock lock(mu_);
     stats_.bump(Counter::kWriteLocal);
@@ -92,8 +128,11 @@ void AtomicNode::write(Addr x, Value v) {
         return it == in_flight_.end() || !(it->second.tag == tag);
       });
     }
+    const OpTiming done = op_start.close();
+    record_op_done(stats_, tr, LatencyMetric::kWriteNs,
+                   obs::TraceEventKind::kWriteDone, x, done);
     if (observer_ != nullptr) {
-      observer_->on_write(id_, x, v, tag, true, op_start.close());
+      observer_->on_write(id_, x, v, tag, true, done);
     }
     return;
   }
@@ -120,9 +159,12 @@ void AtomicNode::write(Addr x, Value v) {
   transport_.send(std::move(req));
 
   (void)fut.get();  // cache install happened in complete_pending (FIFO-safe)
+  const OpTiming done = op_start.close();
+  record_op_done(stats_, tr, LatencyMetric::kWriteNs,
+                 obs::TraceEventKind::kWriteDone, x, done);
   std::unique_lock lock(mu_);
   if (observer_ != nullptr) {
-    observer_->on_write(id_, x, v, tag, true, op_start.close());
+    observer_->on_write(id_, x, v, tag, true, done);
   }
 }
 
@@ -239,6 +281,9 @@ void AtomicNode::handle_inv(const Message& m) {
     std::unique_lock lock(mu_);
     cache_.erase(m.addr);
     stats_.bump(Counter::kInvalidationApplied);
+    if (obs::Tracer* t = stats_.tracer()) {
+      t->record(obs::TraceEventKind::kInvalidate, 0, m.from, m.addr);
+    }
     stats_.bump(Counter::kMsgInvalidateAck);
   }
   Message ack;

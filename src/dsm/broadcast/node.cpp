@@ -1,6 +1,7 @@
 #include "causalmem/dsm/broadcast/node.hpp"
 
 #include "causalmem/common/expect.hpp"
+#include "causalmem/obs/trace.hpp"
 
 namespace causalmem {
 
@@ -20,19 +21,31 @@ BroadcastNode::BroadcastNode(NodeId id, std::size_t n,
 
 Value BroadcastNode::read(Addr x) {
   const OpTiming op_start = OpTiming::begin();
+  obs::Tracer* const tr = stats_.tracer();
   std::unique_lock lock(mu_);
   stats_.bump(Counter::kReadHit);  // replica reads are always local
+  if (tr != nullptr) {
+    tr->record(obs::TraceEventKind::kReadHit, 0, kNoNode, x);
+  }
   const auto it = store_.find(x);
   const Value v = it != store_.end() ? it->second.value : kInitialValue;
   const WriteTag tag = it != store_.end() ? it->second.tag : WriteTag{};
+  const OpTiming done = op_start.close();
+  const std::uint64_t dur = done.end_ns - done.start_ns;
+  stats_.record_latency(LatencyMetric::kReadNs, dur);
+  if (tr != nullptr) {
+    tr->record(obs::TraceEventKind::kReadDone, 0, kNoNode, x, nullptr,
+               done.start_ns, dur);
+  }
   if (observer_ != nullptr) {
-    observer_->on_read(id_, x, v, tag, op_start.close());
+    observer_->on_read(id_, x, v, tag, done);
   }
   return v;
 }
 
 void BroadcastNode::write(Addr x, Value v) {
   const OpTiming op_start = OpTiming::begin();
+  obs::Tracer* const tr = stats_.tracer();
   Message m;
   {
     std::unique_lock lock(mu_);
@@ -43,8 +56,15 @@ void BroadcastNode::write(Addr x, Value v) {
     ++delivered_[id_];
     ++applied_total_;
     store_[x] = StoredCell{v, tag};
+    const OpTiming done = op_start.close();
+    const std::uint64_t dur = done.end_ns - done.start_ns;
+    stats_.record_latency(LatencyMetric::kWriteNs, dur);
+    if (tr != nullptr) {
+      tr->record(obs::TraceEventKind::kWriteDone, 0, kNoNode, x, nullptr,
+                 done.start_ns, dur);
+    }
     if (observer_ != nullptr) {
-      observer_->on_write(id_, x, v, tag, true, op_start.close());
+      observer_->on_write(id_, x, v, tag, true, done);
     }
 
     m.type = MsgType::kBroadcastUpdate;

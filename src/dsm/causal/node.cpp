@@ -4,8 +4,25 @@
 
 #include "causalmem/common/expect.hpp"
 #include "causalmem/common/logging.hpp"
+#include "causalmem/obs/trace.hpp"
 
 namespace causalmem {
+
+namespace {
+
+/// Records an operation-completion span and its latency sample. `tr` may be
+/// null (tracing off) — the latency histogram is always recorded.
+void record_op_done(NodeStats& stats, obs::Tracer* tr, LatencyMetric metric,
+                    obs::TraceEventKind kind, Addr x,
+                    const OpTiming& done) noexcept {
+  const std::uint64_t dur = done.end_ns - done.start_ns;
+  stats.record_latency(metric, dur);
+  if (tr != nullptr) {
+    tr->record(kind, 0, kNoNode, x, nullptr, done.start_ns, dur);
+  }
+}
+
+}  // namespace
 
 CausalNode::CausalNode(NodeId id, std::size_t n, const Ownership& ownership,
                        Transport& transport, NodeStats& stats,
@@ -35,16 +52,23 @@ CausalNode::CausalNode(NodeId id, std::size_t n, const Ownership& ownership,
 
 Value CausalNode::read(Addr x) {
   const OpTiming op_start = OpTiming::begin();
+  obs::Tracer* const tr = stats_.tracer();
   const std::uint64_t pg = page_of(x);
   {
     std::unique_lock lock(mu_);
     if (owner_of(x) == id_) {
       Cell& c = owned_cell(x);
       stats_.bump(Counter::kReadHit);
+      if (tr != nullptr) {
+        tr->record(obs::TraceEventKind::kReadHit, 0, kNoNode, x, &vt_);
+      }
       const Value v = c.value;
       const WriteTag tag = c.tag;
+      const OpTiming done = op_start.close();
+      record_op_done(stats_, tr, LatencyMetric::kReadNs,
+                     obs::TraceEventKind::kReadDone, x, done);
       if (observer_ != nullptr) {
-        observer_->on_read(id_, x, v, tag, op_start.close());
+        observer_->on_read(id_, x, v, tag, done);
       }
       return v;
     }
@@ -53,15 +77,24 @@ Value CausalNode::read(Addr x) {
         touch_lru(it->second);
         const Cell& c = it->second.cells[x - page_base(pg)];
         stats_.bump(Counter::kReadHit);
+        if (tr != nullptr) {
+          tr->record(obs::TraceEventKind::kReadHit, 0, kNoNode, x, &vt_);
+        }
         const Value v = c.value;
         const WriteTag tag = c.tag;
+        const OpTiming done = op_start.close();
+        record_op_done(stats_, tr, LatencyMetric::kReadNs,
+                       obs::TraceEventKind::kReadDone, x, done);
         if (observer_ != nullptr) {
-          observer_->on_read(id_, x, v, tag, op_start.close());
+          observer_->on_read(id_, x, v, tag, done);
         }
         return v;
       }
     }
     stats_.bump(Counter::kReadMiss);
+    if (tr != nullptr) {
+      tr->record(obs::TraceEventKind::kReadMiss, 0, owner_of(x), x, &vt_);
+    }
   }
 
   // Read miss: request a current copy from the owner and block (Fig. 4).
@@ -91,11 +124,15 @@ Value CausalNode::read(Addr x) {
   // the recorded per-node operation order is the order effects actually
   // took place (which is what makes several application threads per node
   // sound). complete_pending put the chosen value into the reply.
-  return fut.get().value;
+  const Value v = fut.get().value;
+  record_op_done(stats_, tr, LatencyMetric::kReadNs,
+                 obs::TraceEventKind::kReadDone, x, op_start.close());
+  return v;
 }
 
 void CausalNode::write(Addr x, Value v) {
   const OpTiming op_start = OpTiming::begin();
+  obs::Tracer* const tr = stats_.tracer();
   const std::uint64_t pg = page_of(x);
   // The entire issue sequence — clock increment, observation, local
   // install, and the send — happens under ONE hold of the operation mutex,
@@ -123,8 +160,11 @@ void CausalNode::write(Addr x, Value v) {
     c.stamp = vt_;
     c.tag = tag;
     stats_.bump(Counter::kWriteLocal);
+    const OpTiming done = op_start.close();
+    record_op_done(stats_, tr, LatencyMetric::kWriteNs,
+                   obs::TraceEventKind::kWriteDone, x, done);
     if (observer_ != nullptr) {
-      observer_->on_write(id_, x, v, tag, true, op_start.close());
+      observer_->on_write(id_, x, v, tag, true, done);
     }
     return;
   }
@@ -158,7 +198,7 @@ void CausalNode::write(Addr x, Value v) {
 
   const bool async = cfg_.write_mode == WriteMode::kAsync;
   const std::uint64_t rid = next_rid_++;
-  std::future<Message> fut = register_pending(rid, async);
+  std::future<Message> fut = register_pending(rid, async, op_start.start_ns);
   if (async) {
     ++outstanding_async_;
     async_chain_owner_ = owner_of(x);
@@ -181,6 +221,8 @@ void CausalNode::write(Addr x, Value v) {
     // delivery thread (FIFO position — see the read path comment).
     (void)fut.get();
   }
+  record_op_done(stats_, tr, LatencyMetric::kWriteNs,
+                 obs::TraceEventKind::kWriteDone, x, op_start.close());
 }
 
 bool CausalNode::discard(Addr x) {
@@ -188,6 +230,9 @@ bool CausalNode::discard(Addr x) {
   if (owner_of(x) == id_) return false;
   if (auto it = cache_.find(page_of(x)); it != cache_.end()) {
     stats_.bump(Counter::kDiscard);
+    if (obs::Tracer* t = stats_.tracer()) {
+      t->record(obs::TraceEventKind::kDiscard, 0, kNoNode, x, &vt_);
+    }
     erase_page(it);
   }
   return true;
@@ -350,6 +395,11 @@ void CausalNode::complete_pending(const Message& m) {
     }
   }
 
+  if (it->second.start_ns != 0) {
+    stats_.record_latency(LatencyMetric::kOwnerRttNs,
+                          OpTiming::now_ns() - it->second.start_ns);
+  }
+
   if (it->second.async) {
     // Background certification of a non-blocking write: merge the owner's
     // clock and release any flush() waiter.
@@ -489,6 +539,7 @@ void CausalNode::cache_own_write(Addr x, Value v, const WriteTag& tag,
 
 void CausalNode::invalidate_cache(const VectorClock& threshold,
                                   std::uint64_t keep_page) {
+  obs::Tracer* const tr = stats_.tracer();
   for (auto it = cache_.begin(); it != cache_.end();) {
     const bool keep =
         it->first == keep_page || read_only_pages_.contains(it->first);
@@ -497,6 +548,10 @@ void CausalNode::invalidate_cache(const VectorClock& threshold,
                   it->second.stamp.before(threshold));
     if (drop) {
       stats_.bump(Counter::kInvalidationApplied);
+      if (tr != nullptr) {
+        tr->record(obs::TraceEventKind::kInvalidate, 0, kNoNode,
+                   page_base(it->first), &threshold);
+      }
       lru_.erase(it->second.lru_it);
       it = cache_.erase(it);
     } else {
@@ -519,6 +574,10 @@ void CausalNode::evict_over_capacity() {
   while (cache_.size() > cfg_.cache_capacity_pages) {
     const std::uint64_t victim = lru_.back();
     stats_.bump(Counter::kDiscard);
+    if (obs::Tracer* t = stats_.tracer()) {
+      t->record(obs::TraceEventKind::kDiscard, 0, kNoNode, page_base(victim),
+                &vt_);
+    }
     auto it = cache_.find(victim);
     CM_ASSERT(it != cache_.end());
     erase_page(it);

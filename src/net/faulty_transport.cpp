@@ -66,6 +66,7 @@ void FaultyTransport::send(Message m) {
       crashed_[m.to].load(std::memory_order_acquire)) {
     drops_.fetch_add(1, std::memory_order_relaxed);
     bump_node(m.from, Counter::kNetFaultDrop);
+    trace_msg(m.from, obs::TraceEventKind::kFaultDrop, m);
     return;
   }
 
@@ -77,6 +78,7 @@ void FaultyTransport::send(Message m) {
     if (ch.blocked || ch.rng.chance(model_.drop_rate)) {
       drops_.fetch_add(1, std::memory_order_relaxed);
       bump_node(m.from, Counter::kNetFaultDrop);
+      trace_msg(m.from, obs::TraceEventKind::kFaultDrop, m);
       return;
     }
     dup = ch.rng.chance(model_.dup_rate);
@@ -96,6 +98,7 @@ void FaultyTransport::send(Message m) {
     // the receive side.
     dups_.fetch_add(1, std::memory_order_relaxed);
     bump_node(m.from, Counter::kNetFaultDup);
+    trace_msg(m.from, obs::TraceEventKind::kFaultDup, m);
     enqueue_delayed(m, delay);
     inner_->send(std::move(m));
     return;
@@ -103,6 +106,7 @@ void FaultyTransport::send(Message m) {
   if (delay.count() > 0) {
     delays_.fetch_add(1, std::memory_order_relaxed);
     bump_node(m.from, Counter::kNetFaultDelay);
+    trace_msg(m.from, obs::TraceEventKind::kFaultDelay, m);
     enqueue_delayed(std::move(m), delay);
     return;
   }

@@ -79,6 +79,10 @@ void InMemTransport::send(Message m) {
     m = Message::decode(m.encode());
   }
 
+  // Wire-level send: recorded here (below the recovery layers) so
+  // retransmissions show up as the extra sends they are.
+  trace_msg(m.from, obs::TraceEventKind::kSend, m);
+
   const auto deadline = next_deadline(m.from, m.to);
   Endpoint& ep = *endpoints_[m.to];
   {
@@ -107,6 +111,7 @@ void InMemTransport::run_endpoint(Endpoint& ep) {
     Envelope env = ep.queue.top();
     ep.queue.pop();
     lock.unlock();
+    trace_msg(env.msg.to, obs::TraceEventKind::kRecv, env.msg);
     ep.handler(env.msg);
     delivered_.fetch_add(1, std::memory_order_relaxed);
     lock.lock();

@@ -68,8 +68,8 @@ void ReliableChannel::send(Message m) {
     std::scoped_lock lock(ch.mu);
     m.rel_seq = ch.next_send_seq++;
     ch.outstanding.emplace(
-        m.rel_seq,
-        Pending{m, Clock::now() + config_.initial_rto, config_.initial_rto});
+        m.rel_seq, Pending{m, Clock::now() + config_.initial_rto,
+                           config_.initial_rto, obs::now_ns()});
   }
   inner_->send(std::move(m));
 }
@@ -93,6 +93,7 @@ void ReliableChannel::send_ack(NodeId receiver, NodeId sender,
   ack.rel_ack = acked;
   acks_.fetch_add(1, std::memory_order_relaxed);
   bump_node(receiver, Counter::kNetAckSent);
+  trace_msg(receiver, obs::TraceEventKind::kAckSent, ack);
   inner_->send(std::move(ack));
 }
 
@@ -119,6 +120,7 @@ void ReliableChannel::on_receive(const Message& m) {
       // copy). Drop it but re-ack: the first ack may have been lost.
       dup_drops_.fetch_add(1, std::memory_order_relaxed);
       bump_node(m.to, Counter::kNetDupDropped);
+      trace_msg(m.to, obs::TraceEventKind::kDupDrop, m);
     } else {
       ch.reorder.emplace(m.rel_seq, m);
       while (!ch.reorder.empty() &&
@@ -142,7 +144,11 @@ bool ReliableChannel::retransmit_due() {
   const auto now = Clock::now();
   const std::size_t n = inner_->node_count();
   bool any = false;
-  std::vector<Message> resend;
+  struct Resend {
+    Message msg;
+    std::uint64_t first_sent_ns;
+  };
+  std::vector<Resend> resend;
   for (std::size_t s = 0; s < n; ++s) {
     for (std::size_t d = 0; d < n; ++d) {
       if (s == d) continue;
@@ -154,12 +160,19 @@ bool ReliableChannel::retransmit_due() {
           if (pending.deadline > now) continue;
           pending.rto = std::min(pending.rto * 2, config_.max_rto);
           pending.deadline = now + pending.rto;
-          resend.push_back(pending.msg);
+          resend.push_back(Resend{pending.msg, pending.first_sent_ns});
         }
       }
-      for (Message& m : resend) {
+      for (Resend& r : resend) {
+        Message& m = r.msg;
         retransmits_.fetch_add(1, std::memory_order_relaxed);
         bump_node(m.from, Counter::kNetRetransmit);
+        if (stats_ != nullptr && m.from < n) {
+          stats_->node(m.from).record_latency(
+              LatencyMetric::kRetransmitDelayNs,
+              obs::now_ns() - r.first_sent_ns);
+        }
+        trace_msg(m.from, obs::TraceEventKind::kRetransmit, m);
         CM_LOG_DEBUG("reliable retransmit " << m.to_string());
         inner_->send(std::move(m));
       }

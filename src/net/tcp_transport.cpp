@@ -181,6 +181,7 @@ void TcpTransport::run_reader(Conn& conn) {
     if (stopping_.load(std::memory_order_acquire)) return;
     Message m = Message::decode(payload);
     CM_ASSERT(m.to < n_);
+    trace_msg(m.to, obs::TraceEventKind::kRecv, m);
     handlers_[m.to](m);
   }
 }
@@ -196,6 +197,7 @@ void TcpTransport::send(Message m) {
     if (stats_ != nullptr) stats_->node(m.from).bump(Counter::kNetSendFailed);
     return;
   }
+  trace_msg(m.from, obs::TraceEventKind::kSend, m);
   write_frame(*conn, m.encode());
 }
 

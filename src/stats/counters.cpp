@@ -1,6 +1,9 @@
 #include "causalmem/stats/counters.hpp"
 
+#include <algorithm>
+#include <iomanip>
 #include <sstream>
+#include <string_view>
 
 namespace causalmem {
 
@@ -34,6 +37,17 @@ const char* counter_name(Counter c) noexcept {
   return "unknown";
 }
 
+const char* latency_metric_name(LatencyMetric m) noexcept {
+  switch (m) {
+    case LatencyMetric::kReadNs: return "lat.read_ns";
+    case LatencyMetric::kWriteNs: return "lat.write_ns";
+    case LatencyMetric::kOwnerRttNs: return "lat.owner_rtt_ns";
+    case LatencyMetric::kRetransmitDelayNs: return "lat.retransmit_delay_ns";
+    case LatencyMetric::kMetricCount: break;
+  }
+  return "unknown";
+}
+
 std::uint64_t StatsSnapshot::messages_sent() const noexcept {
   std::uint64_t total = 0;
   for (std::size_t i = 0; i < kNumCounters; ++i) {
@@ -53,11 +67,31 @@ StatsSnapshot operator-(StatsSnapshot lhs, const StatsSnapshot& rhs) noexcept {
 }
 
 std::string StatsSnapshot::to_string() const {
-  std::ostringstream oss;
+  // Two sections: protocol counters, then transport-recovery (net.*) cost.
+  // E1's accounting keeps those separate, and so does the rendering.
+  std::size_t name_w = 0;
+  std::size_t value_w = 1;
   for (std::size_t i = 0; i < kNumCounters; ++i) {
     if (values[i] == 0) continue;
-    oss << counter_name(static_cast<Counter>(i)) << "=" << values[i] << " ";
+    name_w = std::max(
+        name_w, std::string_view(counter_name(static_cast<Counter>(i))).size());
+    value_w = std::max(value_w, std::to_string(values[i]).size());
   }
+  std::ostringstream oss;
+  const auto emit_section = [&](bool recovery, const char* header) {
+    bool any = false;
+    for (std::size_t i = 0; i < kNumCounters; ++i) {
+      const auto c = static_cast<Counter>(i);
+      if (values[i] == 0 || is_recovery_counter(c) != recovery) continue;
+      if (!any && header != nullptr) oss << header << "\n";
+      any = true;
+      oss << std::left << std::setw(static_cast<int>(name_w))
+          << counter_name(c) << " = " << std::right
+          << std::setw(static_cast<int>(value_w)) << values[i] << "\n";
+    }
+  };
+  emit_section(/*recovery=*/false, nullptr);
+  emit_section(/*recovery=*/true, "-- recovery (net.*) --");
   return oss.str();
 }
 

@@ -8,8 +8,14 @@
 
 namespace causalmem {
 
-Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)), aligns_(headers_.size(), Align::kRight) {
   CM_EXPECTS(!headers_.empty());
+}
+
+void Table::set_align(std::size_t col, Align align) {
+  CM_EXPECTS(col < aligns_.size());
+  aligns_[col] = align;
 }
 
 void Table::add_row(std::vector<std::string> cells) {
@@ -27,10 +33,11 @@ void Table::print(std::ostream& os) const {
   }
   auto print_row = [&](const std::vector<std::string>& row) {
     for (std::size_t c = 0; c < row.size(); ++c) {
-      os << (c == 0 ? "| " : " | ") << std::setw(static_cast<int>(widths[c]))
-         << row[c];
+      os << (c == 0 ? "| " : " | ")
+         << (aligns_[c] == Align::kLeft ? std::left : std::right)
+         << std::setw(static_cast<int>(widths[c])) << row[c];
     }
-    os << " |\n";
+    os << std::right << " |\n";
   };
   print_row(headers_);
   for (std::size_t c = 0; c < headers_.size(); ++c) {

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <utility>
+#include <vector>
+
 namespace causalmem {
 namespace {
 
@@ -33,6 +37,31 @@ TEST(Logging, MacroEvaluatesLazily) {
   CM_LOG_ERROR("value: " << expensive());
   EXPECT_EQ(evaluations, 1);
   set_log_level(LogLevel::kWarn);
+}
+
+TEST(Logging, SinkCapturesMessagesAndRestores) {
+  set_log_level(LogLevel::kInfo);
+  std::vector<std::pair<LogLevel, std::string>> captured;
+  set_log_sink([&captured](LogLevel level, const std::string& message) {
+    captured.emplace_back(level, message);
+  });
+
+  CM_LOG_INFO("hello " << 42);
+  CM_LOG_DEBUG("below threshold");  // gated before the sink sees it
+  CM_LOG_ERROR("boom");
+
+  ASSERT_EQ(captured.size(), 2u);
+  EXPECT_EQ(captured[0].first, LogLevel::kInfo);
+  EXPECT_EQ(captured[0].second, "hello 42");
+  EXPECT_EQ(captured[1].first, LogLevel::kError);
+  EXPECT_EQ(captured[1].second, "boom");
+
+  // An empty sink restores the stderr default; captured stops growing.
+  set_log_sink({});
+  set_log_level(LogLevel::kOff);
+  CM_LOG_ERROR("not captured");
+  EXPECT_EQ(captured.size(), 2u);
+  set_log_level(LogLevel::kWarn);  // restore the default for other tests
 }
 
 }  // namespace

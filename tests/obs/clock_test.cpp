@@ -1,0 +1,51 @@
+// The clock seam: steady by default, swappable for a FakeClock so tracer /
+// histogram / OpTiming tests are deterministic.
+#include "causalmem/obs/clock.hpp"
+
+#include <gtest/gtest.h>
+
+#include "causalmem/dsm/observer.hpp"
+
+namespace causalmem::obs {
+namespace {
+
+TEST(ClockTest, DefaultIsMonotonic) {
+  const auto a = now_ns();
+  const auto b = now_ns();
+  EXPECT_LE(a, b);
+  EXPECT_GT(b, 0u);
+}
+
+TEST(ClockTest, FakeClockControlsNow) {
+  FakeClock fake(1000);
+  ScopedClockSource scope(&fake);
+  EXPECT_EQ(now_ns(), 1000u);
+  fake.advance_ns(234);
+  EXPECT_EQ(now_ns(), 1234u);
+  fake.set_ns(5);
+  EXPECT_EQ(now_ns(), 5u);
+}
+
+TEST(ClockTest, ScopedSourceRestoresDefault) {
+  {
+    FakeClock fake(42);
+    ScopedClockSource scope(&fake);
+    EXPECT_EQ(now_ns(), 42u);
+  }
+  // Back on the steady clock: values are large and advancing.
+  EXPECT_GT(now_ns(), 1000000u);
+}
+
+TEST(ClockTest, OpTimingUsesTheSeam) {
+  FakeClock fake(100);
+  ScopedClockSource scope(&fake);
+  const OpTiming t = OpTiming::begin();
+  EXPECT_EQ(t.start_ns, 100u);
+  fake.advance_ns(50);
+  const OpTiming closed = t.close();
+  EXPECT_EQ(closed.start_ns, 100u);
+  EXPECT_EQ(closed.end_ns, 150u);
+}
+
+}  // namespace
+}  // namespace causalmem::obs

@@ -1,0 +1,204 @@
+// JsonWriter output forms, string escaping, and the recursive-descent parser
+// (accept / reject cases plus writer→parser round-trips).
+#include "causalmem/obs/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+namespace causalmem::obs {
+namespace {
+
+std::string write_escaped(std::string_view s) {
+  std::string out;
+  JsonWriter::append_escaped(out, s);
+  return out;
+}
+
+TEST(JsonWriter, Scalars) {
+  {
+    JsonWriter w;
+    w.value(std::uint64_t{18446744073709551615ULL});
+    EXPECT_EQ(std::move(w).str(), "18446744073709551615");
+  }
+  {
+    JsonWriter w;
+    w.value(std::int64_t{-42});
+    EXPECT_EQ(std::move(w).str(), "-42");
+  }
+  {
+    JsonWriter w;
+    w.value(1.5);
+    EXPECT_EQ(std::move(w).str(), "1.5");
+  }
+  {
+    JsonWriter w;
+    w.value(true);
+    EXPECT_EQ(std::move(w).str(), "true");
+  }
+  {
+    JsonWriter w;
+    w.null();
+    EXPECT_EQ(std::move(w).str(), "null");
+  }
+  {
+    // JSON has no inf/nan: non-finite doubles degrade to null.
+    JsonWriter w;
+    w.value(1.0 / 0.0);
+    EXPECT_EQ(std::move(w).str(), "null");
+  }
+}
+
+TEST(JsonWriter, CommasAndNestingAreAutomatic) {
+  JsonWriter w;
+  w.begin_object()
+      .key("a")
+      .value(1)
+      .key("b")
+      .begin_array()
+      .value(2)
+      .value(3)
+      .begin_object()
+      .end_object()
+      .end_array()
+      .key("c")
+      .value("x")
+      .end_object();
+  EXPECT_EQ(std::move(w).str(), R"({"a":1,"b":[2,3,{}],"c":"x"})");
+}
+
+TEST(JsonWriter, EmptyContainers) {
+  JsonWriter w;
+  w.begin_array().begin_object().end_object().begin_array().end_array().end_array();
+  EXPECT_EQ(std::move(w).str(), "[{},[]]");
+}
+
+TEST(JsonWriter, Escaping) {
+  EXPECT_EQ(write_escaped("plain"), R"("plain")");
+  EXPECT_EQ(write_escaped("a\"b"), R"("a\"b")");
+  EXPECT_EQ(write_escaped("back\\slash"), R"("back\\slash")");
+  EXPECT_EQ(write_escaped("tab\there"), R"("tab\there")");
+  EXPECT_EQ(write_escaped("nl\n"), R"("nl\n")");
+  EXPECT_EQ(write_escaped(std::string_view("\x01", 1)), R"("\u0001")");
+  // UTF-8 multi-byte sequences pass through untouched.
+  EXPECT_EQ(write_escaped("caf\xc3\xa9"), "\"caf\xc3\xa9\"");
+}
+
+TEST(JsonParser, AcceptsScalars) {
+  auto v = parse_json("  42 ");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_TRUE(v->is_number());
+  EXPECT_DOUBLE_EQ(v->number, 42.0);
+
+  v = parse_json("-1.25e2");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_DOUBLE_EQ(v->number, -125.0);
+
+  v = parse_json("\"hi\"");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_TRUE(v->is_string());
+  EXPECT_EQ(v->string, "hi");
+
+  v = parse_json("true");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->type, JsonValue::Type::kBool);
+  EXPECT_TRUE(v->boolean);
+
+  v = parse_json("null");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->type, JsonValue::Type::kNull);
+}
+
+TEST(JsonParser, AcceptsNestedStructuresAndPreservesOrder) {
+  const auto v = parse_json(R"({"b":[1,2,{"c":null}],"a":"x","b":3})");
+  ASSERT_TRUE(v.has_value());
+  ASSERT_TRUE(v->is_object());
+  ASSERT_EQ(v->object.size(), 3u);  // duplicate keys kept, insertion order
+  EXPECT_EQ(v->object[0].first, "b");
+  EXPECT_EQ(v->object[1].first, "a");
+  EXPECT_EQ(v->object[2].first, "b");
+  // find() returns the first match.
+  const JsonValue* b = v->find("b");
+  ASSERT_NE(b, nullptr);
+  ASSERT_TRUE(b->is_array());
+  ASSERT_EQ(b->array.size(), 3u);
+  EXPECT_DOUBLE_EQ(b->array[1].number, 2.0);
+  EXPECT_EQ(b->array[2].find("c")->type, JsonValue::Type::kNull);
+  EXPECT_EQ(v->find("absent"), nullptr);
+}
+
+TEST(JsonParser, DecodesEscapes) {
+  const auto v = parse_json(R"("a\"b\\c\n\t\u0041\u00e9")");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->string, "a\"b\\c\n\tA\xc3\xa9");
+}
+
+TEST(JsonParser, RejectsMalformedInput) {
+  const char* const bad[] = {
+      "",                 // empty
+      "{",                // unterminated object
+      "[1,2",             // unterminated array
+      "[1,]",             // trailing comma
+      "{\"a\":}",         // missing member value
+      "{\"a\" 1}",        // missing colon
+      "{a:1}",            // unquoted key
+      "\"unterminated",   // unterminated string
+      "\"bad\\q\"",       // unknown escape
+      "\"\\u12g4\"",      // non-hex in \u
+      "tru",              // truncated literal
+      "nul",              // truncated literal
+      "1 2",              // trailing garbage
+      "{} extra",         // trailing garbage
+      "--1",              // malformed number
+      "1.2.3",            // malformed number
+  };
+  for (const char* text : bad) {
+    std::string error;
+    EXPECT_FALSE(parse_json(text, &error).has_value()) << text;
+    EXPECT_FALSE(error.empty()) << text;
+  }
+}
+
+TEST(JsonParser, RejectsRawControlCharInString) {
+  const std::string text = std::string("\"a") + '\n' + "b\"";
+  EXPECT_FALSE(parse_json(text).has_value());
+}
+
+TEST(JsonParser, RejectsExcessiveNesting) {
+  std::string deep;
+  for (int i = 0; i < 100; ++i) deep += '[';
+  for (int i = 0; i < 100; ++i) deep += ']';
+  EXPECT_FALSE(parse_json(deep).has_value());
+}
+
+TEST(JsonRoundTrip, WriterOutputParsesBackIdentically) {
+  JsonWriter w;
+  w.begin_object()
+      .key("name")
+      .value("causal \"DSM\"\n")
+      .key("n")
+      .value(std::uint64_t{12345678901234567ULL})
+      .key("ratio")
+      .value(2.625)
+      .key("ok")
+      .value(true)
+      .key("none");
+  w.null();
+  w.key("runs").begin_array().value(1).value(2).end_array().end_object();
+  const std::string doc = std::move(w).str();
+
+  std::string error;
+  const auto v = parse_json(doc, &error);
+  ASSERT_TRUE(v.has_value()) << error;
+  EXPECT_EQ(v->find("name")->string, "causal \"DSM\"\n");
+  EXPECT_DOUBLE_EQ(v->find("n")->number, 12345678901234567.0);
+  EXPECT_DOUBLE_EQ(v->find("ratio")->number, 2.625);
+  EXPECT_TRUE(v->find("ok")->boolean);
+  EXPECT_EQ(v->find("none")->type, JsonValue::Type::kNull);
+  ASSERT_EQ(v->find("runs")->array.size(), 2u);
+}
+
+}  // namespace
+}  // namespace causalmem::obs

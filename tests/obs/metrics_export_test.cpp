@@ -1,0 +1,196 @@
+// MetricsExporter: golden header shape, and the full document round-tripped
+// through the bundled JSON parser — counters, latency histograms, trace
+// summary — plus the Chrome-trace renderer's structural invariants.
+#include "causalmem/obs/metrics_export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "causalmem/obs/clock.hpp"
+#include "causalmem/obs/json.hpp"
+#include "causalmem/stats/counters.hpp"
+#include "causalmem/vclock/vector_clock.hpp"
+
+namespace causalmem::obs {
+namespace {
+
+TEST(MetricsExporter, GoldenEmptyDocument) {
+  MetricsExporter exporter("bench_x");
+  exporter.set_meta("experiment", "E1");
+  // The header layout is part of the schema contract: fixed key order,
+  // compact separators, no trailing content.
+  EXPECT_EQ(exporter.to_json(),
+            R"({"schema":"causalmem-metrics-v1","benchmark":"bench_x",)"
+            R"("meta":{"experiment":"E1"},"runs":[]})");
+}
+
+JsonValue parse_ok(const std::string& doc) {
+  std::string error;
+  const auto v = parse_json(doc, &error);
+  EXPECT_TRUE(v.has_value()) << error;
+  return v.value_or(JsonValue{});
+}
+
+TEST(MetricsExporter, FullDocumentRoundTripsThroughParser) {
+  StatsRegistry stats(2);
+  stats.node(0).bump(Counter::kMsgReadRequest, 5);
+  stats.node(0).bump(Counter::kReadHit, 7);
+  stats.node(1).bump(Counter::kMsgReadReply, 5);
+  stats.node(0).record_latency(LatencyMetric::kReadNs, 10);
+  stats.node(0).record_latency(LatencyMetric::kReadNs, 20);
+  stats.node(1).record_latency(LatencyMetric::kReadNs, 30);
+
+  MetricsExporter exporter("bench_y");
+  exporter.set_meta("workload", "unit \"test\"");
+  RunMetrics& run = exporter.add_run("causal n=2");
+  run.set_param("n", 2);
+  run.set_value("elapsed_ms", 1.5);
+  run.capture(stats);
+
+  TraceHub hub(2, 8);
+  hub.node(0).record(TraceEventKind::kSend);
+  hub.node(1).record(TraceEventKind::kRecv);
+  run.capture_trace(hub);
+
+  const JsonValue doc = parse_ok(exporter.to_json());
+  EXPECT_EQ(doc.find("schema")->string, "causalmem-metrics-v1");
+  EXPECT_EQ(doc.find("benchmark")->string, "bench_y");
+  EXPECT_EQ(doc.find("meta")->find("workload")->string, "unit \"test\"");
+
+  const JsonValue* runs = doc.find("runs");
+  ASSERT_TRUE(runs != nullptr && runs->is_array());
+  ASSERT_EQ(runs->array.size(), 1u);
+  const JsonValue& r = runs->array[0];
+  EXPECT_EQ(r.find("label")->string, "causal n=2");
+  EXPECT_DOUBLE_EQ(r.find("params")->find("n")->number, 2.0);
+  EXPECT_DOUBLE_EQ(r.find("values")->find("elapsed_ms")->number, 1.5);
+
+  // Totals aggregate both nodes; only non-zero counters are emitted.
+  const JsonValue* totals = r.find("totals");
+  ASSERT_NE(totals, nullptr);
+  EXPECT_DOUBLE_EQ(totals->find("messages_sent")->number, 10.0);
+  const JsonValue* counters = totals->find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_EQ(counters->object.size(), 3u);
+  EXPECT_DOUBLE_EQ(
+      counters->find(counter_name(Counter::kMsgReadRequest))->number, 5.0);
+  EXPECT_EQ(counters->find(counter_name(Counter::kMsgInvalidate)), nullptr);
+
+  const JsonValue* nodes = r.find("nodes");
+  ASSERT_TRUE(nodes != nullptr && nodes->is_array());
+  ASSERT_EQ(nodes->array.size(), 2u);
+  EXPECT_DOUBLE_EQ(nodes->array[0].find("node")->number, 0.0);
+  EXPECT_DOUBLE_EQ(nodes->array[0].find("messages_sent")->number, 5.0);
+  EXPECT_DOUBLE_EQ(
+      nodes->array[1].find("counters")->find(
+          counter_name(Counter::kMsgReadReply))->number, 5.0);
+
+  // Latency: only metrics with samples appear; the histogram is merged over
+  // nodes and its bucket triples [lower, upper, count] cover every sample.
+  const JsonValue* latency = r.find("latency");
+  ASSERT_NE(latency, nullptr);
+  ASSERT_EQ(latency->object.size(), 1u);
+  const JsonValue* read_ns =
+      latency->find(latency_metric_name(LatencyMetric::kReadNs));
+  ASSERT_NE(read_ns, nullptr);
+  EXPECT_DOUBLE_EQ(read_ns->find("count")->number, 3.0);
+  EXPECT_DOUBLE_EQ(read_ns->find("sum")->number, 60.0);
+  EXPECT_DOUBLE_EQ(read_ns->find("max")->number, 30.0);
+  EXPECT_DOUBLE_EQ(read_ns->find("mean")->number, 20.0);
+  EXPECT_DOUBLE_EQ(read_ns->find("p50")->number, 20.0);
+  double bucket_samples = 0;
+  for (const JsonValue& triple : read_ns->find("buckets")->array) {
+    ASSERT_EQ(triple.array.size(), 3u);
+    EXPECT_LE(triple.array[0].number, triple.array[1].number);
+    bucket_samples += triple.array[2].number;
+  }
+  EXPECT_DOUBLE_EQ(bucket_samples, 3.0);
+
+  const JsonValue* trace = r.find("trace");
+  ASSERT_NE(trace, nullptr);
+  EXPECT_DOUBLE_EQ(trace->find("retained")->number, 2.0);
+  EXPECT_DOUBLE_EQ(trace->find("attempted")->number, 2.0);
+  EXPECT_DOUBLE_EQ(trace->find("dropped")->number, 0.0);
+}
+
+TEST(MetricsExporter, OmitsTraceSectionWhenNotCaptured) {
+  MetricsExporter exporter("bench_z");
+  exporter.add_run("r");
+  const JsonValue doc = parse_ok(exporter.to_json());
+  EXPECT_EQ(doc.find("runs")->array[0].find("trace"), nullptr);
+}
+
+TEST(MetricsExporter, AddRunReferencesStayValid) {
+  MetricsExporter exporter("bench_z");
+  RunMetrics& first = exporter.add_run("first");
+  for (int i = 0; i < 50; ++i) exporter.add_run("other");
+  first.set_value("v", 9);  // must not have been invalidated by growth
+  EXPECT_EQ(exporter.run_count(), 51u);
+  EXPECT_EQ(exporter.run(0).label, "first");
+  ASSERT_EQ(exporter.run(0).values.size(), 1u);
+  EXPECT_DOUBLE_EQ(exporter.run(0).values[0].second, 9.0);
+}
+
+TEST(MetricsExporter, WriteProducesParseableFile) {
+  MetricsExporter exporter("bench_file");
+  const std::string path = testing::TempDir() + "/causalmem_metrics_test.json";
+  ASSERT_TRUE(exporter.write(path));
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.is_open());
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+  ASSERT_FALSE(text.empty());
+  EXPECT_EQ(text.back(), '\n');
+  EXPECT_TRUE(parse_json(text).has_value());
+  std::remove(path.c_str());
+}
+
+TEST(ChromeTrace, StructureMatchesTheTraceFormat) {
+  FakeClock fake(1000);
+  ScopedClockSource scope(&fake);
+  TraceHub hub(2, 16);
+  VectorClock vt(2);
+  vt.increment(0);
+  hub.node(0).record(TraceEventKind::kSend, 0, /*peer=*/1, /*addr=*/7, &vt);
+  fake.advance_ns(500);
+  hub.node(1).record(TraceEventKind::kReadDone, 0, kNoNode, 7, nullptr,
+                     /*ts_ns=*/1200, /*dur_ns=*/300);
+
+  const JsonValue doc = parse_ok(chrome_trace_json(hub.events(), 2));
+  EXPECT_EQ(doc.find("displayTimeUnit")->string, "ns");
+  const JsonValue* events = doc.find("traceEvents");
+  ASSERT_TRUE(events != nullptr && events->is_array());
+  // Two process_name metadata records, then the two events.
+  ASSERT_EQ(events->array.size(), 4u);
+  EXPECT_EQ(events->array[0].find("ph")->string, "M");
+  EXPECT_EQ(events->array[1].find("args")->find("name")->string, "node 1");
+
+  const JsonValue& instant = events->array[2];
+  EXPECT_EQ(instant.find("name")->string, "send");
+  EXPECT_EQ(instant.find("ph")->string, "i");
+  EXPECT_EQ(instant.find("s")->string, "t");
+  EXPECT_DOUBLE_EQ(instant.find("pid")->number, 0.0);
+  EXPECT_DOUBLE_EQ(instant.find("ts")->number, 1.0);  // 1000 ns = 1 µs
+  EXPECT_DOUBLE_EQ(instant.find("args")->find("peer")->number, 1.0);
+  EXPECT_DOUBLE_EQ(instant.find("args")->find("addr")->number, 7.0);
+  ASSERT_NE(instant.find("args")->find("vt"), nullptr);
+  EXPECT_DOUBLE_EQ(instant.find("args")->find("vt")->array[0].number, 1.0);
+
+  const JsonValue& span = events->array[3];
+  EXPECT_EQ(span.find("name")->string, "read");
+  EXPECT_EQ(span.find("ph")->string, "X");
+  EXPECT_DOUBLE_EQ(span.find("pid")->number, 1.0);
+  EXPECT_DOUBLE_EQ(span.find("ts")->number, 1.2);
+  EXPECT_DOUBLE_EQ(span.find("dur")->number, 0.3);
+  // Point event carries no peer: the arg is omitted, not kNoNode.
+  EXPECT_EQ(span.find("args")->find("peer"), nullptr);
+}
+
+}  // namespace
+}  // namespace causalmem::obs
