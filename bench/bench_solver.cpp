@@ -18,6 +18,9 @@ int main(int argc, char** argv) {
   const double drop_rate = parse_drop_rate(argc, argv);
   const std::string json_path = parse_json_path(argc, argv);
   const std::string trace_path = parse_flag_value(argc, argv, "--trace");
+  const std::string crash_at_flag = parse_flag_value(argc, argv, "--crash-at");
+  const std::string restart_at_flag =
+      parse_flag_value(argc, argv, "--restart-at");
   const SolverProblem problem = SolverProblem::random(kN, 77);
 
   std::printf("E8: solver wall-clock vs injected message latency (n=%zu, %zu "
@@ -90,7 +93,6 @@ int main(int argc, char** argv) {
     rm.set_param("n", static_cast<double>(kN));
     rm.set_param("iterations", static_cast<double>(kIterations));
   }
-  maybe_write_metrics(exporter, json_path);
 
   std::printf("\nExpected shape: causal wins clearly where message handling\n"
               "dominates (low latency); at high latency the phase-structured\n"
@@ -141,5 +143,94 @@ int main(int argc, char** argv) {
                 "worker polls every other worker's arrival counter: message\n"
                 "totals trade a coordinator bottleneck for O(n^2) polling.\n");
   }
+
+  // Chaos axis (--crash-at <iter> [--restart-at <iter>]): a dedicated
+  // storage node owns A and b; it is crashed at the start of the given
+  // phase (and optionally restarted later). The run exercises request
+  // deadlines, owner failover and — with --restart-at — node rejoin, and
+  // must still converge bit-exactly to the sequential reference.
+  if (!crash_at_flag.empty()) {
+    const std::size_t crash_at = std::strtoull(crash_at_flag.c_str(), nullptr, 10);
+    const std::size_t restart_at =
+        restart_at_flag.empty()
+            ? kIterations + 1
+            : std::strtoull(restart_at_flag.c_str(), nullptr, 10);
+    std::printf("\nChaos run: crash storage owner at phase %zu%s "
+                "(n=%zu, %zu iterations)\n\n",
+                crash_at,
+                restart_at <= kIterations ? ", restart later" : "",
+                kN, kIterations);
+    const SolverLayout layout(problem.n);
+    const NodeId storage = static_cast<NodeId>(layout.node_count());
+    SystemOptions fo_opts;
+    fo_opts.fault_layer = true;
+    fo_opts.failover.enabled = true;
+    fo_opts.reliable = true;
+    fo_opts.reliable_config.initial_rto = std::chrono::milliseconds(2);
+    fo_opts.reliable_config.max_retransmits = 5;
+    CausalConfig cfg;
+    cfg.request_timeout = std::chrono::milliseconds(20);
+    cfg.request_retries = 2;
+    SolverRun run;
+    StatsSnapshot stats{};
+    obs::RunMetrics metrics;
+    bool restarted = false;
+    const auto start = std::chrono::steady_clock::now();
+    {
+      DsmSystem<CausalNode> sys(layout.node_count() + 1, cfg, fo_opts,
+                                layout.make_ownership_constants_at(storage));
+      std::vector<SharedMemory*> mems;
+      for (NodeId i = 0; i < layout.node_count(); ++i) {
+        mems.push_back(&sys.memory(i));
+      }
+      SolverOptions opts;
+      opts.iterations = kIterations;
+      opts.protect_constants = false;  // cached constants must re-fetch
+      opts.on_phase = [&](std::size_t k) {
+        if (k == crash_at) sys.faulty_transport()->crash_node(storage);
+        if (k == restart_at) restarted = sys.restart_node(storage);
+      };
+      run = run_sync_solver(problem, layout, mems, opts);
+      stats = sys.stats().total();
+      metrics.capture(sys.stats());
+    }
+    const auto elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
+        std::chrono::steady_clock::now() - start);
+    const auto ref = problem.jacobi_reference(kIterations);
+    bool bit_exact = run.x.size() == ref.size();
+    for (std::size_t i = 0; bit_exact && i < ref.size(); ++i) {
+      bit_exact = run.x[i] == ref[i];
+    }
+    Table t3({"crash at", "restart at", "time (ms)", "bit-exact", "suspects",
+              "failovers", "recover reqs", "req timeouts"});
+    t3.add_row({std::to_string(crash_at),
+                restart_at <= kIterations
+                    ? std::to_string(restart_at) + (restarted ? "" : " (!)")
+                    : "-",
+                Table::num(static_cast<double>(elapsed.count()) / 1e3, 1),
+                bit_exact ? "yes" : "NO",
+                std::to_string(stats[Counter::kFoSuspect]),
+                std::to_string(stats[Counter::kFoFailover]),
+                std::to_string(stats[Counter::kFoRecoverRequest]),
+                std::to_string(stats[Counter::kFoRequestTimeout])});
+    t3.print(std::cout);
+    std::printf("\nDeadlined requests suspect the dead owner, its locations\n"
+                "migrate to the ring successor (election over live journals),\n"
+                "and the run completes without manual intervention.\n");
+    obs::RunMetrics& rm = exporter.add_run("failover chaos");
+    const std::string name = rm.label;
+    rm = metrics;
+    rm.label = name;
+    rm.set_param("n", static_cast<double>(kN));
+    rm.set_param("iterations", static_cast<double>(kIterations));
+    rm.set_param("crash_at", static_cast<double>(crash_at));
+    if (restart_at <= kIterations) {
+      rm.set_param("restart_at", static_cast<double>(restart_at));
+      rm.set_value("restarted", restarted ? 1.0 : 0.0);
+    }
+    rm.set_value("elapsed_ms", static_cast<double>(elapsed.count()) / 1e3);
+    rm.set_value("bit_exact", bit_exact ? 1.0 : 0.0);
+  }
+  maybe_write_metrics(exporter, json_path);
   return 0;
 }

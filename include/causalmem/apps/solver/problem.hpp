@@ -85,6 +85,15 @@ class SolverLayout {
   /// Ownership map realizing the layout above.
   [[nodiscard]] std::unique_ptr<Ownership> make_ownership() const;
 
+  /// Ownership variant for crash-tolerance tests: A and b live at `storage`
+  /// (typically an extra node beyond the w+1 solver processes) instead of
+  /// the coordinator, so the constants' owner can crash mid-run without
+  /// taking down any process that executes solver code. The coordinator
+  /// seeds the constants remotely, which journals every value at live nodes
+  /// for the post-crash recovery election.
+  [[nodiscard]] std::unique_ptr<Ownership> make_ownership_constants_at(
+      NodeId storage) const;
+
  private:
   std::size_t n_;
   std::size_t w_;

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "causalmem/apps/solver/problem.hpp"
@@ -25,6 +26,11 @@ struct SolverOptions {
   /// bound on sweeps per worker (a safety valve; convergence normally stops
   /// the run first).
   std::size_t iterations{20};
+  /// Synchronous solver only: invoked on the coordinator thread at the start
+  /// of each phase (argument: the phase index). Crash-tolerance tests and
+  /// benchmarks use it to crash/restart nodes at a deterministic point in
+  /// the computation.
+  std::function<void(std::size_t)> on_phase{};
   /// Apply the footnote-2 enhancement: mark A and b read-only at every
   /// worker so their cached copies survive invalidation sweeps.
   bool protect_constants{true};

@@ -3,6 +3,7 @@
 // (Section 3.2 and footnote 2) is an orthogonal opt-in.
 #pragma once
 
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <limits>
@@ -63,6 +64,18 @@ struct CausalConfig {
   /// Cached pages kept before LRU discard (the paper's `discard` as a
   /// replacement policy). Unlimited by default.
   std::size_t cache_capacity_pages{std::numeric_limits<std::size_t>::max()};
+
+  /// Per-round deadline for owner round trips (reads and blocking writes).
+  /// 0 (default) preserves the paper's model: requests block until the reply
+  /// arrives. With a non-zero timeout an owner request that expires is
+  /// retried up to `request_retries` more times (re-resolving the owner each
+  /// round, so a failover redirects the retry) and then surfaces a typed
+  /// Unreachable result via try_read/try_write. Timing flows through the
+  /// obs::now_ns() clock seam, so FakeClock tests are deterministic.
+  std::chrono::nanoseconds request_timeout{0};
+
+  /// Extra rounds after the first before an owner request gives up.
+  std::uint32_t request_retries{2};
 };
 
 }  // namespace causalmem

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "causalmem/dsm/causal/config.hpp"
+#include "causalmem/dsm/failover.hpp"
 #include "causalmem/dsm/memory.hpp"
 #include "causalmem/dsm/observer.hpp"
 #include "causalmem/dsm/ownership.hpp"
@@ -56,6 +57,37 @@ class CausalNode final : public SharedMemory {
   [[nodiscard]] Value read(Addr x) override;
   void write(Addr x, Value v) override;
   bool discard(Addr x) override;
+
+  // Crash tolerance --------------------------------------------------------
+
+  /// Deadline-bounded read: like read(), but with CausalConfig::
+  /// request_timeout set, an owner round trip that expires is retried
+  /// (request_retries more rounds, re-resolving the owner each round so a
+  /// failover redirects it) and then surfaces OpStatus::kUnreachable
+  /// instead of blocking forever. With request_timeout == 0 this is read().
+  [[nodiscard]] ReadResult try_read(Addr x);
+
+  /// Deadline-bounded write (blocking mode only; async writes certify in
+  /// the background and are never Unreachable at the call site). On
+  /// exhaustion the issue-time local install and the per-page own-write
+  /// requirement are unwound so later reads are not owed a write that may
+  /// never have landed.
+  OpStatus try_write(Addr x, Value v);
+
+  /// Enables directory-driven crash tolerance. `dir` must be the same
+  /// object the node's Ownership reference resolves through (DsmSystem
+  /// guarantees this) and must outlive the node. Requires page_size == 1
+  /// (recovery elects per-location freshest copies). Call before the
+  /// transport starts.
+  void attach_failover(FailoverDirectory* dir);
+
+  /// Restart protocol for a node whose transport just un-crashed: drops all
+  /// volatile protocol state (cache, recovery log, pending bookkeeping —
+  /// write_seq_ survives as this node's stable write counter, keeping write
+  /// tags unique across incarnations), rebuilds the vector clock, and
+  /// resyncs it from every live peer. Returns true when every live peer
+  /// answered within the request deadline. Requires attach_failover.
+  bool rejoin();
   [[nodiscard]] bool owns(Addr x) const override;
   void flush() override;
   [[nodiscard]] NodeId node_id() const override { return id_; }
@@ -115,6 +147,40 @@ class CausalNode final : public SharedMemory {
   void serve_read(const Message& m);
   void serve_write(const Message& m);
   void complete_pending(const Message& m);
+  void serve_sync(const Message& m);
+  void serve_recover(const Message& m);
+  void on_recover_reply(const Message& m);
+
+  /// True when this node may serve/read the page from its own owned_ cells:
+  /// always without failover; with failover, when it is the page's static
+  /// owner or has finished the page's recovery election. Caller holds mu_.
+  [[nodiscard]] bool page_ready_locally(std::uint64_t pg) const;
+
+  /// Queues `m` (a READ or WRITE this node now owns but has not recovered)
+  /// behind the page's writestamp-max election, starting the election on
+  /// first demand. Consumes `lock` (the election may complete inline and
+  /// dispatch deferred messages outside the mutex).
+  void begin_or_join_recovery(std::uint64_t pg, const Message& m,
+                              std::unique_lock<std::mutex>& lock);
+
+  /// Installs the election winner as the owned cell, marks the page
+  /// recovered and replays the deferred requests. Consumes `lock`.
+  void finish_recovery(std::uint64_t pg, std::unique_lock<std::mutex>& lock);
+
+  /// Folds an observed remote cell into the monotone freshest-copy shadow
+  /// map that recovery elections draw from. No-op without failover (the
+  /// fault-free path stays allocation-free). Caller holds mu_.
+  void log_observe(Addr x, const Cell& c);
+
+  /// Waits for `fut` with the configured per-round deadline (virtual time:
+  /// obs::now_ns()). Returns true when the reply arrived; on expiry the
+  /// pending entry is abandoned (late replies are dropped) and false is
+  /// returned. With request_timeout == 0, blocks indefinitely.
+  bool await_reply(std::future<Message>& fut, std::uint64_t rid,
+                   std::uint64_t deadline_ns);
+
+  /// Deadline bookkeeping for one expired round against `target`.
+  void on_round_timeout(NodeId target, Addr x);
 
   /// Returns the owned cell for x, creating the initial-value cell on first
   /// touch (the paper: locations are initialized by distinguished writes
@@ -180,6 +246,27 @@ class CausalNode final : public SharedMemory {
     }
   };
   std::unordered_map<std::uint64_t, OwnPageWrites> own_writes_;
+
+  // --- crash tolerance (all inert while failover_ == nullptr) ---
+  FailoverDirectory* failover_{nullptr};
+  /// Monotone freshest-observed copy of every remote cell this node ever
+  /// saw certified (read replies, accepted write replies). Unlike cache_,
+  /// entries are exempt from invalidation and eviction: they are not
+  /// readable state, only election material — invalidation may legally
+  /// drop the last cached copy of a value that a recovery election later
+  /// needs to avoid rolling the page back behind what readers observed.
+  std::unordered_map<Addr, Cell> recovery_log_;
+  /// Pages this node acquired via failover and has finished electing.
+  std::unordered_set<std::uint64_t> recovered_pages_;
+  /// One in-flight writestamp-max election per acquired page.
+  struct PageRecovery {
+    std::set<NodeId> expected;     ///< live peers not yet answered
+    Cell best;                     ///< current election winner
+    bool has_candidate{false};
+    std::vector<Message> deferred; ///< requests replayed after the election
+    std::set<std::pair<NodeId, std::uint64_t>> queued;  ///< dedupe (from,rid)
+  };
+  std::unordered_map<std::uint64_t, PageRecovery> recovering_;
 
   std::unordered_map<std::uint64_t, Pending> pending_;
   std::uint64_t next_rid_{1};

@@ -1,0 +1,142 @@
+// Crash tolerance for the owner protocol: a failure-detector-fed ownership
+// directory plus an optional heartbeat prober.
+//
+// The paper assumes owners live forever ("the locations assigned to a
+// processor are owned by that processor"). FailoverDirectory relaxes that:
+// it wraps the static Ownership map and, when a node is suspected (by a
+// request deadline expiring, or by the heartbeat monitor), deterministically
+// migrates the suspect's locations to a successor — the next live node in
+// ring order. The successor reconstructs each page's state lazily, on first
+// demand, by a writestamp-max election over the live nodes' freshest cached
+// copies (CausalNode's recovery machinery); requesters that timed out simply
+// re-resolve the owner and retry, so in-flight operations re-route without
+// any coordination beyond the directory.
+//
+// Everything here is recovery-path machinery: its counters are net.*/fo.*
+// recovery counters, never message counters, so the paper's 2n+6 accounting
+// is untouched on the fault-free path.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "causalmem/common/types.hpp"
+#include "causalmem/dsm/ownership.hpp"
+#include "causalmem/net/transport.hpp"
+#include "causalmem/stats/counters.hpp"
+#include "causalmem/vclock/vector_clock.hpp"
+
+namespace causalmem {
+
+/// Deterministic "which copy wins" order for the writestamp-max election:
+/// strictly-after wins; concurrent stamps tie-break by component sum, then
+/// lexicographically — every node evaluating the same pair picks the same
+/// winner, so independent elections over the same copies agree.
+[[nodiscard]] bool fresher_stamp(const VectorClock& a, const VectorClock& b);
+
+/// Ownership decorator holding the live view of "who owns what": the static
+/// base map plus a per-node reroute set by failover. Reads (`owner`) are
+/// lock-free; mutations (suspect/restart) serialize on one mutex.
+class FailoverDirectory final : public Ownership {
+ public:
+  FailoverDirectory(std::unique_ptr<Ownership> base, std::size_t n,
+                    StatsRegistry* stats);
+
+  /// Current owner of x: the base owner, with reroutes followed
+  /// transitively (a successor may itself have failed over).
+  [[nodiscard]] NodeId owner(Addr x) const override;
+
+  /// The static pre-failover owner of x.
+  [[nodiscard]] NodeId base_owner(Addr x) const { return base_->owner(x); }
+
+  [[nodiscard]] bool is_down(NodeId id) const {
+    return down_[id].load(std::memory_order_acquire);
+  }
+
+  /// Bumped on every ownership migration; nodes use it to notice that a
+  /// cached owner resolution may be stale.
+  [[nodiscard]] std::uint64_t epoch() const noexcept {
+    return epoch_.load(std::memory_order_acquire);
+  }
+
+  [[nodiscard]] std::size_t node_count() const noexcept { return n_; }
+
+  /// All nodes currently believed alive, excluding `self`.
+  [[nodiscard]] std::vector<NodeId> live_peers(NodeId self) const;
+
+  /// Reports `suspect` as failed (reporter = kNoNode for the heartbeat
+  /// monitor). Idempotent: the first report migrates the suspect's
+  /// locations to the next live node in ring order and returns true; later
+  /// reports (and reports with no live successor) return false.
+  bool suspect(NodeId suspect, NodeId reporter);
+
+  /// Failure-detector input: `subject` was just heard from.
+  void record_alive(NodeId subject);
+
+  /// Nanosecond obs::now_ns() stamp of the last sign of life from `id`.
+  [[nodiscard]] std::uint64_t last_alive_ns(NodeId id) const {
+    return last_alive_[id].load(std::memory_order_acquire);
+  }
+
+  /// Re-admits a restarted node: clears its down flag and refreshes its
+  /// liveness stamp. Ownership does NOT revert — pages migrated away stay
+  /// with their successor; the restarted node rejoins as a peer.
+  void mark_restarted(NodeId id);
+
+ private:
+  const std::size_t n_;
+  std::unique_ptr<Ownership> base_;
+  StatsRegistry* stats_;
+  std::mutex mu_;  // serializes suspect()/mark_restarted()
+  std::vector<std::atomic<NodeId>> reroute_;     // kNoNode = not rerouted
+  std::vector<std::atomic<bool>> down_;
+  std::vector<std::atomic<std::uint64_t>> last_alive_;
+  std::atomic<std::uint64_t> epoch_{0};
+};
+
+struct HeartbeatConfig {
+  /// Probe period. Probes ride below the reliable layer (fire-and-forget,
+  /// never retransmitted) and are recovery traffic, not protocol messages.
+  std::chrono::microseconds interval{2000};
+  /// Silence threshold: a node not heard from (probe or any protocol
+  /// message) for this long is suspected.
+  std::chrono::microseconds suspect_after{20000};
+};
+
+/// Active failure detector: one thread probing every live node from every
+/// other live node each interval, and suspecting nodes whose last sign of
+/// life (maintained by FailoverDirectory::record_alive, fed by ALL incoming
+/// traffic) is older than `suspect_after`. Deadline-driven suspicion in
+/// CausalNode works without this; the monitor covers idle systems where no
+/// request would ever hit a deadline.
+class HeartbeatMonitor {
+ public:
+  /// `transport` must be the layer BELOW the ReliableChannel (probes must
+  /// not be retransmitted to a dead peer forever); all pointers must
+  /// outlive the monitor.
+  HeartbeatMonitor(Transport* transport, FailoverDirectory* directory,
+                   HeartbeatConfig config, StatsRegistry* stats);
+
+  void start();
+  void stop();  ///< idempotent; joins the prober thread
+
+  ~HeartbeatMonitor() { stop(); }
+  HeartbeatMonitor(const HeartbeatMonitor&) = delete;
+  HeartbeatMonitor& operator=(const HeartbeatMonitor&) = delete;
+
+ private:
+  void run(const std::stop_token& st);
+
+  Transport* transport_;
+  FailoverDirectory* directory_;
+  HeartbeatConfig config_;
+  StatsRegistry* stats_;
+  std::jthread prober_;
+  std::atomic<bool> running_{false};
+};
+
+}  // namespace causalmem

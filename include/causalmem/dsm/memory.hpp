@@ -13,6 +13,21 @@
 
 namespace causalmem {
 
+/// Outcome of a deadline-bounded operation (CausalConfig::request_timeout).
+enum class OpStatus : std::uint8_t {
+  kOk = 0,
+  /// The owner did not answer within the deadline across all retry rounds.
+  kUnreachable,
+};
+
+/// A read with a typed failure path: `value` is meaningful only when ok().
+struct ReadResult {
+  OpStatus status{OpStatus::kOk};
+  Value value{0};
+
+  [[nodiscard]] bool ok() const noexcept { return status == OpStatus::kOk; }
+};
+
 class SharedMemory {
  public:
   SharedMemory() = default;

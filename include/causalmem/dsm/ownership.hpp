@@ -1,6 +1,9 @@
 // Ownership maps: the shared memory namespace is statically partitioned
 // among processors (Section 3.1, "the locations assigned to a processor are
-// owned by that processor"). Ownership is immutable once the system starts.
+// owned by that processor"). The maps here are immutable once the system
+// starts; crash tolerance layers FailoverDirectory (dsm/failover.hpp) on
+// top, which reroutes a suspected owner's locations without mutating the
+// base map.
 #pragma once
 
 #include <unordered_map>

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "causalmem/common/expect.hpp"
+#include "causalmem/dsm/failover.hpp"
 #include "causalmem/dsm/memory.hpp"
 #include "causalmem/dsm/observer.hpp"
 #include "causalmem/dsm/ownership.hpp"
@@ -38,6 +39,21 @@ struct TraceOptions {
   std::size_t events_per_node{1u << 16};
 };
 
+/// Crash tolerance (see dsm/failover.hpp and PROTOCOL.md §Failover).
+struct FailoverOptions {
+  /// Wrap the ownership map in a FailoverDirectory and attach it to every
+  /// node: request deadlines file suspicions, suspected owners' locations
+  /// migrate to a ring successor, and DsmSystem::restart_node becomes
+  /// available. Requires a node type with attach_failover (CausalNode).
+  bool enabled{false};
+  /// Also run the active HeartbeatMonitor (probes below the reliable layer)
+  /// so idle systems detect crashes too. Off by default: probes are
+  /// recovery traffic, but a zero-probe run keeps even the recovery
+  /// counters silent for message-accounting experiments.
+  bool heartbeat{false};
+  HeartbeatConfig heartbeat_config{};
+};
+
 struct SystemOptions {
   /// Injected per-message latency (in-memory transport only).
   LatencyModel latency{};
@@ -59,6 +75,12 @@ struct SystemOptions {
   /// timeout-driven retransmission.
   bool reliable{false};
   ReliableConfig reliable_config{};
+  /// Install the FaultyTransport layer even when faults.none(): gives tests
+  /// crash_node/restart_node/set_partition handles without any random
+  /// drop/dup/delay on the fault-free path.
+  bool fault_layer{false};
+  /// Owner failover and node restart; see FailoverOptions.
+  FailoverOptions failover{};
   /// Protocol event tracing; see TraceOptions.
   TraceOptions trace{};
 };
@@ -80,6 +102,15 @@ class DsmSystem {
                        ? std::move(ownership)
                        : std::make_unique<StripedOwnership>(n, page_size_of(config))) {
     CM_EXPECTS(n > 0);
+    if (options.failover.enabled) {
+      // The directory wraps the static map BEFORE nodes capture their
+      // Ownership reference, so every owner_of() resolution follows
+      // failover reroutes automatically.
+      auto dir =
+          std::make_unique<FailoverDirectory>(std::move(ownership_), n, &stats_);
+      failover_dir_ = dir.get();
+      ownership_ = std::move(dir);
+    }
     if (options.trace.enabled) {
       trace_ = std::make_unique<obs::TraceHub>(n, options.trace.events_per_node);
       for (NodeId i = 0; i < n; ++i) {
@@ -100,12 +131,15 @@ class DsmSystem {
     for (const ChannelLatencyOverride& o : options.channel_latencies) {
       inmem_->set_channel_latency(o.from, o.to, o.latency);
     }
-    if (options.faults.any()) {
+    if (options.faults.any() || options.fault_layer) {
       auto faulty =
           std::make_unique<FaultyTransport>(std::move(transport), options.faults);
       faulty_ = faulty.get();
       transport = std::move(faulty);
     }
+    // Heartbeat probes enter here — below the reliable layer, so a probe to
+    // a dead peer is dropped, not retransmitted forever.
+    below_reliable_ = transport.get();
     if (options.reliable) {
       auto reliable = std::make_unique<ReliableChannel>(
           std::move(transport), options.reliable_config);
@@ -120,7 +154,24 @@ class DsmSystem {
                                                stats_.node(i), config,
                                                observer));
     }
+    if (failover_dir_ != nullptr) {
+      if constexpr (requires(NodeT& nd) {
+                      nd.attach_failover(
+                          static_cast<FailoverDirectory*>(nullptr));
+                    }) {
+        for (auto& nd : nodes_) nd->attach_failover(failover_dir_);
+      } else {
+        CM_EXPECTS_MSG(false,
+                       "failover requires a node type with attach_failover");
+      }
+    }
     transport_->start();
+    if (failover_dir_ != nullptr && options.failover.heartbeat) {
+      heartbeat_ = std::make_unique<HeartbeatMonitor>(
+          below_reliable_, failover_dir_, options.failover.heartbeat_config,
+          &stats_);
+      heartbeat_->start();
+    }
   }
 
   ~DsmSystem() { shutdown(); }
@@ -130,7 +181,34 @@ class DsmSystem {
 
   /// Stops message delivery. Nodes must be quiescent (no blocked operations)
   /// when this is called; application threads join first.
-  void shutdown() { transport_->shutdown(); }
+  void shutdown() {
+    if (heartbeat_ != nullptr) heartbeat_->stop();
+    transport_->shutdown();
+  }
+
+  /// Brings a transport-crashed node back: clears the crash flag and both
+  /// channel halves of every link touching it, re-admits it in the failover
+  /// directory (ownership migrated away does NOT revert) and runs the
+  /// node-level rejoin (state reset + clock resync from live peers).
+  /// Returns the rejoin result: true when every live peer answered the
+  /// resync. Requires fault_layer (or faults) and failover.enabled.
+  bool restart_node(NodeId id) {
+    CM_EXPECTS_MSG(faulty_ != nullptr,
+                   "restart_node requires the fault-injection layer");
+    CM_EXPECTS_MSG(failover_dir_ != nullptr,
+                   "restart_node requires failover.enabled");
+    CM_EXPECTS(id < nodes_.size());
+    // Channel state resets while the node's traffic is still severed, so no
+    // in-flight message can be sequenced against half-cleared channels.
+    if (reliable_ != nullptr) reliable_->reset_peer(id);
+    faulty_->restart_node(id);
+    failover_dir_->mark_restarted(id);
+    if constexpr (requires(NodeT& nd) { nd.rejoin(); }) {
+      return nodes_[id]->rejoin();
+    } else {
+      return true;
+    }
+  }
 
   [[nodiscard]] std::size_t node_count() const noexcept { return nodes_.size(); }
   [[nodiscard]] NodeT& node(NodeId i) {
@@ -152,6 +230,12 @@ class DsmSystem {
 
   /// The reliable-delivery adapter, or nullptr when options.reliable is off.
   [[nodiscard]] ReliableChannel* reliable_channel() noexcept { return reliable_; }
+
+  /// The failover directory, or nullptr when options.failover is off. Tests
+  /// use it to inspect reroutes and inject suspicions directly.
+  [[nodiscard]] FailoverDirectory* failover_directory() noexcept {
+    return failover_dir_;
+  }
 
   /// The per-node event tracers, or nullptr when options.trace is off.
   /// Drain (trace_hub()->events()) only after application threads join and
@@ -178,7 +262,12 @@ class DsmSystem {
   InMemTransport* inmem_{nullptr};
   FaultyTransport* faulty_{nullptr};
   ReliableChannel* reliable_{nullptr};
+  Transport* below_reliable_{nullptr};
+  FailoverDirectory* failover_dir_{nullptr};  // aliases ownership_ when set
   std::vector<std::unique_ptr<NodeT>> nodes_;
+  // Last member: destroyed first, so the prober never outlives the
+  // transport stack it sends through.
+  std::unique_ptr<HeartbeatMonitor> heartbeat_;
 };
 
 /// Waits until every replica of a DsmSystem<BroadcastNode> has applied every

@@ -66,9 +66,21 @@ class FaultyTransport final : public Transport {
   }
   void attach_stats(StatsRegistry* stats) noexcept override;
 
-  /// One-shot crash: from now on every message from or to `id` is dropped.
-  /// There is no un-crash; build a new system to "restart" the node.
+  /// Crash: from now on every message from or to `id` is dropped, until a
+  /// matching restart_node(id). Messages already inside the inner transport
+  /// (or the delay queue) may still be delivered — exactly like a real
+  /// crash, which cannot recall packets in flight.
   void crash_node(NodeId id);
+
+  /// Lifts a crash_node(id): messages from/to `id` flow again. The node's
+  /// protocol state is NOT touched here — a restarted DSM node must rejoin
+  /// explicitly (resync its clock and drop stale channel state); see
+  /// DsmSystem::restart_node for the full sequence.
+  void restart_node(NodeId id);
+
+  [[nodiscard]] bool is_crashed(NodeId id) const {
+    return crashed_[id].load(std::memory_order_acquire);
+  }
 
   /// Toggles a directed channel partition. Blocked channels drop every
   /// message; healing re-opens the channel for messages sent afterwards.

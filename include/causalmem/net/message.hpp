@@ -30,6 +30,14 @@ enum class MsgType : std::uint8_t {
   // Reliable-delivery adapter (net/reliable_channel.hpp). Not a protocol
   // message: never reaches a DSM node's handler.
   kRelAck,          ///< receiver -> sender: cumulative ack for one channel
+
+  // Crash tolerance (dsm/failover.hpp). These are recovery traffic, not
+  // protocol messages: they are excluded from message accounting.
+  kHeartbeat,       ///< failure-detector probe (sent below the reliable layer)
+  kSyncRequest,     ///< restarted node -> peer: send me your vector time
+  kSyncReply,       ///< peer -> restarted node: my current vector time
+  kRecover,         ///< successor -> peer: your freshest copy of this page?
+  kRecoverReply,    ///< peer -> successor: copy + writestamp (accepted = have)
 };
 
 [[nodiscard]] const char* msg_type_name(MsgType t) noexcept;

@@ -41,6 +41,12 @@ struct ReliableConfig {
   std::chrono::microseconds max_rto{64000};
   /// Upper bound on the retransmit scan pacing (Backoff max_sleep).
   std::chrono::microseconds tick{500};
+  /// Retransmissions per message before the sender gives up (the peer is
+  /// presumed dead — counted as net.peer_unreachable). Lossy-but-alive
+  /// channels are unaffected: at drop rate p the give-up probability is
+  /// p^max_retransmits. 0 = never give up (the pre-crash-tolerance
+  /// behaviour: infinite RTO backoff).
+  std::uint32_t max_retransmits{20};
 };
 
 class ReliableChannel final : public Transport {
@@ -71,6 +77,17 @@ class ReliableChannel final : public Transport {
   [[nodiscard]] std::uint64_t acks_sent_count() const noexcept {
     return acks_.load(std::memory_order_relaxed);
   }
+  [[nodiscard]] std::uint64_t peer_unreachable_count() const noexcept {
+    return peer_unreachable_.load(std::memory_order_relaxed);
+  }
+
+  /// Forgets all sequencing state on every channel to or from `id`: pending
+  /// retransmissions are dropped and both directions restart at sequence 1.
+  /// Call while the peer's traffic is still severed (crashed/partitioned) —
+  /// this is the channel half of a node restart, pairing with
+  /// FaultyTransport::restart_node. Without it a give-up (or the peer's
+  /// loss of its receive state) would wedge the channel on a sequence gap.
+  void reset_peer(NodeId id);
 
  private:
   using Clock = std::chrono::steady_clock;
@@ -82,6 +99,9 @@ class ReliableChannel final : public Transport {
     /// obs::now_ns() at first transmission — retransmission-delay samples
     /// (lat.retransmit_delay_ns) measure from here.
     std::uint64_t first_sent_ns{0};
+    /// Retransmissions so far; at config_.max_retransmits the sender gives
+    /// up on this message (net.peer_unreachable).
+    std::uint32_t retries{0};
   };
 
   /// Both halves of one directed channel (s -> d): the sender half lives at
@@ -117,6 +137,7 @@ class ReliableChannel final : public Transport {
   std::atomic<std::uint64_t> retransmits_{0};
   std::atomic<std::uint64_t> dup_drops_{0};
   std::atomic<std::uint64_t> acks_{0};
+  std::atomic<std::uint64_t> peer_unreachable_{0};
 };
 
 }  // namespace causalmem

@@ -43,6 +43,13 @@ enum class TraceEventKind : std::uint8_t {
   kFaultDrop,    ///< FaultyTransport dropped a message (incl. crash/partition)
   kFaultDup,     ///< FaultyTransport injected a duplicate copy
   kFaultDelay,   ///< FaultyTransport held a message back
+  kHeartbeat,    ///< HeartbeatMonitor probe sent
+  kSuspect,      ///< a peer was reported suspected (peer = the suspect)
+  kFailover,     ///< this node took over a suspected peer's pages
+  kRecover,      ///< successor finished writestamp-max election for a page
+  kUnreachable,  ///< an operation exhausted its retries (typed failure)
+  kPeerUnreachable,  ///< ReliableChannel gave up retransmitting to a peer
+  kRestart,      ///< a restarted node finished rejoining
   kKindCount,
 };
 
@@ -66,6 +73,13 @@ inline constexpr std::size_t kNumTraceEventKinds =
     case TraceEventKind::kFaultDrop: return "fault_drop";
     case TraceEventKind::kFaultDup: return "fault_dup";
     case TraceEventKind::kFaultDelay: return "fault_delay";
+    case TraceEventKind::kHeartbeat: return "heartbeat";
+    case TraceEventKind::kSuspect: return "suspect";
+    case TraceEventKind::kFailover: return "failover";
+    case TraceEventKind::kRecover: return "recover";
+    case TraceEventKind::kUnreachable: return "unreachable";
+    case TraceEventKind::kPeerUnreachable: return "peer_unreachable";
+    case TraceEventKind::kRestart: return "restart";
     case TraceEventKind::kKindCount: break;
   }
   return "unknown";

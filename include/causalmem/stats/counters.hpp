@@ -52,6 +52,19 @@ enum class Counter : std::size_t {
   kNetFaultDelay,        ///< FaultyTransport: extra delay injected
   kNetSendFailed,        ///< TcpTransport: frame write failed / connection broken
   kNetFrameError,        ///< TcpTransport: corrupt frame length, connection torn down
+  kNetHeartbeat,         ///< HeartbeatMonitor: one HEARTBEAT probe sent
+  kNetPeerUnreachable,   ///< ReliableChannel: gave up retransmitting to a peer
+
+  // --- crash tolerance (failover layer; NOT message counters: the
+  // fault-free path must keep the paper's 2n+6 accounting untouched) ---
+  kFoSuspect,            ///< a node reported a peer as suspected
+  kFoFailover,           ///< this node became successor-owner for a peer
+  kFoRecoverRequest,     ///< successor asked a peer for its freshest copy
+  kFoRecoverReply,       ///< peer answered a recovery election request
+  kFoSyncRequest,        ///< restarted node asked a peer for its clock
+  kFoSyncReply,          ///< peer answered a restart resync request
+  kFoRequestTimeout,     ///< one owner request round expired at its deadline
+  kFoUnreachable,        ///< an operation exhausted its retries (Unreachable)
 
   kCounterCount,
 };
@@ -88,6 +101,16 @@ inline constexpr std::size_t kNumLatencyMetrics =
     case Counter::kNetFaultDelay:
     case Counter::kNetSendFailed:
     case Counter::kNetFrameError:
+    case Counter::kNetHeartbeat:
+    case Counter::kNetPeerUnreachable:
+    case Counter::kFoSuspect:
+    case Counter::kFoFailover:
+    case Counter::kFoRecoverRequest:
+    case Counter::kFoRecoverReply:
+    case Counter::kFoSyncRequest:
+    case Counter::kFoSyncReply:
+    case Counter::kFoRequestTimeout:
+    case Counter::kFoUnreachable:
       return true;
     default:
       return false;

@@ -1,5 +1,6 @@
 #include "causalmem/apps/solver/problem.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "causalmem/common/rng.hpp"
@@ -94,6 +95,23 @@ double SolverProblem::residual(const std::vector<double>& x) const {
     worst = std::max(worst, std::abs(acc));
   }
   return worst;
+}
+
+std::unique_ptr<Ownership> SolverLayout::make_ownership_constants_at(
+    NodeId storage) const {
+  auto own = std::make_unique<ExplicitOwnership>(
+      std::max(node_count(), static_cast<std::size_t>(storage) + 1));
+  for (std::size_t i = 0; i < n_; ++i) {
+    own->assign(x(i), worker_of(i));
+  }
+  for (std::size_t w = 0; w < w_; ++w) {
+    own->assign(complete(w), static_cast<NodeId>(w));
+    own->assign(changed(w), static_cast<NodeId>(w));
+  }
+  for (Addr addr = constants_begin(); addr < constants_end(); ++addr) {
+    own->assign(addr, storage);
+  }
+  return own;
 }
 
 std::unique_ptr<Ownership> SolverLayout::make_ownership() const {

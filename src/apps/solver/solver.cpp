@@ -96,6 +96,7 @@ SolverRun run_sync_solver(const SolverProblem& problem,
   }
 
   for (std::size_t k = 0; k < options.iterations; ++k) {
+    if (options.on_phase) options.on_phase(k);
     for (std::size_t w = 0; w < nw; ++w) {
       (void)spin_until_equals(coord, layout.complete(w), kTrue);
     }

@@ -1,9 +1,11 @@
 #include "causalmem/dsm/causal/node.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 #include "causalmem/common/expect.hpp"
 #include "causalmem/common/logging.hpp"
+#include "causalmem/obs/clock.hpp"
 #include "causalmem/obs/trace.hpp"
 
 namespace causalmem {
@@ -51,12 +53,23 @@ CausalNode::CausalNode(NodeId id, std::size_t n, const Ownership& ownership,
 // --------------------------------------------------------------------------
 
 Value CausalNode::read(Addr x) {
+  for (;;) {
+    const ReadResult r = try_read(x);
+    if (r.ok()) return r.value;
+    // Unreachable, but this caller wants the paper's blocking semantics:
+    // retry forever. Every failed round filed a suspicion, so with failover
+    // attached a successor eventually answers; without it this blocks until
+    // the owner is back — exactly the pre-deadline behaviour.
+  }
+}
+
+ReadResult CausalNode::try_read(Addr x) {
   const OpTiming op_start = OpTiming::begin();
   obs::Tracer* const tr = stats_.tracer();
   const std::uint64_t pg = page_of(x);
   {
     std::unique_lock lock(mu_);
-    if (owner_of(x) == id_) {
+    if (owner_of(x) == id_ && page_ready_locally(pg)) {
       Cell& c = owned_cell(x);
       stats_.bump(Counter::kReadHit);
       if (tr != nullptr) {
@@ -70,7 +83,7 @@ Value CausalNode::read(Addr x) {
       if (observer_ != nullptr) {
         observer_->on_read(id_, x, v, tag, done);
       }
-      return v;
+      return ReadResult{OpStatus::kOk, v};
     }
     if (!cfg_.read_through) {
       if (auto it = cache_.find(pg); it != cache_.end()) {
@@ -88,7 +101,7 @@ Value CausalNode::read(Addr x) {
         if (observer_ != nullptr) {
           observer_->on_read(id_, x, v, tag, done);
         }
-        return v;
+        return ReadResult{OpStatus::kOk, v};
       }
     }
     stats_.bump(Counter::kReadMiss);
@@ -97,40 +110,70 @@ Value CausalNode::read(Addr x) {
     }
   }
 
-  // Read miss: request a current copy from the owner and block (Fig. 4).
-  // The send happens under the operation mutex so the channel order to each
-  // owner equals the node's operation-issue order (several application
-  // threads may share this node).
-  std::future<Message> fut;
-  {
-    std::unique_lock lock(mu_);
-    const std::uint64_t rid = next_rid_++;
-    fut = register_pending(rid, /*async=*/false, op_start.start_ns);
-    Message req;
-    req.type = MsgType::kRead;
-    req.from = id_;
-    req.to = owner_of(x);
-    req.request_id = rid;
-    req.addr = x;
-    req.stamp = VectorClock(n_);
-    stats_.bump(Counter::kMsgReadRequest);
-    transport_.send(std::move(req));
-  }
+  // Read miss: request a current copy from the owner and block (Fig. 4),
+  // bounded by the per-round deadline when one is configured. Each round
+  // re-resolves the owner, so a failover between rounds redirects the retry
+  // to the successor. The send happens under the operation mutex so the
+  // channel order to each owner equals the node's operation-issue order
+  // (several application threads may share this node).
+  const bool bounded = cfg_.request_timeout.count() > 0;
+  const std::uint64_t timeout_ns =
+      static_cast<std::uint64_t>(cfg_.request_timeout.count());
+  const std::uint32_t rounds = bounded ? cfg_.request_retries + 1 : 1;
+  NodeId target = kNoNode;
+  for (std::uint32_t round = 0; round < rounds; ++round) {
+    std::future<Message> fut;
+    std::uint64_t rid = 0;
+    {
+      std::unique_lock lock(mu_);
+      target = owner_of(x);
+      rid = next_rid_++;
+      fut = register_pending(rid, /*async=*/false, op_start.start_ns);
+      Message req;
+      req.type = MsgType::kRead;
+      req.from = id_;
+      req.to = target;
+      req.request_id = rid;
+      req.addr = x;
+      req.stamp = VectorClock(n_);
+      stats_.bump(Counter::kMsgReadRequest);
+      transport_.send(std::move(req));
+    }
 
-  // The reply was already applied (clock merge, per-cell install preferring
-  // locally newer own writes, invalidation sweep, observer notification) by
-  // complete_pending on the delivery thread — in FIFO position, so a later
-  // WRITE service can never sweep past a not-yet-installed stale copy, and
-  // the recorded per-node operation order is the order effects actually
-  // took place (which is what makes several application threads per node
-  // sound). complete_pending put the chosen value into the reply.
-  const Value v = fut.get().value;
-  record_op_done(stats_, tr, LatencyMetric::kReadNs,
-                 obs::TraceEventKind::kReadDone, x, op_start.close());
-  return v;
+    // The reply was already applied (clock merge, per-cell install
+    // preferring locally newer own writes, invalidation sweep, observer
+    // notification) by complete_pending on the delivery thread — in FIFO
+    // position, so a later WRITE service can never sweep past a
+    // not-yet-installed stale copy, and the recorded per-node operation
+    // order is the order effects actually took place (which is what makes
+    // several application threads per node sound). complete_pending put the
+    // chosen value into the reply.
+    const std::uint64_t deadline = bounded ? obs::now_ns() + timeout_ns : 0;
+    if (await_reply(fut, rid, deadline)) {
+      const Value v = fut.get().value;
+      record_op_done(stats_, tr, LatencyMetric::kReadNs,
+                     obs::TraceEventKind::kReadDone, x, op_start.close());
+      return ReadResult{OpStatus::kOk, v};
+    }
+    on_round_timeout(target, x);
+  }
+  stats_.bump(Counter::kFoUnreachable);
+  if (tr != nullptr) {
+    tr->record(obs::TraceEventKind::kUnreachable,
+               static_cast<std::uint8_t>(MsgType::kRead), target, x);
+  }
+  return ReadResult{OpStatus::kUnreachable, 0};
 }
 
 void CausalNode::write(Addr x, Value v) {
+  while (try_write(x, v) != OpStatus::kOk) {
+    // Blocking semantics on top of the bounded core: retry forever. Each
+    // exhausted attempt filed suspicions, so with failover attached the
+    // retry eventually lands at a live successor.
+  }
+}
+
+OpStatus CausalNode::try_write(Addr x, Value v) {
   const OpTiming op_start = OpTiming::begin();
   obs::Tracer* const tr = stats_.tracer();
   const std::uint64_t pg = page_of(x);
@@ -154,7 +197,7 @@ void CausalNode::write(Addr x, Value v) {
   // Every write attempt increments the writer's clock (Fig. 4).
   vt_.increment(id_);
   const WriteTag tag{id_, ++write_seq_};
-  if (owner_of(x) == id_) {
+  if (owner_of(x) == id_ && page_ready_locally(pg)) {
     Cell& c = owned_cell(x);
     c.value = v;
     c.stamp = vt_;
@@ -166,9 +209,13 @@ void CausalNode::write(Addr x, Value v) {
     if (observer_ != nullptr) {
       observer_->on_write(id_, x, v, tag, true, done);
     }
-    return;
+    return OpStatus::kOk;
   }
 
+  // Remote write — possibly to ourselves: a page acquired by failover but
+  // not yet recovered routes through the transport like any other request,
+  // so it queues behind the page's election in arrival order.
+  NodeId target = owner_of(x);
   const VectorClock stamp_at_issue = vt_;
   stats_.bump(Counter::kWriteRemote);
   // Remember our latest write into this page so read replies that predate
@@ -179,7 +226,8 @@ void CausalNode::write(Addr x, Value v) {
   // outcome is not yet known; the history records the write as a normal
   // write, which is exactly Definition 1's treatment: a rejected write
   // exists and is concurrent with the owner's value, it just installed
-  // nothing anybody will read.)
+  // nothing anybody will read. A write that later exhausts its deadline
+  // gets the same treatment — it exists, and nobody will read it.)
   //
   // Real-time bracket: deliberately UNTIMED (end_ns = 0). The write's
   // global take-effect point is at the owner, after this observation; an
@@ -197,32 +245,86 @@ void CausalNode::write(Addr x, Value v) {
   if (!cfg_.read_through) cache_own_write(x, v, tag, stamp_at_issue);
 
   const bool async = cfg_.write_mode == WriteMode::kAsync;
-  const std::uint64_t rid = next_rid_++;
+  std::uint64_t rid = next_rid_++;
   std::future<Message> fut = register_pending(rid, async, op_start.start_ns);
   if (async) {
     ++outstanding_async_;
-    async_chain_owner_ = owner_of(x);
+    async_chain_owner_ = target;
   }
   Message req;
   req.type = MsgType::kWrite;
   req.from = id_;
-  req.to = owner_of(x);
+  req.to = target;
   req.request_id = rid;
   req.addr = x;
   req.value = v;
   req.tag = tag;
   req.stamp = stamp_at_issue;
   stats_.bump(Counter::kMsgWriteRequest);
-  transport_.send(std::move(req));
+  transport_.send(Message(req));
   lock.unlock();
 
-  if (!async) {
-    // Clock merge and cache refresh happened in complete_pending on the
-    // delivery thread (FIFO position — see the read path comment).
-    (void)fut.get();
+  if (async) {
+    // Certification happens in the background (complete_pending); deadline
+    // handling does not apply — flush() is the fence.
+    record_op_done(stats_, tr, LatencyMetric::kWriteNs,
+                   obs::TraceEventKind::kWriteDone, x, op_start.close());
+    return OpStatus::kOk;
   }
-  record_op_done(stats_, tr, LatencyMetric::kWriteNs,
-                 obs::TraceEventKind::kWriteDone, x, op_start.close());
+
+  // Deadline-bounded certification: every retry round re-sends the SAME
+  // tag and issue stamp (idempotent at the owner — serve_write recognizes
+  // an already-applied write) to the freshly resolved owner.
+  const bool bounded = cfg_.request_timeout.count() > 0;
+  const std::uint64_t timeout_ns =
+      static_cast<std::uint64_t>(cfg_.request_timeout.count());
+  const std::uint32_t rounds = bounded ? cfg_.request_retries + 1 : 1;
+  for (std::uint32_t round = 0; round < rounds; ++round) {
+    if (round > 0) {
+      std::unique_lock relock(mu_);
+      target = owner_of(x);
+      rid = next_rid_++;
+      fut = register_pending(rid, /*async=*/false, op_start.start_ns);
+      Message retry = req;
+      retry.to = target;
+      retry.request_id = rid;
+      stats_.bump(Counter::kMsgWriteRequest);
+      transport_.send(std::move(retry));
+    }
+    const std::uint64_t deadline = bounded ? obs::now_ns() + timeout_ns : 0;
+    if (await_reply(fut, rid, deadline)) {
+      // Clock merge and cache refresh happened in complete_pending on the
+      // delivery thread (FIFO position — see the read path comment).
+      (void)fut.get();
+      record_op_done(stats_, tr, LatencyMetric::kWriteNs,
+                     obs::TraceEventKind::kWriteDone, x, op_start.close());
+      return OpStatus::kOk;
+    }
+    on_round_timeout(target, x);
+  }
+
+  // Exhausted. Unwind what the issue sequence promised: the per-page
+  // own-write requirement (a read reply must not wait forever for a write
+  // that may never have landed) and the issue-time local install (nobody
+  // must read a value the system may never have accepted).
+  {
+    std::unique_lock relock(mu_);
+    if (auto ow = own_writes_.find(pg); ow != own_writes_.end()) {
+      ow->second.outstanding.erase(tag.seq);
+    }
+    if (!cfg_.read_through) {
+      if (auto pit = cache_.find(pg); pit != cache_.end()) {
+        Cell& c = pit->second.cells[x - page_base(pg)];
+        if (c.tag == tag) erase_page(pit);
+      }
+    }
+  }
+  stats_.bump(Counter::kFoUnreachable);
+  if (tr != nullptr) {
+    tr->record(obs::TraceEventKind::kUnreachable,
+               static_cast<std::uint8_t>(MsgType::kWrite), target, x);
+  }
+  return OpStatus::kUnreachable;
 }
 
 bool CausalNode::discard(Addr x) {
@@ -276,6 +378,9 @@ std::size_t CausalNode::cached_page_count() const {
 // --------------------------------------------------------------------------
 
 void CausalNode::on_message(const Message& m) {
+  // Any delivery is proof of life — the failure detector piggybacks on
+  // protocol traffic, so busy systems never need dedicated heartbeats.
+  if (failover_ != nullptr) failover_->record_alive(m.from);
   switch (m.type) {
     case MsgType::kRead:
       serve_read(m);
@@ -285,7 +390,19 @@ void CausalNode::on_message(const Message& m) {
       return;
     case MsgType::kReadReply:
     case MsgType::kWriteReply:
+    case MsgType::kSyncReply:
       complete_pending(m);
+      return;
+    case MsgType::kHeartbeat:
+      return;  // record_alive above was the whole point
+    case MsgType::kSyncRequest:
+      serve_sync(m);
+      return;
+    case MsgType::kRecover:
+      serve_recover(m);
+      return;
+    case MsgType::kRecoverReply:
+      on_recover_reply(m);
       return;
     default:
       CM_UNREACHABLE("unexpected message type at causal node");
@@ -296,8 +413,18 @@ void CausalNode::serve_read(const Message& m) {
   Message rep;
   {
     std::unique_lock lock(mu_);
-    CM_ASSERT_MSG(owner_of(m.addr) == id_, "READ routed to non-owner");
     const std::uint64_t pg = page_of(m.addr);
+    if (failover_ != nullptr) {
+      // Stale routing (the sender resolved the owner before a failover): let
+      // the request die — the sender's deadline re-resolves and retries.
+      if (owner_of(m.addr) != id_) return;
+      if (!page_ready_locally(pg)) {
+        begin_or_join_recovery(pg, m, lock);
+        return;
+      }
+    } else {
+      CM_ASSERT_MSG(owner_of(m.addr) == id_, "READ routed to non-owner");
+    }
     const Addr base = page_base(pg);
     rep.stamp = VectorClock(n_);
     rep.cells.reserve(cfg_.page_size);
@@ -321,19 +448,35 @@ void CausalNode::serve_write(const Message& m) {
   bool accepted = true;
   {
     std::unique_lock lock(mu_);
-    CM_ASSERT_MSG(owner_of(m.addr) == id_, "WRITE routed to non-owner");
+    if (failover_ != nullptr) {
+      if (owner_of(m.addr) != id_) return;  // stale routing — sender retries
+      if (!page_ready_locally(page_of(m.addr))) {
+        begin_or_join_recovery(page_of(m.addr), m, lock);
+        return;
+      }
+    } else {
+      CM_ASSERT_MSG(owner_of(m.addr) == id_, "WRITE routed to non-owner");
+    }
     // VT_i := update(VT_i, VT) — the owner learns the writer's causal past.
     vt_.update(m.stamp);
 
     Cell& cur = owned_cell(m.addr);
-    if (cfg_.conflict == ConflictPolicy::kOwnerWins &&
+    // Deadline-retry idempotency: a retried WRITE whose first copy already
+    // landed (the reply was lost or late) must not re-install — the stored
+    // stamp is the *merged* clock, so re-applying the issue stamp could
+    // regress it. Same tag, or a stamp our cell strictly dominates, means
+    // "already applied here (or overwritten by a causal successor)": just
+    // re-ack. Fault-free runs never take this branch (tags are unique and
+    // a first-time write's stamp is never before the current cell's).
+    const bool already = cur.tag == m.tag || m.stamp.before(cur.stamp);
+    if (!already && cfg_.conflict == ConflictPolicy::kOwnerWins &&
         cur.tag.writer == id_ && cur.stamp.concurrent_with(m.stamp)) {
       // Section 4.2: a remote write concurrent with a value the owner itself
       // wrote loses. (A write whose stamp dominates cur.stamp has seen the
       // owner's value and legitimately overwrites it.)
       accepted = false;
     }
-    if (accepted) {
+    if (accepted && !already) {
       cur.value = m.value;
       cur.stamp = vt_;  // M_i[x] := (v, VT_i) with the merged clock
       cur.tag = m.tag;
@@ -358,7 +501,26 @@ void CausalNode::serve_write(const Message& m) {
 void CausalNode::complete_pending(const Message& m) {
   std::unique_lock lock(mu_);
   auto it = pending_.find(m.request_id);
-  CM_ASSERT_MSG(it != pending_.end(), "reply for unknown request");
+  if (it == pending_.end()) {
+    // A reply that outlived its deadline (the round timed out and abandoned
+    // the slot) or a duplicate. Harmless to drop: the retry re-fetches any
+    // state this reply carried, and a retried write is idempotent at the
+    // owner. Without deadlines this cannot happen — keep the old invariant.
+    CM_ASSERT_MSG(cfg_.request_timeout.count() > 0,
+                  "reply for unknown request");
+    return;
+  }
+
+  if (m.type == MsgType::kSyncReply) {
+    // rejoin()'s clock resync: merge the peer's vector time and wake the
+    // rejoin loop. No cache or own-write bookkeeping is involved.
+    vt_.update(m.stamp);
+    std::promise<Message> prom = std::move(it->second.reply);
+    pending_.erase(it);
+    lock.unlock();
+    prom.set_value(m);
+    return;
+  }
 
   if (m.type == MsgType::kWriteReply) {
     // Resolve this write in the per-page requirement bookkeeping (see
@@ -405,6 +567,7 @@ void CausalNode::complete_pending(const Message& m) {
     // clock and release any flush() waiter.
     vt_.update(m.stamp);
     CM_ASSERT_MSG(m.accepted, "async write rejected (policy forbids this)");
+    log_observe(m.addr, Cell{m.value, m.stamp, m.tag});
     pending_.erase(it);
     CM_ASSERT(outstanding_async_ > 0);
     if (--outstanding_async_ == 0) flush_cv_.notify_all();
@@ -436,6 +599,7 @@ void CausalNode::complete_pending(const Message& m) {
       cp.cells.push_back(Cell{cell.value, m.stamp, cell.tag});
     }
     const Cell chosen = cp.cells[m.addr - page_base(pg)];
+    log_observe(m.addr, chosen);
     if (!cfg_.read_through) {
       invalidate_cache(m.stamp, pg);
       install_page(pg, std::move(cp));
@@ -470,6 +634,7 @@ void CausalNode::complete_pending(const Message& m) {
         cur->stamp = m.stamp;
         if (cfg_.page_size == 1) pit->second.stamp = m.stamp;
       }
+      log_observe(m.addr, Cell{m.value, m.stamp, m.tag});
     } else {
       // Owner-wins resolution rejected the write: drop the local copy (if
       // it is still this write) so a later read fetches the favored value.
@@ -481,6 +646,272 @@ void CausalNode::complete_pending(const Message& m) {
 
   lock.unlock();
   prom.set_value(result);
+}
+
+// --------------------------------------------------------------------------
+// Crash tolerance: deadlines, failover routing, recovery elections, rejoin
+// --------------------------------------------------------------------------
+
+void CausalNode::attach_failover(FailoverDirectory* dir) {
+  CM_EXPECTS(dir != nullptr);
+  CM_EXPECTS_MSG(cfg_.page_size == 1,
+                 "failover requires the per-location protocol (page_size 1)");
+  failover_ = dir;
+}
+
+bool CausalNode::page_ready_locally(std::uint64_t pg) const {
+  return failover_ == nullptr ||
+         failover_->base_owner(page_base(pg)) == id_ ||
+         recovered_pages_.contains(pg);
+}
+
+bool CausalNode::await_reply(std::future<Message>& fut, std::uint64_t rid,
+                             std::uint64_t deadline_ns) {
+  if (deadline_ns == 0) {
+    fut.wait();
+    return true;
+  }
+  // Deadlines are virtual time (obs::now_ns()), so FakeClock tests control
+  // expiry deterministically; the short real-time poll only paces the check.
+  for (;;) {
+    if (fut.wait_for(std::chrono::microseconds(200)) ==
+        std::future_status::ready) {
+      return true;
+    }
+    if (obs::now_ns() < deadline_ns) continue;
+    std::unique_lock lock(mu_);
+    if (!pending_.contains(rid)) {
+      // complete_pending already claimed the slot and is mid-application:
+      // the promise is about to be (or was just) fulfilled. Wait it out —
+      // only complete_pending and this function ever erase a pending slot.
+      lock.unlock();
+      fut.wait();
+      return true;
+    }
+    // Abandon the round: a reply arriving after this is dropped by the
+    // tolerant lookup in complete_pending.
+    pending_.erase(rid);
+    return false;
+  }
+}
+
+void CausalNode::on_round_timeout(NodeId target, Addr x) {
+  (void)x;
+  stats_.bump(Counter::kFoRequestTimeout);
+  // suspect() does its own counting/tracing and is idempotent; self-sends
+  // cannot time out from unreachability, only from recovery queueing.
+  if (failover_ != nullptr && target != id_) failover_->suspect(target, id_);
+}
+
+void CausalNode::log_observe(Addr x, const Cell& c) {
+  if (failover_ == nullptr) return;  // fault-free path stays allocation-free
+  auto [it, fresh] = recovery_log_.try_emplace(x, c);
+  if (!fresh && fresher_stamp(c.stamp, it->second.stamp)) it->second = c;
+}
+
+void CausalNode::serve_sync(const Message& m) {
+  Message rep;
+  {
+    std::unique_lock lock(mu_);
+    rep.stamp = vt_;
+    stats_.bump(Counter::kFoSyncReply);
+  }
+  rep.type = MsgType::kSyncReply;
+  rep.from = id_;
+  rep.to = m.from;
+  rep.request_id = m.request_id;
+  transport_.send(std::move(rep));
+}
+
+void CausalNode::serve_recover(const Message& m) {
+  Message rep;
+  {
+    std::unique_lock lock(mu_);
+    // Answer from the monotone observation log only: cache_ entries can be
+    // invalidated (and so roll backwards); the log can't.
+    if (auto it = recovery_log_.find(m.addr); it != recovery_log_.end()) {
+      rep.accepted = true;
+      rep.value = it->second.value;
+      rep.stamp = it->second.stamp;
+      rep.tag = it->second.tag;
+    } else {
+      rep.accepted = false;
+      rep.stamp = VectorClock(n_);
+    }
+    stats_.bump(Counter::kFoRecoverReply);
+  }
+  rep.type = MsgType::kRecoverReply;
+  rep.from = id_;
+  rep.to = m.from;
+  rep.request_id = m.request_id;
+  rep.addr = m.addr;
+  transport_.send(std::move(rep));
+}
+
+void CausalNode::on_recover_reply(const Message& m) {
+  std::unique_lock lock(mu_);
+  const std::uint64_t pg = page_of(m.addr);
+  auto it = recovering_.find(pg);
+  if (it == recovering_.end()) return;  // duplicate / post-election straggler
+  PageRecovery& rec = it->second;
+  rec.expected.erase(m.from);
+  if (m.accepted &&
+      (!rec.has_candidate || fresher_stamp(m.stamp, rec.best.stamp))) {
+    rec.best = Cell{m.value, m.stamp, m.tag};
+    rec.has_candidate = true;
+  }
+  if (rec.expected.empty()) finish_recovery(pg, lock);
+}
+
+void CausalNode::begin_or_join_recovery(std::uint64_t pg, const Message& m,
+                                        std::unique_lock<std::mutex>& lock) {
+  auto [it, fresh] = recovering_.try_emplace(pg);
+  PageRecovery& rec = it->second;
+  // Queue the request behind the election. Dedupe by (sender, rid): the
+  // reliable layer can deliver a request only once per rid, but a sender's
+  // deadline retry arrives under a NEW rid — the duplicate replay is
+  // harmless (WRITEs are idempotent at the owner, and a reply to an
+  // abandoned rid is dropped by the tolerant pending lookup).
+  if (rec.queued.insert({m.from, m.request_id}).second) {
+    rec.deferred.push_back(m);
+  }
+  if (fresh) {
+    // Seed the election with our own freshest observation, then poll every
+    // live peer for theirs.
+    if (auto lg = recovery_log_.find(page_base(pg));
+        lg != recovery_log_.end()) {
+      rec.best = lg->second;
+      rec.has_candidate = true;
+    }
+    for (NodeId p : failover_->live_peers(id_)) rec.expected.insert(p);
+    for (const NodeId p : rec.expected) {
+      Message req;
+      req.type = MsgType::kRecover;
+      req.from = id_;
+      req.to = p;
+      req.request_id = 0;  // routed by type, not by pending slot
+      req.addr = page_base(pg);
+      req.stamp = VectorClock(n_);
+      stats_.bump(Counter::kFoRecoverRequest);
+      transport_.send(std::move(req));
+    }
+  } else {
+    // Prune peers that died since the election began — their RECOVER_REPLY
+    // will never come. The pruning is driven by retried requests landing
+    // here, so a stalled election makes progress exactly when someone still
+    // wants the page.
+    for (auto pit = rec.expected.begin(); pit != rec.expected.end();) {
+      if (failover_->is_down(*pit)) {
+        pit = rec.expected.erase(pit);
+      } else {
+        ++pit;
+      }
+    }
+  }
+  if (rec.expected.empty()) {
+    finish_recovery(pg, lock);
+    return;
+  }
+  lock.unlock();
+}
+
+void CausalNode::finish_recovery(std::uint64_t pg,
+                                 std::unique_lock<std::mutex>& lock) {
+  auto it = recovering_.find(pg);
+  CM_ASSERT(it != recovering_.end());
+  PageRecovery rec = std::move(it->second);
+  recovering_.erase(it);
+  const Addr base = page_base(pg);
+  // Install the election winner as the owned copy. No candidate anywhere
+  // means nobody ever observed a certified value for the page: the paper's
+  // distinguished initial write stands (owned_cell conjures it on demand).
+  if (rec.has_candidate) {
+    Cell& c = owned_cell(base);
+    c = rec.best;
+    vt_.update(rec.best.stamp);
+    // Taking over the page is a causal interaction like serving a WRITE:
+    // our cached copies that the winner's past overwrites must go.
+    invalidate_cache(vt_, pg);
+  }
+  recovered_pages_.insert(pg);
+  if (obs::Tracer* t = stats_.tracer()) {
+    t->record(obs::TraceEventKind::kRecover, 0, kNoNode, base, &vt_);
+  }
+  std::vector<Message> deferred = std::move(rec.deferred);
+  // Replay outside the mutex: the deferred requests run the normal service
+  // path (which re-locks) and their replies re-enter the transport.
+  lock.unlock();
+  for (const Message& dm : deferred) on_message(dm);
+}
+
+bool CausalNode::rejoin() {
+  CM_EXPECTS_MSG(failover_ != nullptr, "rejoin requires attach_failover");
+  struct Wait {
+    NodeId peer;
+    std::uint64_t rid;
+    std::future<Message> fut;
+  };
+  std::vector<Wait> waits;
+  {
+    std::unique_lock lock(mu_);
+    // Volatile state dies with the incarnation. Owned cells for pages that
+    // migrated away while we were down are dropped (their successor is now
+    // authoritative); our never-migrated pages survive — the crash model is
+    // transport-level, standing in for a reload from stable storage.
+    cache_.clear();
+    lru_.clear();
+    own_writes_.clear();
+    recovery_log_.clear();
+    recovered_pages_.clear();
+    recovering_.clear();
+    read_only_pages_.clear();
+    for (auto oit = owned_.begin(); oit != owned_.end();) {
+      if (failover_->owner(oit->first) != id_) {
+        oit = owned_.erase(oit);
+      } else {
+        ++oit;
+      }
+    }
+    // NOT pending_ / outstanding_async_: application threads may still hold
+    // futures from before the crash; their rounds expire via await_reply.
+    //
+    // The clock restarts from the stable write counter: our own component
+    // must stay ahead of every write this incarnation will issue (tags are
+    // {id, ++write_seq_}), and the peers' components are re-learned below.
+    std::vector<std::uint64_t> comps(n_, 0);
+    comps[id_] = write_seq_;
+    vt_ = VectorClock(comps);
+    for (const NodeId p : failover_->live_peers(id_)) {
+      const std::uint64_t rid = next_rid_++;
+      std::future<Message> fut =
+          register_pending(rid, /*async=*/false, /*start_ns=*/0);
+      Message req;
+      req.type = MsgType::kSyncRequest;
+      req.from = id_;
+      req.to = p;
+      req.request_id = rid;
+      req.stamp = VectorClock(n_);
+      stats_.bump(Counter::kFoSyncRequest);
+      transport_.send(std::move(req));
+      waits.push_back(Wait{p, rid, std::move(fut)});
+    }
+  }
+  const std::uint64_t timeout_ns =
+      cfg_.request_timeout.count() > 0
+          ? static_cast<std::uint64_t>(cfg_.request_timeout.count())
+          : 500'000'000ULL;  // un-configured systems still must not hang
+  bool all = true;
+  for (Wait& w : waits) {
+    if (!await_reply(w.fut, w.rid, obs::now_ns() + timeout_ns)) {
+      failover_->suspect(w.peer, id_);
+      all = false;
+    }
+  }
+  if (obs::Tracer* t = stats_.tracer()) {
+    std::unique_lock lock(mu_);
+    t->record(obs::TraceEventKind::kRestart, 0, kNoNode, 0, &vt_);
+  }
+  return all;
 }
 
 // --------------------------------------------------------------------------

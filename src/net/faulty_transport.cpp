@@ -50,6 +50,11 @@ void FaultyTransport::crash_node(NodeId id) {
   crashed_[id].store(true, std::memory_order_release);
 }
 
+void FaultyTransport::restart_node(NodeId id) {
+  CM_EXPECTS(id < inner_->node_count());
+  crashed_[id].store(false, std::memory_order_release);
+}
+
 void FaultyTransport::set_partition(NodeId from, NodeId to, bool blocked) {
   CM_EXPECTS(from < inner_->node_count() && to < inner_->node_count());
   Channel& ch = channel(from, to);

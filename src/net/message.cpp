@@ -14,6 +14,11 @@ const char* msg_type_name(MsgType t) noexcept {
     case MsgType::kInvalidateAck: return "INV_ACK";
     case MsgType::kBroadcastUpdate: return "BCAST";
     case MsgType::kRelAck: return "REL_ACK";
+    case MsgType::kHeartbeat: return "HEARTBEAT";
+    case MsgType::kSyncRequest: return "SYNC";
+    case MsgType::kSyncReply: return "SYNC_REPLY";
+    case MsgType::kRecover: return "RECOVER";
+    case MsgType::kRecoverReply: return "RECOVER_REPLY";
   }
   return "?";
 }

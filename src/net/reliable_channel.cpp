@@ -140,6 +140,22 @@ void ReliableChannel::on_receive(const Message& m) {
   send_ack(/*receiver=*/m.to, /*sender=*/m.from, ack_val);
 }
 
+void ReliableChannel::reset_peer(NodeId id) {
+  const std::size_t n = inner_->node_count();
+  CM_EXPECTS(id < n);
+  for (std::size_t other = 0; other < n; ++other) {
+    if (other == id) continue;
+    for (Channel* ch : {&channel(id, static_cast<NodeId>(other)),
+                        &channel(static_cast<NodeId>(other), id)}) {
+      std::scoped_lock lock(ch->mu);
+      ch->outstanding.clear();
+      ch->reorder.clear();
+      ch->next_send_seq = 1;
+      ch->next_deliver_seq = 1;
+    }
+  }
+}
+
 bool ReliableChannel::retransmit_due() {
   const auto now = Clock::now();
   const std::size_t n = inner_->node_count();
@@ -156,11 +172,30 @@ bool ReliableChannel::retransmit_due() {
       {
         Channel& ch = channel(static_cast<NodeId>(s), static_cast<NodeId>(d));
         std::scoped_lock lock(ch.mu);
-        for (auto& [seq, pending] : ch.outstanding) {
-          if (pending.deadline > now) continue;
+        for (auto it = ch.outstanding.begin(); it != ch.outstanding.end();) {
+          Pending& pending = it->second;
+          if (pending.deadline > now) {
+            ++it;
+            continue;
+          }
+          if (config_.max_retransmits != 0 &&
+              pending.retries >= config_.max_retransmits) {
+            // Give up: the peer is presumed dead. The message dies here —
+            // exactly-once holds for delivered messages only; the layer
+            // above (request deadlines / failover) owns this failure.
+            peer_unreachable_.fetch_add(1, std::memory_order_relaxed);
+            bump_node(pending.msg.from, Counter::kNetPeerUnreachable);
+            trace_msg(pending.msg.from,
+                      obs::TraceEventKind::kPeerUnreachable, pending.msg);
+            CM_LOG_DEBUG("reliable give-up " << pending.msg.to_string());
+            it = ch.outstanding.erase(it);
+            continue;
+          }
+          ++pending.retries;
           pending.rto = std::min(pending.rto * 2, config_.max_rto);
           pending.deadline = now + pending.rto;
           resend.push_back(Resend{pending.msg, pending.first_sent_ns});
+          ++it;
         }
       }
       for (Resend& r : resend) {

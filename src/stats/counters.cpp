@@ -32,6 +32,16 @@ const char* counter_name(Counter c) noexcept {
     case Counter::kNetFaultDelay: return "net.fault_delay";
     case Counter::kNetSendFailed: return "net.send_failed";
     case Counter::kNetFrameError: return "net.frame_error";
+    case Counter::kNetHeartbeat: return "net.heartbeat";
+    case Counter::kNetPeerUnreachable: return "net.peer_unreachable";
+    case Counter::kFoSuspect: return "fo.suspect";
+    case Counter::kFoFailover: return "fo.failover";
+    case Counter::kFoRecoverRequest: return "fo.recover_request";
+    case Counter::kFoRecoverReply: return "fo.recover_reply";
+    case Counter::kFoSyncRequest: return "fo.sync_request";
+    case Counter::kFoSyncReply: return "fo.sync_reply";
+    case Counter::kFoRequestTimeout: return "fo.request_timeout";
+    case Counter::kFoUnreachable: return "fo.unreachable";
     case Counter::kCounterCount: break;
   }
   return "unknown";

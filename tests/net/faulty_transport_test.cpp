@@ -170,6 +170,28 @@ TEST(FaultyTransport, CrashedNodeIsSilenced) {
   t.shutdown();
 }
 
+TEST(FaultyTransport, RestartNodeRestoresDeliveryBothWays) {
+  FaultyTransport t = make_faulty(2, {});
+  std::atomic<int> got_0{0}, got_1{0};
+  t.register_node(0, [&](const Message&) { got_0.fetch_add(1); });
+  t.register_node(1, [&](const Message&) { got_1.fetch_add(1); });
+  t.start();
+  EXPECT_FALSE(t.is_crashed(1));
+  t.crash_node(1);
+  EXPECT_TRUE(t.is_crashed(1));
+  t.send(make_msg(0, 1, 0));  // into the crash: dropped
+  t.send(make_msg(1, 0, 0));  // out of the crash: dropped
+  EXPECT_TRUE(eventually([&] { return t.drops_injected() == 2u; }));
+
+  t.restart_node(1);
+  EXPECT_FALSE(t.is_crashed(1));
+  t.send(make_msg(0, 1, 1));
+  t.send(make_msg(1, 0, 1));
+  EXPECT_TRUE(eventually([&] { return got_0.load() == 1 && got_1.load() == 1; }));
+  EXPECT_EQ(t.drops_injected(), 2u);  // nothing dropped after the restart
+  t.shutdown();
+}
+
 TEST(FaultyTransport, PartitionTogglesOneDirection) {
   FaultyTransport t = make_faulty(2, {});
   std::atomic<int> got_0{0}, got_1{0};

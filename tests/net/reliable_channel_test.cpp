@@ -114,6 +114,46 @@ TEST(ReliableChannel, NoFaultsMeansNoRecoveryTraffic) {
   t.shutdown();
 }
 
+TEST(ReliableChannel, BoundedRetransmissionsGiveUpOnDeadPeer) {
+  auto faulty_owned = std::make_unique<FaultyTransport>(
+      std::make_unique<InMemTransport>(2), FaultModel{});
+  FaultyTransport* faulty = faulty_owned.get();
+  ReliableConfig config;
+  config.initial_rto = std::chrono::microseconds(500);
+  config.max_rto = std::chrono::microseconds(1000);
+  config.max_retransmits = 3;
+  ReliableChannel t(std::move(faulty_owned), config);
+
+  SequenceSink sink;
+  StatsRegistry stats(2);
+  t.attach_stats(&stats);
+  t.register_node(0, [](const Message&) {});
+  t.register_node(1, sink.handler());
+  t.start();
+
+  faulty->crash_node(1);
+  constexpr std::uint64_t kCount = 5;
+  for (std::uint64_t i = 0; i < kCount; ++i) t.send(make_msg(0, 1, i));
+  // Each message is retransmitted max_retransmits times and then abandoned
+  // (the layer above owns the failure) — the retransmitter must not spin on
+  // a dead peer forever.
+  ASSERT_TRUE(eventually([&] { return t.peer_unreachable_count() == kCount; }));
+  EXPECT_EQ(t.retransmit_count(), kCount * config.max_retransmits);
+  EXPECT_EQ(stats.node(0).get(Counter::kNetPeerUnreachable), kCount);
+  EXPECT_EQ(sink.count.load(), 0);
+
+  // A node restart pairs FaultyTransport::restart_node with reset_peer:
+  // both directions restart at sequence 1 and traffic flows again. Without
+  // the reset, the receiver would hold the fresh sends in its reorder
+  // buffer forever, waiting on the abandoned sequence numbers.
+  t.reset_peer(1);
+  faulty->restart_node(1);
+  for (std::uint64_t i = 0; i < kCount; ++i) t.send(make_msg(0, 1, i));
+  ASSERT_TRUE(eventually([&] { return sink.count.load() == int(kCount); }));
+  EXPECT_TRUE(sink.is_exactly_once_fifo(kCount));
+  t.shutdown();
+}
+
 TEST(ReliableChannel, BidirectionalTrafficAcksPiggyback) {
   FaultModel faults;
   faults.drop_rate = 0.15;
