@@ -25,7 +25,11 @@
 namespace causalmem {
 
 struct BroadcastConfig {
-  // No knobs; present for System<> uniformity.
+  /// ISIS-style vector-clock gating of update delivery. True is the Fig. 3
+  /// protocol. False applies every update the moment it arrives — a
+  /// deliberately broken "ungated broadcast" memory whose causal-consistency
+  /// violations the schedule explorer must find (its known-bad self-test).
+  bool causal_delivery{true};
 };
 
 class BroadcastNode final : public SharedMemory {
@@ -69,6 +73,7 @@ class BroadcastNode final : public SharedMemory {
 
   const NodeId id_;
   const std::size_t n_;
+  const BroadcastConfig cfg_;
   Transport& transport_;
   NodeStats& stats_;
   OpObserver* const observer_;

@@ -179,8 +179,13 @@ class CausalNode final : public SharedMemory {
   bool await_reply(std::future<Message>& fut, std::uint64_t rid,
                    std::uint64_t deadline_ns);
 
+  /// Blocks until outstanding_async_ drains (the async-mode fence). Takes
+  /// the held operation lock; under the simulation parker the lock is
+  /// released around the cooperative wait.
+  void wait_flushed(std::unique_lock<std::mutex>& lock);
+
   /// Deadline bookkeeping for one expired round against `target`.
-  void on_round_timeout(NodeId target, Addr x);
+  void on_round_timeout(NodeId target, Addr x, std::uint64_t epoch_at_send);
 
   /// Returns the owned cell for x, creating the initial-value cell on first
   /// touch (the paper: locations are initialized by distinguished writes

@@ -124,6 +124,11 @@ class HeartbeatMonitor {
   void start();
   void stop();  ///< idempotent; joins the prober thread
 
+  /// One probe-and-scan round, non-blocking. The prober thread calls this
+  /// every interval of obs::now_ns() time; simulation mode skips start()
+  /// and fires it from a scheduler timer instead.
+  void tick();
+
   ~HeartbeatMonitor() { stop(); }
   HeartbeatMonitor(const HeartbeatMonitor&) = delete;
   HeartbeatMonitor& operator=(const HeartbeatMonitor&) = delete;

@@ -18,6 +18,7 @@
 #include "causalmem/net/reliable_channel.hpp"
 #include "causalmem/net/tcp_transport.hpp"
 #include "causalmem/obs/trace.hpp"
+#include "causalmem/sim/transport.hpp"
 #include "causalmem/stats/counters.hpp"
 
 namespace causalmem {
@@ -83,6 +84,13 @@ struct SystemOptions {
   FailoverOptions failover{};
   /// Protocol event tracing; see TraceOptions.
   TraceOptions trace{};
+  /// Deterministic simulation mode: run on a SimTransport driven by this
+  /// scheduler (see sim/scheduler.hpp and docs/SIMULATION.md). Excludes
+  /// use_tcp, latency models, random faults, fault_layer and reliable —
+  /// the simulated substrate is reliable FIFO, and faults are injected as
+  /// schedule events through sim_transport() instead. failover (including
+  /// heartbeat, which becomes a scheduler timer) is fully supported.
+  sim::SimScheduler* sim{nullptr};
 };
 
 template <typename NodeT>
@@ -118,7 +126,23 @@ class DsmSystem {
       }
     }
     std::unique_ptr<Transport> transport;
-    if (options.use_tcp) {
+    if (options.sim != nullptr) {
+      CM_EXPECTS_MSG(!options.use_tcp, "sim mode excludes TCP");
+      CM_EXPECTS_MSG(options.latency.is_zero() &&
+                         options.channel_latencies.empty(),
+                     "sim mode ignores latency models (order is the "
+                     "scheduler's to choose)");
+      CM_EXPECTS_MSG(!options.faults.any() && !options.fault_layer,
+                     "sim mode: inject crash/partition via sim_transport() "
+                     "schedule events, not FaultyTransport");
+      CM_EXPECTS_MSG(!options.reliable,
+                     "sim mode: the simulated substrate is already reliable "
+                     "FIFO; the retransmitter thread would be nondeterministic");
+      auto simt = std::make_unique<sim::SimTransport>(n, options.sim,
+                                                      options.exercise_codec);
+      sim_ = simt.get();
+      transport = std::move(simt);
+    } else if (options.use_tcp) {
       transport = std::make_unique<TcpTransport>(n);
     } else {
       auto inmem = std::make_unique<InMemTransport>(n, options.latency,
@@ -170,7 +194,19 @@ class DsmSystem {
       heartbeat_ = std::make_unique<HeartbeatMonitor>(
           below_reliable_, failover_dir_, options.failover.heartbeat_config,
           &stats_);
-      heartbeat_->start();
+      if (options.sim != nullptr) {
+        // No prober thread: each probe-and-scan round is a scheduler timer,
+        // so heartbeat traffic is deterministic and schedule-controlled.
+        const auto interval_ns = static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                options.failover.heartbeat_config.interval)
+                .count());
+        options.sim->add_timer("heartbeat",
+                               options.sim->now_ns() + interval_ns, interval_ns,
+                               [hb = heartbeat_.get()] { hb->tick(); });
+      } else {
+        heartbeat_->start();
+      }
     }
   }
 
@@ -193,15 +229,20 @@ class DsmSystem {
   /// Returns the rejoin result: true when every live peer answered the
   /// resync. Requires fault_layer (or faults) and failover.enabled.
   bool restart_node(NodeId id) {
-    CM_EXPECTS_MSG(faulty_ != nullptr,
-                   "restart_node requires the fault-injection layer");
+    CM_EXPECTS_MSG(faulty_ != nullptr || sim_ != nullptr,
+                   "restart_node requires the fault-injection layer (or sim "
+                   "mode, where SimTransport plays that role)");
     CM_EXPECTS_MSG(failover_dir_ != nullptr,
                    "restart_node requires failover.enabled");
     CM_EXPECTS(id < nodes_.size());
     // Channel state resets while the node's traffic is still severed, so no
     // in-flight message can be sequenced against half-cleared channels.
     if (reliable_ != nullptr) reliable_->reset_peer(id);
-    faulty_->restart_node(id);
+    if (sim_ != nullptr) {
+      sim_->restart_node(id);
+    } else {
+      faulty_->restart_node(id);
+    }
     failover_dir_->mark_restarted(id);
     if constexpr (requires(NodeT& nd) { nd.rejoin(); }) {
       return nodes_[id]->rejoin();
@@ -230,6 +271,10 @@ class DsmSystem {
 
   /// The reliable-delivery adapter, or nullptr when options.reliable is off.
   [[nodiscard]] ReliableChannel* reliable_channel() noexcept { return reliable_; }
+
+  /// The simulation transport, or nullptr outside sim mode. Scenario code
+  /// uses it to crash/partition nodes as deterministic schedule events.
+  [[nodiscard]] sim::SimTransport* sim_transport() noexcept { return sim_; }
 
   /// The failover directory, or nullptr when options.failover is off. Tests
   /// use it to inspect reroutes and inject suspicions directly.
@@ -260,6 +305,7 @@ class DsmSystem {
   std::unique_ptr<Transport> transport_;
   // Non-owning views into the transport stack (bottom to top).
   InMemTransport* inmem_{nullptr};
+  sim::SimTransport* sim_{nullptr};
   FaultyTransport* faulty_{nullptr};
   ReliableChannel* reliable_{nullptr};
   Transport* below_reliable_{nullptr};

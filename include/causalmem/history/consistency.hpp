@@ -1,0 +1,34 @@
+// One-call consistency verdict over the whole checker hierarchy
+// (sequential => causal => PRAM => slow). The simulation explorer feeds
+// every executed schedule's history through this: causal memory is the
+// contract under test, and the weaker models are checked too because a
+// schedule that breaks PRAM or slow memory while passing the causal checker
+// would mean a checker bug, not a protocol bug — worth failing loudly.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "causalmem/history/history.hpp"
+
+namespace causalmem {
+
+struct ConsistencyReport {
+  bool causal{true};
+  bool pram{true};
+  bool slow{true};
+  /// False when the bounded PRAM search ran out of states (kUndecided);
+  /// `pram` stays true in that case — undecided is not a violation.
+  bool pram_decided{true};
+  /// Diagnosis of the first failed check ("" when ok()).
+  std::string reason;
+
+  [[nodiscard]] bool ok() const noexcept { return causal && pram && slow; }
+};
+
+/// Runs the causal, PRAM and slow-memory checkers over `history`.
+/// `pram_max_states` bounds the per-reader PRAM state search.
+[[nodiscard]] ConsistencyReport check_consistency_hierarchy(
+    const History& history, std::size_t pram_max_states = 1'000'000);
+
+}  // namespace causalmem

@@ -82,6 +82,14 @@ class FaultyTransport final : public Transport {
     return crashed_[id].load(std::memory_order_acquire);
   }
 
+  [[nodiscard]] bool endpoint_up(NodeId id) const override {
+    return !is_crashed(id);
+  }
+
+  [[nodiscard]] std::uint64_t endpoint_epoch(NodeId id) const override {
+    return epochs_[id].load(std::memory_order_acquire);
+  }
+
   /// Toggles a directed channel partition. Blocked channels drop every
   /// message; healing re-opens the channel for messages sent afterwards.
   void set_partition(NodeId from, NodeId to, bool blocked);
@@ -133,6 +141,7 @@ class FaultyTransport final : public Transport {
   FaultModel model_;
   std::vector<std::unique_ptr<Channel>> channels_;  // n*n, index from*n+to
   std::vector<std::atomic<bool>> crashed_;
+  std::vector<std::atomic<std::uint64_t>> epochs_;  // crash/restart count
 
   std::mutex delay_mu_;
   std::condition_variable delay_cv_;

@@ -62,6 +62,12 @@ class ReliableChannel final : public Transport {
   [[nodiscard]] std::size_t node_count() const override {
     return inner_->node_count();
   }
+  [[nodiscard]] bool endpoint_up(NodeId id) const override {
+    return inner_->endpoint_up(id);
+  }
+  [[nodiscard]] std::uint64_t endpoint_epoch(NodeId id) const override {
+    return inner_->endpoint_epoch(id);
+  }
   void attach_stats(StatsRegistry* stats) noexcept override;
 
   [[nodiscard]] Transport& inner() noexcept { return *inner_; }
@@ -90,11 +96,11 @@ class ReliableChannel final : public Transport {
   void reset_peer(NodeId id);
 
  private:
-  using Clock = std::chrono::steady_clock;
-
   struct Pending {
     Message msg;
-    Clock::time_point deadline;
+    /// Retransmission deadline in obs::now_ns() time — virtual under a
+    /// FakeClock, so simulated time fully controls retransmission.
+    std::uint64_t deadline_ns{0};
     std::chrono::microseconds rto;
     /// obs::now_ns() at first transmission — retransmission-delay samples
     /// (lat.retransmit_delay_ns) measure from here.

@@ -48,6 +48,25 @@ class Transport {
   /// Number of registered endpoints.
   [[nodiscard]] virtual std::size_t node_count() const = 0;
 
+  /// Whether `id`'s endpoint is currently up. Fault-injecting transports
+  /// report crash-injected endpoints as down; fault-free transports are
+  /// always up. Decorators forward to the layer that injects crashes.
+  [[nodiscard]] virtual bool endpoint_up(NodeId id) const {
+    (void)id;
+    return true;
+  }
+
+  /// Incarnation counter of `id`'s endpoint: bumped on every injected crash
+  /// and restart, 0 forever on fault-free transports. A requester whose own
+  /// endpoint went down or changed incarnation during a request round
+  /// learned nothing about the target from that round's timeout (its
+  /// request or reply died with its own endpoint), so failure suspicion
+  /// keys on this staying constant across the round.
+  [[nodiscard]] virtual std::uint64_t endpoint_epoch(NodeId id) const {
+    (void)id;
+    return 0;
+  }
+
  protected:
   /// Records a message-level trace event into `node`'s tracer. When tracing
   /// is off (no registry, or no tracer attached) the cost is one null check

@@ -1,0 +1,133 @@
+// Schedule explorer: systematic and randomized search over the scheduler's
+// choice tree, with checker-verdict plumbing and failure minimization.
+//
+// A scenario is packaged as a RunFn — a callable that builds a fresh
+// scheduler + system + workload, executes it under a given Strategy, and
+// returns the RunReport plus the consistency verdict on the observed
+// history. The explorer never inspects protocol state; it only drives
+// strategies and reads verdicts, so the same machinery explores the causal
+// owner protocol, the broadcast protocols, and chaos variants alike.
+//
+// Three search modes (ISSUE: random walk / exhaustive DFS / delay-bounded):
+//   explore_random  — seeded random walks; each seed is independently
+//                     replayable.
+//   explore_dfs     — stateless iterative-deepening-free DFS over choice
+//                     index sequences via a prefix odometer: replay a
+//                     prefix, continue canonically (index 0), then advance
+//                     the deepest advanceable position. With delay_bound
+//                     >= 0 the same odometer skips prefixes with more than
+//                     k non-canonical choices — delay-bounded search, the
+//                     classic small-k bug-finding regime.
+//
+// Any failing execution (consistency violation, deadlock, livelock, replay
+// divergence) is minimized — shortest choice prefix that still fails, with
+// the canonical tail implied — and dumped as a replayable schedule artifact.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "causalmem/sim/schedule.hpp"
+#include "causalmem/sim/scheduler.hpp"
+
+namespace causalmem::sim {
+
+/// Replays a fixed index prefix of choices, then continues canonically
+/// (index 0 forever). The DFS odometer's workhorse: a prefix IS a tree
+/// position.
+class PrefixStrategy final : public Strategy {
+ public:
+  explicit PrefixStrategy(std::vector<std::size_t> prefix)
+      : prefix_(std::move(prefix)) {}
+
+  std::size_t pick(const std::vector<Choice>& choices) override;
+  [[nodiscard]] std::string error_message() const override { return error_; }
+
+ private:
+  std::vector<std::size_t> prefix_;
+  std::size_t pos_{0};
+  std::string error_;
+};
+
+/// One scenario execution: the schedule that ran and the checker verdict on
+/// the history it produced.
+struct ExecutionResult {
+  RunReport report;
+  bool consistent{true};
+  std::string violation;  ///< checker diagnosis when !consistent
+
+  /// Failed = inconsistent history OR a run that did not complete cleanly
+  /// (deadlock, livelock, strategy abort) — all are findings.
+  [[nodiscard]] bool failed() const { return !consistent || !report.ok(); }
+  [[nodiscard]] std::string failure() const {
+    return !consistent ? violation : report.error;
+  }
+};
+
+/// Builds a fresh scheduler + system + workload, runs it under `strategy`,
+/// checks the observed history. Must be a pure function of the strategy's
+/// decisions: same picks => same ExecutionResult (determinism_test enforces
+/// this for the bundled scenarios).
+using RunFn = std::function<ExecutionResult(Strategy&)>;
+
+struct ExploreOptions {
+  /// Schedule budget (DFS stops un-exhausted; random caps seeds).
+  std::uint64_t max_schedules{100'000};
+  /// >= 0: delay-bounded search — at most this many non-canonical choices
+  /// per schedule. -1: full exhaustive DFS.
+  int delay_bound{-1};
+  /// Shrink a failing schedule to the shortest failing prefix before
+  /// reporting (costs at most one extra run per prefix step).
+  bool minimize{true};
+  /// When non-empty, the failing repro schedule is written here.
+  std::string artifact_path;
+};
+
+struct ExploreResult {
+  std::uint64_t schedules_run{0};
+  /// DFS: the whole (bounded) tree was covered. Random: all seeds ran.
+  bool exhausted{false};
+  bool found_failure{false};
+  std::string failure;  ///< first failure's diagnosis
+  Schedule repro;       ///< minimized replayable schedule of that failure
+  std::string artifact_written;  ///< path actually written ("" if none)
+
+  [[nodiscard]] bool clean() const noexcept { return !found_failure; }
+};
+
+/// Exhaustive (or delay-bounded, opt.delay_bound >= 0) DFS over the choice
+/// tree. Stops at the first failure or when the tree/budget is exhausted.
+[[nodiscard]] ExploreResult explore_dfs(const RunFn& run,
+                                        ExploreOptions opt = {});
+
+/// Random walks with seeds first_seed .. first_seed + num_seeds - 1.
+/// Stops at the first failing seed.
+[[nodiscard]] ExploreResult explore_random(const RunFn& run,
+                                           std::uint64_t first_seed,
+                                           std::uint64_t num_seeds,
+                                           ExploreOptions opt = {});
+
+/// Re-executes a recorded schedule (content-matched; diverging replays fail
+/// the run). This is how a CI artifact is reproduced locally.
+[[nodiscard]] ExecutionResult replay(const RunFn& run,
+                                     const Schedule& schedule);
+
+/// Shrinks a failing execution to the shortest choice prefix that still
+/// fails, returned as a replayable content schedule. `runs_used` (optional)
+/// reports how many executions the search took.
+[[nodiscard]] Schedule minimize_failure(const RunFn& run,
+                                        const RunReport& failing,
+                                        std::uint64_t* runs_used = nullptr);
+
+/// The DFS odometer: next index-prefix after an execution whose per-step
+/// sibling counts were `branching` and chosen indices were `chosen`.
+/// Returns false when the (delay-bounded) tree is exhausted. Exposed for
+/// the explorer's own tests.
+[[nodiscard]] bool next_prefix(const std::vector<std::size_t>& chosen,
+                               const std::vector<std::size_t>& branching,
+                               int delay_bound,
+                               std::vector<std::size_t>* out);
+
+}  // namespace causalmem::sim

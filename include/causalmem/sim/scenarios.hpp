@@ -1,0 +1,147 @@
+// Canned model-checking scenarios: small scripted workloads packaged as
+// explorer RunFns. Each run builds a fresh SimScheduler + DsmSystem +
+// Recorder, executes the per-process scripts as cooperative tasks (one
+// scheduler choice point per operation), feeds the recorded history through
+// the consistency-checker hierarchy, and reports the verdict.
+//
+// The two bundled small-scope configs are the harness's ground truth:
+//   small_scope_causal()          — the Fig. 4 owner protocol on the classic
+//                                   2-node cross-write probe; every schedule
+//                                   must be checker-clean.
+//   small_scope_broadcast(false)  — broadcast WITHOUT vector-clock delivery
+//                                   gating; exhaustive DFS must find the
+//                                   3-node causal-transitivity violation
+//                                   (the explorer's known-bad self-test).
+//
+// Crash/partition/restart faults are ChaosEvents: a dedicated "chaos" task
+// parks until each event's virtual due time and then acts on the
+// SimTransport / DsmSystem, so fault timing is part of the explored
+// schedule, not wall-clock accident.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "causalmem/common/types.hpp"
+#include "causalmem/dsm/broadcast/node.hpp"
+#include "causalmem/dsm/causal/config.hpp"
+#include "causalmem/history/consistency.hpp"
+#include "causalmem/history/history.hpp"
+#include "causalmem/sim/explorer.hpp"
+#include "causalmem/sim/scheduler.hpp"
+
+namespace causalmem::sim {
+
+/// One scripted operation of a scenario process.
+struct ScriptOp {
+  enum class Kind : std::uint8_t { kRead, kWrite };
+  Kind kind{Kind::kRead};
+  Addr addr{0};
+  Value value{0};
+
+  [[nodiscard]] static ScriptOp read(Addr x) {
+    return ScriptOp{Kind::kRead, x, 0};
+  }
+  [[nodiscard]] static ScriptOp write(Addr x, Value v) {
+    return ScriptOp{Kind::kWrite, x, v};
+  }
+};
+
+/// One fault, scheduled at a virtual-time offset from the run's start. The
+/// chaos task executes events in order; a restart clears the target's
+/// crashed flag only after the node-level rejoin completed, so the node's
+/// workload resumes against recovered state.
+struct ChaosEvent {
+  enum class Kind : std::uint8_t { kCrash, kRestart, kPartition, kHeal };
+  Kind kind{Kind::kCrash};
+  std::uint64_t after_ns{0};  ///< virtual delay from run start
+  NodeId node{0};             ///< crash / restart target
+  NodeId from{0};             ///< partition / heal edge (directed)
+  NodeId to{0};
+
+  [[nodiscard]] static ChaosEvent crash(std::uint64_t after_ns, NodeId node) {
+    return ChaosEvent{Kind::kCrash, after_ns, node, 0, 0};
+  }
+  [[nodiscard]] static ChaosEvent restart(std::uint64_t after_ns,
+                                          NodeId node) {
+    return ChaosEvent{Kind::kRestart, after_ns, node, 0, 0};
+  }
+  [[nodiscard]] static ChaosEvent partition(std::uint64_t after_ns,
+                                            NodeId from, NodeId to) {
+    return ChaosEvent{Kind::kPartition, after_ns, 0, from, to};
+  }
+  [[nodiscard]] static ChaosEvent heal(std::uint64_t after_ns, NodeId from,
+                                       NodeId to) {
+    return ChaosEvent{Kind::kHeal, after_ns, 0, from, to};
+  }
+};
+
+/// Owner-protocol scenario. scripts[i] runs as node i's application task;
+/// missing/empty scripts mean the node only serves requests. Chaos configs
+/// need config.request_timeout > 0 and failover=true, or a crashed owner
+/// blocks its clients forever (which the scheduler then reports as the
+/// deadlock it is).
+struct CausalScenarioConfig {
+  std::size_t nodes{2};
+  CausalConfig config{};
+  bool failover{false};
+  bool heartbeat{false};
+  std::chrono::microseconds heartbeat_interval{2000};
+  std::chrono::microseconds heartbeat_suspect_after{20000};
+  std::vector<std::vector<ScriptOp>> scripts;
+  std::vector<ChaosEvent> chaos;
+  SimOptions sim{};
+  bool trace{true};
+};
+
+/// Broadcast-memory scenario (no owners, no chaos: replicas are symmetric
+/// and ops never block, so crash exploration adds nothing here).
+struct BroadcastScenarioConfig {
+  std::size_t nodes{3};
+  BroadcastConfig config{};
+  std::vector<std::vector<ScriptOp>> scripts;
+  SimOptions sim{};
+  bool trace{true};
+};
+
+/// Everything one execution observed, serialized deterministically — the
+/// determinism regression test asserts these byte-identical across two runs
+/// of the same strategy.
+struct ScenarioOutcome {
+  History history;
+  ConsistencyReport consistency;
+  std::string history_text;   ///< per-process op listing
+  std::string trace_text;     ///< merged trace stream, one event per line
+  std::string counters_text;  ///< every counter of every node, incl. zeros
+};
+
+/// Executes the scenario once under `strategy`. `out` (optional) receives
+/// the full observation for determinism checks.
+[[nodiscard]] ExecutionResult run_causal_scenario(
+    const CausalScenarioConfig& cfg, Strategy& strategy,
+    ScenarioOutcome* out = nullptr);
+[[nodiscard]] ExecutionResult run_broadcast_scenario(
+    const BroadcastScenarioConfig& cfg, Strategy& strategy,
+    ScenarioOutcome* out = nullptr);
+
+/// Packages a scenario as an explorer RunFn (config captured by value).
+[[nodiscard]] RunFn make_causal_run(CausalScenarioConfig cfg);
+[[nodiscard]] RunFn make_broadcast_run(BroadcastScenarioConfig cfg);
+
+/// 2 nodes, 2 locations, 6 ops: P0: w(x0,1) r(x1) w(x1,2);
+/// P1: w(x1,3) r(x0) w(x0,4). Striped ownership puts x0 on P0 and x1 on P1,
+/// so the script mixes local ops with owner round trips in both directions.
+[[nodiscard]] CausalScenarioConfig small_scope_causal();
+
+/// 3 nodes probing causal transitivity: P0: w(x,1); P1: r(x) w(y,2);
+/// P2: r(y) r(x). With causal_delivery=false a schedule that delivers P1's
+/// update to P2 before P0's makes P2 observe r(y)=2 then r(x)=0 — the
+/// violation the explorer must find. With gating on, every schedule is
+/// clean. (2 nodes would NOT work: per-channel FIFO alone already yields
+/// causal delivery between two processes.)
+[[nodiscard]] BroadcastScenarioConfig small_scope_broadcast(
+    bool causal_delivery);
+
+}  // namespace causalmem::sim

@@ -1,0 +1,245 @@
+// SimScheduler: single-threaded deterministic simulation of a DsmSystem.
+//
+// Message delivery, per-node application steps and timer expiry are events
+// in one scheduler-controlled loop. Application workloads run as
+// cooperative tasks: each has a real OS thread, but exactly one logical
+// thread (one task, or the scheduler itself) executes at any moment — the
+// scheduler resumes a task, the task runs until it parks on a wait
+// condition (coop::park — future waits, flush fences, yields) or finishes,
+// and control returns to the scheduler. Message handlers run inline on the
+// scheduler thread during deliver events. Under this discipline every
+// mutex in the protocol stack is uncontended and every execution is a pure
+// function of the choice sequence (the Schedule).
+//
+// Time is virtual: the scheduler owns an obs::FakeClock installed as the
+// global clock source. Each executed event advances it by a fixed tick;
+// when no event is runnable the clock jumps to the earliest parked-task
+// deadline or timer due-time, so request timeouts and failover suspicion
+// fire deterministically. If nothing can ever run, the run reports a
+// deadlock with a per-task diagnosis instead of hanging.
+//
+// A Strategy chooses among the runnable events each step; see
+// sim/explorer.hpp for the search strategies built on top.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "causalmem/common/coop.hpp"
+#include "causalmem/common/expect.hpp"
+#include "causalmem/common/rng.hpp"
+#include "causalmem/obs/clock.hpp"
+#include "causalmem/sim/schedule.hpp"
+
+namespace causalmem::sim {
+
+class SimTransport;
+
+/// Picks the next event to execute. `choices` is non-empty and
+/// deterministically ordered (deliverable channels by (from, to), then
+/// runnable tasks by index, then due timers by index).
+class Strategy {
+ public:
+  /// Returned instead of an index to abort the run (RunReport.error is then
+  /// taken from error_message()).
+  static constexpr std::size_t kAbort = static_cast<std::size_t>(-1);
+
+  Strategy() = default;
+  Strategy(const Strategy&) = delete;
+  Strategy& operator=(const Strategy&) = delete;
+  virtual ~Strategy() = default;
+
+  [[nodiscard]] virtual std::size_t pick(const std::vector<Choice>& choices) = 0;
+
+  /// Diagnostic for a kAbort return.
+  [[nodiscard]] virtual std::string error_message() const { return {}; }
+};
+
+/// Canonical schedule: always the first runnable event.
+class FirstChoiceStrategy final : public Strategy {
+ public:
+  std::size_t pick(const std::vector<Choice>& choices) override {
+    (void)choices;
+    return 0;
+  }
+};
+
+/// Seeded uniform random walk over the runnable set. Same seed + same
+/// scenario => bit-identical execution (determinism_test.cpp enforces it).
+class RandomWalkStrategy final : public Strategy {
+ public:
+  explicit RandomWalkStrategy(std::uint64_t seed) : rng_(seed) {}
+
+  std::size_t pick(const std::vector<Choice>& choices) override {
+    return static_cast<std::size_t>(rng_.next_below(choices.size()));
+  }
+
+ private:
+  Rng rng_;
+};
+
+/// Replays a recorded schedule by content: each recorded step must match a
+/// currently runnable choice (kind + ids) or the run aborts with a
+/// divergence diagnostic. After the recorded steps are exhausted the
+/// strategy continues canonically (index 0), so a minimized prefix plus
+/// canonical tail is a complete reproduction recipe.
+class ReplayStrategy final : public Strategy {
+ public:
+  explicit ReplayStrategy(Schedule schedule) : schedule_(std::move(schedule)) {}
+
+  std::size_t pick(const std::vector<Choice>& choices) override;
+  [[nodiscard]] std::string error_message() const override { return error_; }
+
+  /// Steps of the recorded schedule consumed so far.
+  [[nodiscard]] std::size_t position() const noexcept { return pos_; }
+
+ private:
+  Schedule schedule_;
+  std::size_t pos_{0};
+  std::string error_;
+};
+
+struct SimOptions {
+  /// Virtual epoch. Non-zero so "timestamp 0" stays distinguishable.
+  std::uint64_t start_ns{1'000'000'000ULL};
+  /// Virtual time added after every executed event. Keeps timestamps
+  /// distinct (traces, histories) while staying far below protocol
+  /// timeouts; deadlines still fire via forced advancement.
+  std::uint64_t event_tick_ns{1'000};
+  /// Abort guard against runaway schedules (livelocks under random walk).
+  std::uint64_t max_steps{1'000'000};
+};
+
+/// Outcome of one simulated execution.
+struct RunReport {
+  /// Every task finished and no message was left undelivered.
+  bool completed{false};
+  /// No event was runnable, no deadline or timer could advance time, and
+  /// unfinished tasks remained: `error` carries the per-task diagnosis.
+  bool deadlocked{false};
+  std::string error;
+  std::uint64_t steps{0};
+  std::uint64_t end_ns{0};  ///< virtual time when the run ended
+  Schedule schedule;        ///< executed choices, in order
+  /// Search bookkeeping, parallel to schedule.steps: how many choices were
+  /// runnable at each step, and which index was taken (explorer input).
+  std::vector<std::size_t> branching;
+  std::vector<std::size_t> chosen;
+
+  [[nodiscard]] bool ok() const noexcept { return completed && error.empty(); }
+};
+
+/// The deterministic simulation scheduler. Construction installs the
+/// virtual clock and the coop parker process-globally (and the destructor
+/// removes them), so exactly one SimScheduler may exist at a time; build
+/// the scheduler first, then the DsmSystem(s) under test, then run().
+class SimScheduler final : public coop::Parker {
+ public:
+  explicit SimScheduler(SimOptions options = {});
+  ~SimScheduler() override;
+
+  /// Registers a cooperative task (one application workload). Call before
+  /// run(). Returns the task index (the `actor` of its step choices).
+  std::uint32_t add_task(std::string name, std::function<void()> body);
+
+  /// Registers a timer firing at virtual `due_ns`, then every `period_ns`
+  /// (0 = one-shot). `fire` runs on the scheduler thread and must not
+  /// block; blocking chaos (a node restart's rejoin) belongs in a task.
+  /// Inline for the same reason as attach_transport: DsmSystem's sim branch
+  /// calls it from a header template.
+  std::uint32_t add_timer(std::string name, std::uint64_t due_ns,
+                          std::uint64_t period_ns,
+                          std::function<void()> fire) {
+    CM_EXPECTS_MSG(!ran_, "add_timer after run()");
+    CM_EXPECTS(fire != nullptr);
+    timers_.push_back(Timer{std::move(name), due_ns, period_ns,
+                            std::move(fire), /*done=*/false});
+    return static_cast<std::uint32_t>(timers_.size() - 1);
+  }
+
+  /// Called by SimTransport's constructor; at most one transport per
+  /// scheduler. Inline so the header-only SimTransport needs no sim-library
+  /// symbol.
+  void attach_transport(SimTransport* transport) {
+    CM_EXPECTS_MSG(transport_ == nullptr, "scheduler already has a transport");
+    CM_EXPECTS(transport != nullptr);
+    transport_ = transport;
+  }
+
+  /// Executes the simulation to completion under `strategy`. One run per
+  /// scheduler instance.
+  RunReport run(Strategy& strategy);
+
+  [[nodiscard]] std::uint64_t now_ns() const noexcept {
+    return clock_.now_ns();
+  }
+
+  // coop::Parker ----------------------------------------------------------
+  void park(const std::function<bool()>& ready, std::uint64_t deadline_ns,
+            const char* what) override;
+  [[nodiscard]] bool on_task_thread() const noexcept override;
+
+ private:
+  struct Task {
+    std::string name;
+    std::function<void()> body;
+    std::thread thread;
+    enum class State : std::uint8_t {
+      kIdle,      ///< runnable: waiting for the scheduler to resume it
+      kRunning,   ///< currently executing (scheduler is blocked)
+      kParked,    ///< waiting on `ready` / `deadline_ns`
+      kFinished,
+    };
+    State state{State::kIdle};
+    bool started{false};
+    bool resume{false};  ///< scheduler -> task handshake flag
+    std::function<bool()> ready;
+    std::uint64_t deadline_ns{0};
+    const char* what{""};
+  };
+
+  struct Timer {
+    std::string name;
+    std::uint64_t due_ns{0};
+    std::uint64_t period_ns{0};
+    std::function<void()> fire;
+    bool done{false};
+  };
+
+  /// Thrown into parked tasks when the run aborts; task wrappers swallow it.
+  struct TaskAbort {};
+
+  [[nodiscard]] bool task_runnable(const Task& t) const;
+  void collect_choices(std::vector<Choice>* out) const;
+  void execute(const Choice& c, std::size_t idx);
+  void resume_task(Task& t);
+  void task_main(Task& t);
+  void abort_tasks();
+  void join_tasks();
+  [[nodiscard]] std::string deadlock_diagnosis() const;
+
+  SimOptions opt_;
+  // mutable: ClockSource::now_ns() is a non-const virtual (it can be a real
+  // clock read), but FakeClock's is a relaxed load — logically const.
+  mutable obs::FakeClock clock_;
+  SimTransport* transport_{nullptr};
+  std::vector<std::unique_ptr<Task>> tasks_;
+  std::vector<Timer> timers_;
+
+  // Scheduler <-> task handshake. One mutex/cv pair for all tasks; the
+  // per-task `resume` flag and the global `task_active_` flag carry the
+  // baton. Predicated waits make the notify_all broadcast race-free.
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool task_active_{false};
+  bool aborting_{false};
+  bool ran_{false};
+};
+
+}  // namespace causalmem::sim

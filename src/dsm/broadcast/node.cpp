@@ -1,5 +1,6 @@
 #include "causalmem/dsm/broadcast/node.hpp"
 
+#include "causalmem/common/coop.hpp"
 #include "causalmem/common/expect.hpp"
 #include "causalmem/obs/trace.hpp"
 
@@ -8,9 +9,10 @@ namespace causalmem {
 BroadcastNode::BroadcastNode(NodeId id, std::size_t n,
                              const Ownership& /*ownership*/,
                              Transport& transport, NodeStats& stats,
-                             BroadcastConfig /*config*/, OpObserver* observer)
+                             BroadcastConfig config, OpObserver* observer)
     : id_(id),
       n_(n),
+      cfg_(config),
       transport_(transport),
       stats_(stats),
       observer_(observer),
@@ -98,6 +100,21 @@ std::uint64_t BroadcastNode::issued_count() const {
 
 void BroadcastNode::wait_applied(std::uint64_t target) {
   std::unique_lock lock(mu_);
+  if (coop::enabled()) {
+    // Simulated run: park on the applied-count instead of blocking the task
+    // thread; updates are applied by handlers on the scheduler thread.
+    while (applied_total_ < target) {
+      lock.unlock();
+      coop::park(
+          [this, target] {
+            std::scoped_lock probe(mu_);
+            return applied_total_ >= target;
+          },
+          0, "wait_applied");
+      lock.lock();
+    }
+    return;
+  }
   applied_cv_.wait(lock, [&] { return applied_total_ >= target; });
 }
 
@@ -105,8 +122,15 @@ void BroadcastNode::on_message(const Message& m) {
   CM_ASSERT(m.type == MsgType::kBroadcastUpdate);
   {
     std::unique_lock lock(mu_);
-    holdback_.push_back(m);
-    drain_holdback();
+    if (!cfg_.causal_delivery) {
+      // Ungated mode: apply immediately, ignoring the causal stamp. Only
+      // the delivered-count for the sender is kept honest so issued/applied
+      // accounting (and a later re-enable of gating) stays coherent.
+      apply(m);
+    } else {
+      holdback_.push_back(m);
+      drain_holdback();
+    }
   }
   applied_cv_.notify_all();
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "causalmem/common/coop.hpp"
 #include "causalmem/common/expect.hpp"
 #include "causalmem/common/logging.hpp"
 #include "causalmem/obs/clock.hpp"
@@ -124,10 +125,12 @@ ReadResult CausalNode::try_read(Addr x) {
   for (std::uint32_t round = 0; round < rounds; ++round) {
     std::future<Message> fut;
     std::uint64_t rid = 0;
+    std::uint64_t epoch_at_send = 0;
     {
       std::unique_lock lock(mu_);
       target = owner_of(x);
       rid = next_rid_++;
+      epoch_at_send = transport_.endpoint_epoch(id_);
       fut = register_pending(rid, /*async=*/false, op_start.start_ns);
       Message req;
       req.type = MsgType::kRead;
@@ -155,7 +158,7 @@ ReadResult CausalNode::try_read(Addr x) {
                      obs::TraceEventKind::kReadDone, x, op_start.close());
       return ReadResult{OpStatus::kOk, v};
     }
-    on_round_timeout(target, x);
+    on_round_timeout(target, x, epoch_at_send);
   }
   stats_.bump(Counter::kFoUnreachable);
   if (tr != nullptr) {
@@ -192,7 +195,7 @@ OpStatus CausalNode::try_write(Addr x, Value v) {
   // outstanding chain. Writes to the same owner keep pipelining.
   if (cfg_.write_mode == WriteMode::kAsync && outstanding_async_ > 0 &&
       owner_of(x) != async_chain_owner_) {
-    flush_cv_.wait(lock, [&] { return outstanding_async_ == 0; });
+    wait_flushed(lock);
   }
   // Every write attempt increments the writer's clock (Fig. 4).
   vt_.increment(id_);
@@ -261,6 +264,7 @@ OpStatus CausalNode::try_write(Addr x, Value v) {
   req.tag = tag;
   req.stamp = stamp_at_issue;
   stats_.bump(Counter::kMsgWriteRequest);
+  std::uint64_t epoch_at_send = transport_.endpoint_epoch(id_);
   transport_.send(Message(req));
   lock.unlock();
 
@@ -284,6 +288,7 @@ OpStatus CausalNode::try_write(Addr x, Value v) {
       std::unique_lock relock(mu_);
       target = owner_of(x);
       rid = next_rid_++;
+      epoch_at_send = transport_.endpoint_epoch(id_);
       fut = register_pending(rid, /*async=*/false, op_start.start_ns);
       Message retry = req;
       retry.to = target;
@@ -300,7 +305,7 @@ OpStatus CausalNode::try_write(Addr x, Value v) {
                      obs::TraceEventKind::kWriteDone, x, op_start.close());
       return OpStatus::kOk;
     }
-    on_round_timeout(target, x);
+    on_round_timeout(target, x, epoch_at_send);
   }
 
   // Exhausted. Unwind what the issue sequence promised: the per-page
@@ -344,6 +349,26 @@ bool CausalNode::owns(Addr x) const { return owner_of(x) == id_; }
 
 void CausalNode::flush() {
   std::unique_lock lock(mu_);
+  wait_flushed(lock);
+}
+
+void CausalNode::wait_flushed(std::unique_lock<std::mutex>& lock) {
+  if (coop::enabled()) {
+    // Simulated run: hand control to the scheduler instead of blocking the
+    // task thread. The lock must be dropped while parked — the handler that
+    // drains outstanding_async_ runs on the scheduler thread and takes mu_.
+    while (outstanding_async_ > 0) {
+      lock.unlock();
+      coop::park(
+          [this] {
+            std::scoped_lock probe(mu_);
+            return outstanding_async_ == 0;
+          },
+          0, "flush");
+      lock.lock();
+    }
+    return;
+  }
   flush_cv_.wait(lock, [&] { return outstanding_async_ == 0; });
 }
 
@@ -667,40 +692,65 @@ bool CausalNode::page_ready_locally(std::uint64_t pg) const {
 
 bool CausalNode::await_reply(std::future<Message>& fut, std::uint64_t rid,
                              std::uint64_t deadline_ns) {
-  if (deadline_ns == 0) {
+  const auto ready = [&fut] {
+    return fut.wait_for(std::chrono::seconds(0)) == std::future_status::ready;
+  };
+  if (coop::enabled()) {
+    // Simulated run: park until the reply is fulfilled (by complete_pending
+    // on the scheduler thread) or virtual time reaches the deadline — both
+    // conditions advance only under scheduler control.
+    while (!ready()) {
+      if (deadline_ns != 0 && obs::now_ns() >= deadline_ns) break;
+      coop::park(ready, deadline_ns, "await_reply");
+    }
+    if (ready()) return true;
+  } else if (deadline_ns == 0) {
+    fut.wait();
+    return true;
+  } else {
+    // Deadlines are virtual time (obs::now_ns()), so FakeClock tests control
+    // expiry deterministically; the short real-time poll only paces the
+    // check.
+    for (;;) {
+      if (fut.wait_for(std::chrono::microseconds(200)) ==
+          std::future_status::ready) {
+        return true;
+      }
+      if (obs::now_ns() >= deadline_ns) break;
+    }
+  }
+  std::unique_lock lock(mu_);
+  if (!pending_.contains(rid)) {
+    // complete_pending already claimed the slot and is mid-application:
+    // the promise is about to be (or was just) fulfilled. Wait it out —
+    // only complete_pending and this function ever erase a pending slot.
+    lock.unlock();
     fut.wait();
     return true;
   }
-  // Deadlines are virtual time (obs::now_ns()), so FakeClock tests control
-  // expiry deterministically; the short real-time poll only paces the check.
-  for (;;) {
-    if (fut.wait_for(std::chrono::microseconds(200)) ==
-        std::future_status::ready) {
-      return true;
-    }
-    if (obs::now_ns() < deadline_ns) continue;
-    std::unique_lock lock(mu_);
-    if (!pending_.contains(rid)) {
-      // complete_pending already claimed the slot and is mid-application:
-      // the promise is about to be (or was just) fulfilled. Wait it out —
-      // only complete_pending and this function ever erase a pending slot.
-      lock.unlock();
-      fut.wait();
-      return true;
-    }
-    // Abandon the round: a reply arriving after this is dropped by the
-    // tolerant lookup in complete_pending.
-    pending_.erase(rid);
-    return false;
-  }
+  // Abandon the round: a reply arriving after this is dropped by the
+  // tolerant lookup in complete_pending.
+  pending_.erase(rid);
+  return false;
 }
 
-void CausalNode::on_round_timeout(NodeId target, Addr x) {
+void CausalNode::on_round_timeout(NodeId target, Addr x,
+                                  std::uint64_t epoch_at_send) {
   (void)x;
   stats_.bump(Counter::kFoRequestTimeout);
   // suspect() does its own counting/tracing and is idempotent; self-sends
   // cannot time out from unreachability, only from recovery queueing.
-  if (failover_ != nullptr && target != id_) failover_->suspect(target, id_);
+  if (failover_ == nullptr || target == id_) return;
+  // A timed-out round is evidence about the target only if our OWN endpoint
+  // was up for the whole round: if we crashed after sending (the request or
+  // the reply died with our endpoint), the silence is self-inflicted. "Up
+  // now AND same incarnation as at send" implies up throughout — the epoch
+  // bumps on every crash and restart, so any dip in between changes it.
+  if (!transport_.endpoint_up(id_) ||
+      transport_.endpoint_epoch(id_) != epoch_at_send) {
+    return;
+  }
+  failover_->suspect(target, id_);
 }
 
 void CausalNode::log_observe(Addr x, const Cell& c) {
@@ -852,8 +902,10 @@ bool CausalNode::rejoin() {
     std::future<Message> fut;
   };
   std::vector<Wait> waits;
+  std::uint64_t epoch_at_send = 0;
   {
     std::unique_lock lock(mu_);
+    epoch_at_send = transport_.endpoint_epoch(id_);
     // Volatile state dies with the incarnation. Owned cells for pages that
     // migrated away while we were down are dropped (their successor is now
     // authoritative); our never-migrated pages survive — the crash model is
@@ -903,7 +955,12 @@ bool CausalNode::rejoin() {
   bool all = true;
   for (Wait& w : waits) {
     if (!await_reply(w.fut, w.rid, obs::now_ns() + timeout_ns)) {
-      failover_->suspect(w.peer, id_);
+      // Same endpoint-liveness guard as on_round_timeout: if we crashed
+      // again mid-rejoin, the sync silence says nothing about the peer.
+      if (transport_.endpoint_up(id_) &&
+          transport_.endpoint_epoch(id_) == epoch_at_send) {
+        failover_->suspect(w.peer, id_);
+      }
       all = false;
     }
   }

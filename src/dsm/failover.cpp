@@ -1,5 +1,6 @@
 #include "causalmem/dsm/failover.hpp"
 
+#include <algorithm>
 #include <numeric>
 
 #include "causalmem/common/expect.hpp"
@@ -147,47 +148,63 @@ void HeartbeatMonitor::stop() {
 }
 
 void HeartbeatMonitor::run(const std::stop_token& st) {
+  const auto interval_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(config_.interval)
+          .count());
+  // The sleep only paces the polling; whether a round is due is judged in
+  // obs::now_ns() time, so a FakeClock fully controls heartbeat cadence
+  // (satellite: no stray real-clock reads in timeout logic).
+  const auto poll = std::min(config_.interval,
+                             std::chrono::microseconds{500});
+  std::uint64_t last_round = obs::now_ns();
+  while (!st.stop_requested()) {
+    std::this_thread::sleep_for(poll);
+    if (st.stop_requested()) return;
+    const std::uint64_t vnow = obs::now_ns();
+    if (vnow - last_round < interval_ns) continue;
+    last_round = vnow;
+    tick();
+  }
+}
+
+void HeartbeatMonitor::tick() {
   const std::size_t n = directory_->node_count();
   const auto suspect_after_ns =
       static_cast<std::uint64_t>(std::chrono::duration_cast<
                                      std::chrono::nanoseconds>(
                                      config_.suspect_after)
                                      .count());
-  while (!st.stop_requested()) {
-    std::this_thread::sleep_for(config_.interval);
-    if (st.stop_requested()) return;
-    // Probe: every live node pings every other live node. The probe itself
-    // is its sender's sign of life — receipt refreshes last_alive via
-    // CausalNode's record_alive hook.
-    for (NodeId from = 0; from < n; ++from) {
-      if (directory_->is_down(from)) continue;
-      for (NodeId to = 0; to < n; ++to) {
-        if (to == from || directory_->is_down(to)) continue;
-        Message hb;
-        hb.type = MsgType::kHeartbeat;
-        hb.from = from;
-        hb.to = to;
-        hb.stamp = VectorClock(0);
-        if (stats_ != nullptr) stats_->node(from).bump(Counter::kNetHeartbeat);
-        if (stats_ != nullptr) {
-          if (obs::Tracer* t = stats_->tracer(from)) {
-            t->record(obs::TraceEventKind::kHeartbeat,
-                      static_cast<std::uint8_t>(MsgType::kHeartbeat), to);
-          }
+  // Probe: every live node pings every other live node. The probe itself
+  // is its sender's sign of life — receipt refreshes last_alive via
+  // CausalNode's record_alive hook.
+  for (NodeId from = 0; from < n; ++from) {
+    if (directory_->is_down(from)) continue;
+    for (NodeId to = 0; to < n; ++to) {
+      if (to == from || directory_->is_down(to)) continue;
+      Message hb;
+      hb.type = MsgType::kHeartbeat;
+      hb.from = from;
+      hb.to = to;
+      hb.stamp = VectorClock(0);
+      if (stats_ != nullptr) stats_->node(from).bump(Counter::kNetHeartbeat);
+      if (stats_ != nullptr) {
+        if (obs::Tracer* t = stats_->tracer(from)) {
+          t->record(obs::TraceEventKind::kHeartbeat,
+                    static_cast<std::uint8_t>(MsgType::kHeartbeat), to);
         }
-        transport_->send(std::move(hb));
       }
+      transport_->send(std::move(hb));
     }
-    // Scan: anyone silent past the threshold is suspected. Probes sent just
-    // above need a round trip before they count, so a node only trips the
-    // threshold after missing several whole intervals.
-    const std::uint64_t now = obs::now_ns();
-    for (NodeId id = 0; id < n; ++id) {
-      if (directory_->is_down(id)) continue;
-      const std::uint64_t last = directory_->last_alive_ns(id);
-      if (now - last > suspect_after_ns) {
-        directory_->suspect(id, kNoNode);
-      }
+  }
+  // Scan: anyone silent past the threshold is suspected. Probes sent just
+  // above need a round trip before they count, so a node only trips the
+  // threshold after missing several whole intervals.
+  const std::uint64_t now = obs::now_ns();
+  for (NodeId id = 0; id < n; ++id) {
+    if (directory_->is_down(id)) continue;
+    const std::uint64_t last = directory_->last_alive_ns(id);
+    if (now - last > suspect_after_ns) {
+      directory_->suspect(id, kNoNode);
     }
   }
 }

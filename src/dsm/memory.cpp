@@ -1,6 +1,7 @@
 #include "causalmem/dsm/memory.hpp"
 
 #include "causalmem/common/backoff.hpp"
+#include "causalmem/common/coop.hpp"
 
 namespace causalmem {
 
@@ -20,7 +21,9 @@ Value spin_until(SharedMemory& mem, Addr x,
       mem.stats().bump(Counter::kSpinRefetch);
     }
     last_poll_refetched = mem.discard(x);
-    backoff.pause();
+    // Under the simulation scheduler the poll yields a choice point instead
+    // of burning real time; otherwise pace with the usual backoff.
+    if (!coop::yield()) backoff.pause();
   }
 }
 

@@ -1,0 +1,46 @@
+#include "causalmem/history/consistency.hpp"
+
+#include "causalmem/history/causal_checker.hpp"
+#include "causalmem/history/model_checkers.hpp"
+
+namespace causalmem {
+
+namespace {
+std::string describe(const History& h, OpRef ref, const std::string& reason) {
+  std::string out = "p" + std::to_string(ref.proc) + "[" +
+                    std::to_string(ref.index) + "] " +
+                    h.per_process[ref.proc][ref.index].to_string() + ": " +
+                    reason;
+  return out;
+}
+}  // namespace
+
+ConsistencyReport check_consistency_hierarchy(const History& history,
+                                              std::size_t pram_max_states) {
+  ConsistencyReport rep;
+  if (auto v = CausalChecker(history).check()) {
+    rep.causal = false;
+    rep.reason = "causal violation: " + describe(history, v->read, v->reason);
+    return rep;
+  }
+  if (auto v = check_slow_consistency(history)) {
+    rep.slow = false;
+    rep.reason = "slow-memory violation: " +
+                 describe(history, v->read, v->reason);
+    return rep;
+  }
+  switch (check_pram_consistency(history, pram_max_states)) {
+    case ScResult::kConsistent:
+      break;
+    case ScResult::kInconsistent:
+      rep.pram = false;
+      rep.reason = "PRAM violation (no per-reader serialization exists)";
+      break;
+    case ScResult::kUndecided:
+      rep.pram_decided = false;
+      break;
+  }
+  return rep;
+}
+
+}  // namespace causalmem

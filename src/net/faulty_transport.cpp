@@ -20,6 +20,7 @@ FaultyTransport::FaultyTransport(std::unique_ptr<Transport> inner,
     channels_.push_back(std::move(ch));
   }
   crashed_ = std::vector<std::atomic<bool>>(n);
+  epochs_ = std::vector<std::atomic<std::uint64_t>>(n);
 }
 
 FaultyTransport::~FaultyTransport() { shutdown(); }
@@ -48,11 +49,13 @@ void FaultyTransport::start() {
 void FaultyTransport::crash_node(NodeId id) {
   CM_EXPECTS(id < inner_->node_count());
   crashed_[id].store(true, std::memory_order_release);
+  epochs_[id].fetch_add(1, std::memory_order_acq_rel);
 }
 
 void FaultyTransport::restart_node(NodeId id) {
   CM_EXPECTS(id < inner_->node_count());
   crashed_[id].store(false, std::memory_order_release);
+  epochs_[id].fetch_add(1, std::memory_order_acq_rel);
 }
 
 void FaultyTransport::set_partition(NodeId from, NodeId to, bool blocked) {

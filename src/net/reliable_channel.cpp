@@ -6,6 +6,12 @@
 
 namespace causalmem {
 
+namespace {
+constexpr std::uint64_t to_ns(std::chrono::microseconds us) noexcept {
+  return static_cast<std::uint64_t>(us.count()) * 1000ULL;
+}
+}  // namespace
+
 ReliableChannel::ReliableChannel(std::unique_ptr<Transport> inner,
                                  ReliableConfig config)
     : inner_(std::move(inner)), config_(config) {
@@ -67,9 +73,10 @@ void ReliableChannel::send(Message m) {
     Channel& ch = channel(m.from, m.to);
     std::scoped_lock lock(ch.mu);
     m.rel_seq = ch.next_send_seq++;
+    const std::uint64_t now = obs::now_ns();
     ch.outstanding.emplace(
-        m.rel_seq, Pending{m, Clock::now() + config_.initial_rto,
-                           config_.initial_rto, obs::now_ns()});
+        m.rel_seq,
+        Pending{m, now + to_ns(config_.initial_rto), config_.initial_rto, now});
   }
   inner_->send(std::move(m));
 }
@@ -157,7 +164,7 @@ void ReliableChannel::reset_peer(NodeId id) {
 }
 
 bool ReliableChannel::retransmit_due() {
-  const auto now = Clock::now();
+  const std::uint64_t now = obs::now_ns();
   const std::size_t n = inner_->node_count();
   bool any = false;
   struct Resend {
@@ -174,7 +181,7 @@ bool ReliableChannel::retransmit_due() {
         std::scoped_lock lock(ch.mu);
         for (auto it = ch.outstanding.begin(); it != ch.outstanding.end();) {
           Pending& pending = it->second;
-          if (pending.deadline > now) {
+          if (pending.deadline_ns > now) {
             ++it;
             continue;
           }
@@ -193,7 +200,7 @@ bool ReliableChannel::retransmit_due() {
           }
           ++pending.retries;
           pending.rto = std::min(pending.rto * 2, config_.max_rto);
-          pending.deadline = now + pending.rto;
+          pending.deadline_ns = now + to_ns(pending.rto);
           resend.push_back(Resend{pending.msg, pending.first_sent_ns});
           ++it;
         }

@@ -1,0 +1,176 @@
+#include "causalmem/sim/explorer.hpp"
+
+#include <sstream>
+
+#include "causalmem/common/expect.hpp"
+
+namespace causalmem::sim {
+
+namespace {
+
+/// Meta values must stay on one line in the schedule file.
+std::string one_line(std::string s) {
+  for (char& c : s) {
+    if (c == '\n' || c == '\r') c = ' ';
+  }
+  return s;
+}
+
+/// Chosen indices with the canonical (all-zero) tail stripped: a prefix plus
+/// implied zeros re-executes identically, so the tail carries no
+/// information.
+std::vector<std::size_t> strip_canonical_tail(
+    const std::vector<std::size_t>& chosen) {
+  std::size_t len = chosen.size();
+  while (len > 0 && chosen[len - 1] == 0) --len;
+  return {chosen.begin(), chosen.begin() + static_cast<std::ptrdiff_t>(len)};
+}
+
+/// Packages a failure into the result: minimize, annotate, write artifact.
+void report_failure(const RunFn& run, const ExecutionResult& er,
+                    const ExploreOptions& opt, ExploreResult* res) {
+  res->found_failure = true;
+  res->failure = er.failure();
+  if (opt.minimize) {
+    std::uint64_t extra = 0;
+    res->repro = minimize_failure(run, er.report, &extra);
+    res->schedules_run += extra;
+  } else {
+    res->repro = er.report.schedule;
+    const std::size_t keep = strip_canonical_tail(er.report.chosen).size();
+    res->repro.steps.resize(keep);
+  }
+  res->repro.set_meta("violation", one_line(res->failure));
+  if (!opt.artifact_path.empty()) {
+    std::string err;
+    if (res->repro.save(opt.artifact_path, &err)) {
+      res->artifact_written = opt.artifact_path;
+    } else {
+      res->failure += " (artifact write failed: " + err + ")";
+    }
+  }
+}
+
+}  // namespace
+
+std::size_t PrefixStrategy::pick(const std::vector<Choice>& choices) {
+  const std::size_t want = pos_ < prefix_.size() ? prefix_[pos_] : 0;
+  ++pos_;
+  if (want >= choices.size()) {
+    // Only possible when the scenario is not a pure function of the choice
+    // sequence — a harness bug worth failing loudly.
+    std::ostringstream os;
+    os << "prefix index " << want << " out of range at step " << (pos_ - 1)
+       << " (" << choices.size() << " runnable) — scenario nondeterminism?";
+    error_ = os.str();
+    return kAbort;
+  }
+  return want;
+}
+
+bool next_prefix(const std::vector<std::size_t>& chosen,
+                 const std::vector<std::size_t>& branching, int delay_bound,
+                 std::vector<std::size_t>* out) {
+  CM_EXPECTS(chosen.size() == branching.size());
+  // Non-canonical choices at positions < i.
+  std::vector<std::size_t> devs(chosen.size() + 1, 0);
+  for (std::size_t i = 0; i < chosen.size(); ++i) {
+    devs[i + 1] = devs[i] + (chosen[i] != 0 ? 1 : 0);
+  }
+  for (std::size_t i = chosen.size(); i-- > 0;) {
+    if (chosen[i] + 1 >= branching[i]) continue;
+    if (delay_bound >= 0 &&
+        devs[i] + 1 > static_cast<std::size_t>(delay_bound)) {
+      continue;
+    }
+    out->assign(chosen.begin(), chosen.begin() + static_cast<std::ptrdiff_t>(i));
+    out->push_back(chosen[i] + 1);
+    return true;
+  }
+  return false;
+}
+
+Schedule minimize_failure(const RunFn& run, const RunReport& failing,
+                          std::uint64_t* runs_used) {
+  std::uint64_t runs = 0;
+  const std::vector<std::size_t> full = strip_canonical_tail(failing.chosen);
+  // Shortest failing prefix, scanning up from empty. Each probe is one
+  // cheap re-execution; small-scope schedules keep `full` short.
+  for (std::size_t k = 0; k <= full.size(); ++k) {
+    std::vector<std::size_t> prefix(full.begin(),
+                                    full.begin() + static_cast<std::ptrdiff_t>(k));
+    PrefixStrategy strat(k == full.size() ? full : prefix);
+    ExecutionResult er = run(strat);
+    ++runs;
+    if (er.failed()) {
+      if (runs_used != nullptr) *runs_used = runs;
+      Schedule s = er.report.schedule;
+      const std::size_t keep = strip_canonical_tail(er.report.chosen).size();
+      s.steps.resize(keep);
+      s.set_meta("minimized", "true");
+      return s;
+    }
+  }
+  // The full prefix re-ran clean: the scenario is nondeterministic. Return
+  // the original schedule unminimized rather than losing the repro.
+  if (runs_used != nullptr) *runs_used = runs;
+  Schedule s = failing.schedule;
+  s.steps.resize(strip_canonical_tail(failing.chosen).size());
+  s.set_meta("minimized", "false");
+  s.set_meta("warning", "failure did not reproduce under prefix replay");
+  return s;
+}
+
+ExploreResult explore_dfs(const RunFn& run, ExploreOptions opt) {
+  ExploreResult res;
+  std::vector<std::size_t> prefix;
+  for (;;) {
+    if (res.schedules_run >= opt.max_schedules) break;
+    PrefixStrategy strat(prefix);
+    ExecutionResult er = run(strat);
+    ++res.schedules_run;
+    if (er.failed()) {
+      report_failure(run, er, opt, &res);
+      res.repro.set_meta("strategy",
+                         opt.delay_bound >= 0
+                             ? "dfs delay_bound=" + std::to_string(opt.delay_bound)
+                             : "dfs");
+      return res;
+    }
+    std::vector<std::size_t> next;
+    if (!next_prefix(er.report.chosen, er.report.branching, opt.delay_bound,
+                     &next)) {
+      res.exhausted = true;
+      break;
+    }
+    prefix = std::move(next);
+  }
+  return res;
+}
+
+ExploreResult explore_random(const RunFn& run, std::uint64_t first_seed,
+                             std::uint64_t num_seeds, ExploreOptions opt) {
+  ExploreResult res;
+  for (std::uint64_t i = 0; i < num_seeds; ++i) {
+    if (res.schedules_run >= opt.max_schedules) return res;
+    const std::uint64_t seed = first_seed + i;
+    RandomWalkStrategy strat(seed);
+    ExecutionResult er = run(strat);
+    ++res.schedules_run;
+    if (er.failed()) {
+      report_failure(run, er, opt, &res);
+      res.repro.set_meta("strategy", "random");
+      res.repro.set_meta("seed", std::to_string(seed));
+      return res;
+    }
+  }
+  res.exhausted = true;
+  return res;
+}
+
+ExecutionResult replay(const RunFn& run, const Schedule& schedule) {
+  ReplayStrategy strat(schedule);
+  return run(strat);
+}
+
+}  // namespace causalmem::sim

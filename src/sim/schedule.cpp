@@ -1,0 +1,152 @@
+#include "causalmem/sim/schedule.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace causalmem::sim {
+
+namespace {
+constexpr const char* kHeader = "# causalmem-schedule-v1";
+}  // namespace
+
+const char* choice_kind_name(ChoiceKind k) noexcept {
+  switch (k) {
+    case ChoiceKind::kDeliver: return "deliver";
+    case ChoiceKind::kStep: return "step";
+    case ChoiceKind::kTimer: return "timer";
+  }
+  return "unknown";
+}
+
+std::string Choice::to_line() const {
+  std::ostringstream os;
+  os << choice_kind_name(kind) << ' ';
+  if (kind == ChoiceKind::kDeliver) {
+    os << from << ' ' << to;
+  } else {
+    os << actor;
+  }
+  if (!label.empty()) os << ' ' << label;
+  return os.str();
+}
+
+void Schedule::set_meta(std::string key, std::string value) {
+  for (auto& [k, v] : meta) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  meta.emplace_back(std::move(key), std::move(value));
+}
+
+std::optional<std::string> Schedule::meta_value(const std::string& key) const {
+  for (const auto& [k, v] : meta) {
+    if (k == key) return v;
+  }
+  return std::nullopt;
+}
+
+std::string Schedule::to_text() const {
+  std::ostringstream os;
+  os << kHeader << '\n';
+  for (const auto& [k, v] : meta) os << "meta " << k << ' ' << v << '\n';
+  for (const Choice& c : steps) os << c.to_line() << '\n';
+  return os.str();
+}
+
+bool Schedule::parse(const std::string& text, Schedule* out,
+                     std::string* error) {
+  Schedule parsed;
+  std::istringstream is(text);
+  std::string line;
+  std::size_t lineno = 0;
+  bool saw_header = false;
+  const auto fail = [&](const std::string& why) {
+    if (error != nullptr) {
+      *error = "schedule line " + std::to_string(lineno) + ": " + why;
+    }
+    return false;
+  };
+  while (std::getline(is, line)) {
+    ++lineno;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (!saw_header) {
+      if (line != kHeader) return fail("missing header '" + std::string(kHeader) + "'");
+      saw_header = true;
+      continue;
+    }
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string word;
+    ls >> word;
+    if (word == "meta") {
+      std::string key;
+      ls >> key;
+      if (key.empty()) return fail("meta without a key");
+      std::string value;
+      std::getline(ls, value);
+      if (!value.empty() && value.front() == ' ') value.erase(0, 1);
+      parsed.meta.emplace_back(std::move(key), std::move(value));
+      continue;
+    }
+    Choice c;
+    if (word == "deliver") {
+      c.kind = ChoiceKind::kDeliver;
+      std::uint64_t from = 0;
+      std::uint64_t to = 0;
+      if (!(ls >> from >> to)) return fail("deliver needs '<from> <to>'");
+      c.from = static_cast<NodeId>(from);
+      c.to = static_cast<NodeId>(to);
+    } else if (word == "step" || word == "timer") {
+      c.kind = word == "step" ? ChoiceKind::kStep : ChoiceKind::kTimer;
+      std::uint64_t actor = 0;
+      if (!(ls >> actor)) return fail(word + " needs '<index>'");
+      c.actor = static_cast<std::uint32_t>(actor);
+    } else {
+      return fail("unknown directive '" + word + "'");
+    }
+    std::string label;
+    std::getline(ls, label);
+    if (!label.empty() && label.front() == ' ') label.erase(0, 1);
+    c.label = std::move(label);
+    parsed.steps.push_back(std::move(c));
+  }
+  if (!saw_header) {
+    if (error != nullptr) *error = "empty schedule (no header)";
+    return false;
+  }
+  *out = std::move(parsed);
+  return true;
+}
+
+bool Schedule::save(const std::string& path, std::string* error) const {
+  std::ofstream f(path, std::ios::trunc);
+  if (!f) {
+    if (error != nullptr) *error = "cannot open '" + path + "' for writing";
+    return false;
+  }
+  f << to_text();
+  f.flush();
+  if (!f) {
+    if (error != nullptr) *error = "write to '" + path + "' failed";
+    return false;
+  }
+  return true;
+}
+
+std::optional<Schedule> Schedule::load(const std::string& path,
+                                       std::string* error) {
+  std::ifstream f(path);
+  if (!f) {
+    if (error != nullptr) *error = "cannot open '" + path + "'";
+    return std::nullopt;
+  }
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  Schedule s;
+  if (!parse(buf.str(), &s, error)) return std::nullopt;
+  return s;
+}
+
+}  // namespace causalmem::sim

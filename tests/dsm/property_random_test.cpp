@@ -14,6 +14,7 @@
 #include "causalmem/dsm/system.hpp"
 #include "causalmem/history/causal_checker.hpp"
 #include "causalmem/history/recorder.hpp"
+#include "causalmem/sim/scenarios.hpp"
 
 namespace causalmem {
 namespace {
@@ -199,6 +200,74 @@ INSTANTIATE_TEST_SUITE_P(
     [](const ::testing::TestParamInfo<PropertyCase>& info) {
       return info.param.name;
     });
+
+// --- deterministic-simulation seed matrix --------------------------------
+//
+// The thread-based sweep above explores whatever interleavings the OS
+// scheduler happens to produce; this matrix drives the same protocol under
+// sim::SimScheduler random walks, where every interleaving decision is a
+// recorded choice. A failing seed is therefore a complete reproduction
+// recipe (rerun the seed), not a flake.
+
+/// Per-seed random scenario: 3 nodes, 4 locations, 6 scripted ops per node.
+/// With `chaos`, a seed-chosen victim crashes at a seed-chosen virtual time
+/// and restarts later; bounded requests + failover keep clients live.
+sim::CausalScenarioConfig sim_property_case(std::uint64_t seed, bool chaos) {
+  Rng rng(seed * 0x9E3779B97F4A7C15ULL + 1);
+  sim::CausalScenarioConfig cfg;
+  cfg.nodes = 3;
+  cfg.scripts.resize(cfg.nodes);
+  for (auto& script : cfg.scripts) {
+    for (int i = 0; i < 6; ++i) {
+      const Addr a = static_cast<Addr>(rng.next_below(4));
+      if (rng.next_double() < 0.5) {
+        script.push_back(
+            sim::ScriptOp::write(a, static_cast<Value>(rng.next() >> 8)));
+      } else {
+        script.push_back(sim::ScriptOp::read(a));
+      }
+    }
+  }
+  if (chaos) {
+    cfg.failover = true;
+    cfg.heartbeat = true;
+    cfg.heartbeat_interval = std::chrono::microseconds(100);
+    cfg.heartbeat_suspect_after = std::chrono::microseconds(400);
+    cfg.config.request_timeout = std::chrono::microseconds(200);
+    cfg.config.request_retries = 2;
+    const NodeId victim = static_cast<NodeId>(rng.next_below(cfg.nodes));
+    const std::uint64_t crash_at = 10'000 + rng.next_below(90'000);
+    cfg.chaos = {sim::ChaosEvent::crash(crash_at, victim),
+                 sim::ChaosEvent::restart(crash_at + 400'000, victim)};
+  }
+  return cfg;
+}
+
+TEST(CausalSimProperty, RandomWalkSeedMatrixCheckerClean) {
+  for (std::uint64_t seed = 1; seed <= 64; ++seed) {
+    const sim::CausalScenarioConfig cfg = sim_property_case(seed, false);
+    sim::RandomWalkStrategy walk(seed);
+    const sim::ExecutionResult res = sim::run_causal_scenario(cfg, walk);
+    ASSERT_TRUE(res.report.ok())
+        << "seed " << seed << ": " << res.report.error;
+    ASSERT_TRUE(res.consistent) << "seed " << seed << ": " << res.violation
+                                << "\nschedule:\n"
+                                << res.report.schedule.to_text();
+  }
+}
+
+TEST(CausalSimProperty, ChaosCrashRestartSeedMatrixCheckerClean) {
+  for (std::uint64_t seed = 1; seed <= 32; ++seed) {
+    const sim::CausalScenarioConfig cfg = sim_property_case(seed, true);
+    sim::RandomWalkStrategy walk(seed);
+    const sim::ExecutionResult res = sim::run_causal_scenario(cfg, walk);
+    ASSERT_TRUE(res.report.ok())
+        << "seed " << seed << ": " << res.report.error;
+    ASSERT_TRUE(res.consistent) << "seed " << seed << ": " << res.violation
+                                << "\nschedule:\n"
+                                << res.report.schedule.to_text();
+  }
+}
 
 }  // namespace
 }  // namespace causalmem

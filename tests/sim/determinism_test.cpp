@@ -1,0 +1,142 @@
+// Determinism regression: the same seed on the same scenario must produce a
+// bit-identical execution — schedule, per-process history, merged trace
+// stream, and every per-node counter (net.*, fo.*, ...). Any divergence
+// means wall-clock, iteration order, or address-dependent state leaked into
+// the simulation, which would make CI schedule artifacts unreproducible.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "causalmem/sim/scenarios.hpp"
+
+namespace causalmem::sim {
+namespace {
+
+struct Observation {
+  ExecutionResult result;
+  ScenarioOutcome outcome;
+};
+
+Observation observe_causal(const CausalScenarioConfig& cfg,
+                           std::uint64_t seed) {
+  Observation obs;
+  RandomWalkStrategy walk(seed);
+  obs.result = run_causal_scenario(cfg, walk, &obs.outcome);
+  return obs;
+}
+
+Observation observe_broadcast(const BroadcastScenarioConfig& cfg,
+                              std::uint64_t seed) {
+  Observation obs;
+  RandomWalkStrategy walk(seed);
+  obs.result = run_broadcast_scenario(cfg, walk, &obs.outcome);
+  return obs;
+}
+
+void expect_identical(const Observation& a, const Observation& b,
+                      std::uint64_t seed) {
+  EXPECT_EQ(a.result.report.schedule.to_text(),
+            b.result.report.schedule.to_text())
+      << "seed " << seed << ": schedules diverged";
+  EXPECT_EQ(a.result.report.steps, b.result.report.steps) << "seed " << seed;
+  EXPECT_EQ(a.result.report.end_ns, b.result.report.end_ns)
+      << "seed " << seed;
+  EXPECT_EQ(a.outcome.history_text, b.outcome.history_text)
+      << "seed " << seed << ": histories diverged";
+  EXPECT_EQ(a.outcome.trace_text, b.outcome.trace_text)
+      << "seed " << seed << ": trace streams diverged";
+  EXPECT_EQ(a.outcome.counters_text, b.outcome.counters_text)
+      << "seed " << seed << ": counters diverged";
+  EXPECT_EQ(a.result.consistent, b.result.consistent) << "seed " << seed;
+  EXPECT_EQ(a.result.violation, b.result.violation) << "seed " << seed;
+}
+
+TEST(Determinism, CausalSmallScopeBitIdenticalAcrossReruns) {
+  const CausalScenarioConfig cfg = small_scope_causal();
+  for (const std::uint64_t seed : {1ULL, 7ULL, 42ULL}) {
+    const Observation a = observe_causal(cfg, seed);
+    const Observation b = observe_causal(cfg, seed);
+    ASSERT_TRUE(a.result.report.ok()) << a.result.report.error;
+    EXPECT_TRUE(a.result.consistent) << a.result.violation;
+    EXPECT_FALSE(a.outcome.trace_text.empty());
+    EXPECT_FALSE(a.outcome.counters_text.empty());
+    expect_identical(a, b, seed);
+  }
+}
+
+TEST(Determinism, DifferentSeedsExploreDifferentSchedules) {
+  const CausalScenarioConfig cfg = small_scope_causal();
+  const Observation a = observe_causal(cfg, 1);
+  const Observation b = observe_causal(cfg, 2);
+  ASSERT_TRUE(a.result.report.ok()) << a.result.report.error;
+  ASSERT_TRUE(b.result.report.ok()) << b.result.report.error;
+  // Not a hard guarantee for arbitrary seeds, but for this scenario these
+  // two walks do interleave differently; if they ever collide the test
+  // seeds just need adjusting.
+  EXPECT_NE(a.result.report.schedule.to_text(),
+            b.result.report.schedule.to_text());
+}
+
+TEST(Determinism, BroadcastScenarioBitIdenticalAcrossReruns) {
+  const BroadcastScenarioConfig cfg = small_scope_broadcast(true);
+  for (const std::uint64_t seed : {3ULL, 11ULL}) {
+    const Observation a = observe_broadcast(cfg, seed);
+    const Observation b = observe_broadcast(cfg, seed);
+    ASSERT_TRUE(a.result.report.ok()) << a.result.report.error;
+    EXPECT_TRUE(a.result.consistent) << a.result.violation;
+    expect_identical(a, b, seed);
+  }
+}
+
+/// Chaos configuration: crash the owner of address 2 mid-run and restart it
+/// later, with bounded requests + failover so its clients make progress.
+/// Exercises the fo.* failover counters and the net.fault_drop purge path —
+/// all of which must still be bit-identical across reruns.
+CausalScenarioConfig chaos_config() {
+  CausalScenarioConfig cfg;
+  cfg.nodes = 3;
+  cfg.failover = true;
+  cfg.heartbeat = true;
+  cfg.heartbeat_interval = std::chrono::microseconds(100);
+  cfg.heartbeat_suspect_after = std::chrono::microseconds(400);
+  cfg.config.request_timeout = std::chrono::microseconds(200);
+  cfg.config.request_retries = 2;
+  cfg.scripts = {
+      {ScriptOp::write(2, 10), ScriptOp::read(0), ScriptOp::read(2)},
+      {ScriptOp::write(0, 20), ScriptOp::read(2)},
+      {ScriptOp::write(2, 30), ScriptOp::read(1)},
+  };
+  cfg.chaos = {
+      ChaosEvent::crash(20'000, 2),
+      ChaosEvent::restart(400'000, 2),
+  };
+  return cfg;
+}
+
+TEST(Determinism, ChaosScheduleBitIdenticalAcrossReruns) {
+  const CausalScenarioConfig cfg = chaos_config();
+  for (const std::uint64_t seed : {5ULL, 13ULL}) {
+    const Observation a = observe_causal(cfg, seed);
+    const Observation b = observe_causal(cfg, seed);
+    EXPECT_TRUE(a.result.consistent) << a.result.violation;
+    expect_identical(a, b, seed);
+  }
+}
+
+TEST(Determinism, PartitionScheduleBitIdenticalAcrossReruns) {
+  CausalScenarioConfig cfg = small_scope_causal();
+  cfg.config.request_timeout = std::chrono::microseconds(200);
+  cfg.chaos = {
+      ChaosEvent::partition(10'000, 0, 1),
+      ChaosEvent::heal(300'000, 0, 1),
+  };
+  const Observation a = observe_causal(cfg, 9);
+  const Observation b = observe_causal(cfg, 9);
+  EXPECT_TRUE(a.result.consistent) << a.result.violation;
+  expect_identical(a, b, 9);
+}
+
+}  // namespace
+}  // namespace causalmem::sim
