@@ -1,0 +1,56 @@
+// Thread-local frame pool for the message codec hot path. Encoding a
+// message into a fresh std::vector<std::byte> per send costs one heap
+// allocation per message; at bench_throughput rates that allocation (and the
+// matching free on the other side of the transport) dominates the codec
+// itself. FrameArena recycles the buffers instead: acquire() hands back a
+// cleared buffer with its old capacity intact, release() returns it to the
+// calling thread's pool.
+//
+// The pool is strictly thread-local, so acquire/release never synchronize.
+// A buffer may be released on a different thread than it was acquired on
+// (frames cross threads inside the transports); it then simply joins that
+// thread's pool — capacity migrates, correctness is unaffected. Buffers that
+// are never released are freed by their destructor as usual, so callers
+// outside the hot path can ignore the arena entirely.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace causalmem {
+
+class FrameArena {
+ public:
+  /// An empty buffer, reusing pooled capacity when available.
+  [[nodiscard]] static std::vector<std::byte> acquire() {
+    auto& pool = tls_pool();
+    if (pool.empty()) return {};
+    std::vector<std::byte> buf = std::move(pool.back());
+    pool.pop_back();
+    buf.clear();
+    return buf;
+  }
+
+  /// Returns a buffer's capacity to this thread's pool. Over-full pools and
+  /// capacity-less buffers are dropped on the floor (plain destruction).
+  static void release(std::vector<std::byte>&& buf) {
+    auto& pool = tls_pool();
+    if (buf.capacity() == 0 || pool.size() >= kMaxPooled) return;
+    pool.push_back(std::move(buf));
+  }
+
+  /// Buffers currently pooled on the calling thread (tests).
+  [[nodiscard]] static std::size_t pooled_count() { return tls_pool().size(); }
+
+ private:
+  /// Enough for every in-flight frame of one delivery thread plus slack;
+  /// beyond this, pooling more buffers is just holding memory hostage.
+  static constexpr std::size_t kMaxPooled = 32;
+
+  static std::vector<std::vector<std::byte>>& tls_pool() {
+    thread_local std::vector<std::vector<std::byte>> pool;
+    return pool;
+  }
+};
+
+}  // namespace causalmem

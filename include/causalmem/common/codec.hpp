@@ -19,6 +19,12 @@ class ByteWriter {
  public:
   ByteWriter() = default;
 
+  /// Writes into `reuse` (cleared first), so a caller on the hot path can
+  /// recycle one buffer's capacity across encodes (see common/arena.hpp).
+  explicit ByteWriter(std::vector<std::byte> reuse) : buf_(std::move(reuse)) {
+    buf_.clear();
+  }
+
   template <typename T>
     requires std::is_integral_v<T> || std::is_floating_point_v<T> ||
              std::is_enum_v<T>
@@ -32,15 +38,23 @@ class ByteWriter {
     buf_.insert(buf_.end(), bytes.begin(), bytes.end());
   }
 
+  /// Writes an element/byte count as u32. Counts live in memory as size_t;
+  /// anything beyond the u32 wire field would previously be *silently
+  /// truncated* by the cast — now it is a contract violation.
+  void put_count(std::size_t n) {
+    CM_EXPECTS_MSG(n <= UINT32_MAX, "codec count overflows u32 wire field");
+    put<std::uint32_t>(static_cast<std::uint32_t>(n));
+  }
+
   void put_string(const std::string& s) {
-    put<std::uint32_t>(static_cast<std::uint32_t>(s.size()));
+    put_count(s.size());
     const auto* p = reinterpret_cast<const std::byte*>(s.data());
     put_bytes({p, s.size()});
   }
 
   template <typename T>
   void put_vector(const std::vector<T>& v) {
-    put<std::uint32_t>(static_cast<std::uint32_t>(v.size()));
+    put_count(v.size());
     for (const T& x : v) put(x);
   }
 

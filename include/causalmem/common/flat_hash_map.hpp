@@ -1,0 +1,233 @@
+// FlatHashMap: a small open-addressing hash map for the protocol hot paths.
+// std::unordered_map pays one heap node per entry and a pointer chase per
+// lookup; the owner/cache/pending tables sit on every read, write and
+// message-service path, so they use this flat, linear-probed, power-of-two
+// table instead. Vendored rather than imported: the protocol needs exactly
+// find / try_emplace / operator[] / erase(-during-iteration) over integer
+// keys, and forty lines of probing beat a dependency.
+//
+// Requirements and deviations from std::unordered_map:
+//   - K is cheap to copy and equality-comparable; V is default-constructible
+//     and move-assignable (erase resets the slot to V{} to release its
+//     resources). Both requirements hold for every table in this codebase.
+//   - value_type is pair<K, V> with a NON-const key — do not mutate keys
+//     through iterators.
+//   - Any insert can rehash: ALL iterators and references are invalidated by
+//     inserts (unordered_map keeps references stable). Erase invalidates
+//     only the erased entry; erase(it) returns the iterator to the next
+//     live entry, so erase-during-iteration loops work unchanged.
+//   - Iteration order is table order: deterministic for a given
+//     insert/erase sequence (the determinism suite relies on nothing more).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "causalmem/common/expect.hpp"
+
+namespace causalmem {
+
+template <typename K, typename V, typename Hash = std::hash<K>>
+class FlatHashMap {
+ public:
+  using value_type = std::pair<K, V>;
+
+  template <bool Const>
+  class Iter {
+   public:
+    using MapPtr = std::conditional_t<Const, const FlatHashMap*, FlatHashMap*>;
+    using Ref = std::conditional_t<Const, const value_type&, value_type&>;
+    using Ptr = std::conditional_t<Const, const value_type*, value_type*>;
+
+    Iter() = default;
+    Iter(MapPtr map, std::size_t idx) : map_(map), idx_(idx) {}
+    /// iterator -> const_iterator
+    operator Iter<true>() const { return Iter<true>(map_, idx_); }
+
+    Ref operator*() const { return map_->slots_[idx_]; }
+    Ptr operator->() const { return &map_->slots_[idx_]; }
+
+    Iter& operator++() {
+      ++idx_;
+      skip_dead();
+      return *this;
+    }
+
+    friend bool operator==(const Iter& a, const Iter& b) {
+      return a.idx_ == b.idx_;
+    }
+
+   private:
+    friend class FlatHashMap;
+    void skip_dead() {
+      while (idx_ < map_->states_.size() && map_->states_[idx_] != kFull) {
+        ++idx_;
+      }
+    }
+
+    MapPtr map_{nullptr};
+    std::size_t idx_{0};
+  };
+
+  using iterator = Iter<false>;
+  using const_iterator = Iter<true>;
+
+  FlatHashMap() = default;
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  [[nodiscard]] iterator begin() {
+    iterator it(this, 0);
+    it.skip_dead();
+    return it;
+  }
+  [[nodiscard]] iterator end() { return iterator(this, states_.size()); }
+  [[nodiscard]] const_iterator begin() const {
+    const_iterator it(this, 0);
+    it.skip_dead();
+    return it;
+  }
+  [[nodiscard]] const_iterator end() const {
+    return const_iterator(this, states_.size());
+  }
+
+  [[nodiscard]] iterator find(const K& key) {
+    const std::size_t idx = find_index(key);
+    return idx == kNotFound ? end() : iterator(this, idx);
+  }
+  [[nodiscard]] const_iterator find(const K& key) const {
+    const std::size_t idx = find_index(key);
+    return idx == kNotFound ? end() : const_iterator(this, idx);
+  }
+  [[nodiscard]] bool contains(const K& key) const {
+    return find_index(key) != kNotFound;
+  }
+
+  /// std::unordered_map-compatible: default-constructs on first access.
+  V& operator[](const K& key) { return try_emplace(key).first->second; }
+
+  template <typename... Args>
+  std::pair<iterator, bool> try_emplace(const K& key, Args&&... args) {
+    reserve_for_insert();
+    std::size_t tomb = kNotFound;
+    std::size_t idx = probe_start(key);
+    for (;;) {
+      if (states_[idx] == kEmpty) {
+        const std::size_t target = tomb != kNotFound ? tomb : idx;
+        slots_[target].first = key;
+        slots_[target].second = V(std::forward<Args>(args)...);
+        states_[target] = kFull;
+        ++size_;
+        if (target == idx) ++used_;
+        return {iterator(this, target), true};
+      }
+      if (states_[idx] == kTomb) {
+        if (tomb == kNotFound) tomb = idx;
+      } else if (slots_[idx].first == key) {
+        return {iterator(this, idx), false};
+      }
+      idx = (idx + 1) & (states_.size() - 1);
+    }
+  }
+
+  std::size_t erase(const K& key) {
+    const std::size_t idx = find_index(key);
+    if (idx == kNotFound) return 0;
+    erase_at(idx);
+    return 1;
+  }
+
+  /// Erases the pointee and returns the iterator to the next live entry —
+  /// the drop-in shape for erase-during-iteration loops.
+  iterator erase(iterator it) {
+    CM_EXPECTS(it.map_ == this && it.idx_ < states_.size());
+    erase_at(it.idx_);
+    ++it.idx_;
+    it.skip_dead();
+    return it;
+  }
+
+  void clear() {
+    slots_.clear();
+    states_.clear();
+    size_ = 0;
+    used_ = 0;
+  }
+
+ private:
+  enum : std::uint8_t { kEmpty = 0, kFull = 1, kTomb = 2 };
+  static constexpr std::size_t kNotFound = ~std::size_t{0};
+  static constexpr std::size_t kInitialCapacity = 16;
+
+  /// libstdc++'s std::hash over integers is the identity; strided keys
+  /// (page ids, node-striped addresses) would then collide into runs under
+  /// the power-of-two mask. Finish with a SplitMix64-style mixer.
+  [[nodiscard]] static std::size_t mix(std::size_t h) noexcept {
+    std::uint64_t z = static_cast<std::uint64_t>(h) + 0x9E3779B97F4A7C15ULL;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return static_cast<std::size_t>(z ^ (z >> 31));
+  }
+
+  [[nodiscard]] std::size_t probe_start(const K& key) const noexcept {
+    return mix(Hash{}(key)) & (states_.size() - 1);
+  }
+
+  [[nodiscard]] std::size_t find_index(const K& key) const {
+    if (states_.empty()) return kNotFound;
+    std::size_t idx = probe_start(key);
+    for (;;) {
+      if (states_[idx] == kEmpty) return kNotFound;
+      if (states_[idx] == kFull && slots_[idx].first == key) return idx;
+      idx = (idx + 1) & (states_.size() - 1);
+    }
+  }
+
+  void erase_at(std::size_t idx) {
+    CM_EXPECTS(states_[idx] == kFull);
+    slots_[idx].second = V{};  // release the value's resources now
+    states_[idx] = kTomb;
+    --size_;
+  }
+
+  /// Keeps load (live + tombstones) under 3/4 so probes stay short; growing
+  /// rehashes live entries only, which also sweeps tombstones out.
+  void reserve_for_insert() {
+    if (states_.empty()) {
+      slots_.resize(kInitialCapacity);
+      states_.assign(kInitialCapacity, kEmpty);
+      return;
+    }
+    if ((used_ + 1) * 4 <= states_.size() * 3) return;
+    const std::size_t new_cap =
+        (size_ + 1) * 4 > states_.size() * 3 ? states_.size() * 2
+                                             : states_.size();
+    std::vector<value_type> old_slots = std::move(slots_);
+    std::vector<std::uint8_t> old_states = std::move(states_);
+    slots_.clear();
+    slots_.resize(new_cap);
+    states_.assign(new_cap, kEmpty);
+    size_ = 0;
+    used_ = 0;
+    for (std::size_t i = 0; i < old_states.size(); ++i) {
+      if (old_states[i] != kFull) continue;
+      std::size_t idx = probe_start(old_slots[i].first);
+      while (states_[idx] != kEmpty) idx = (idx + 1) & (new_cap - 1);
+      slots_[idx] = std::move(old_slots[i]);
+      states_[idx] = kFull;
+      ++size_;
+      ++used_;
+    }
+  }
+
+  std::vector<value_type> slots_;
+  std::vector<std::uint8_t> states_;
+  std::size_t size_{0};  ///< live entries
+  std::size_t used_{0};  ///< live + tombstoned slots (probe-chain occupancy)
+};
+
+}  // namespace causalmem

@@ -30,6 +30,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "causalmem/common/flat_hash_map.hpp"
 #include "causalmem/dsm/causal/config.hpp"
 #include "causalmem/dsm/failover.hpp"
 #include "causalmem/dsm/memory.hpp"
@@ -205,7 +206,7 @@ class CausalNode final : public SharedMemory {
   /// except `keep_page` and read-only pages. Caller holds mu_.
   void invalidate_cache(const VectorClock& threshold, std::uint64_t keep_page);
 
-  void erase_page(std::unordered_map<std::uint64_t, CachedPage>::iterator it);
+  void erase_page(FlatHashMap<std::uint64_t, CachedPage>::iterator it);
   void touch_lru(CachedPage& cp);
   void evict_over_capacity();
 
@@ -227,8 +228,12 @@ class CausalNode final : public SharedMemory {
   mutable std::mutex mu_;
   VectorClock vt_;
   std::uint64_t write_seq_{0};
-  std::unordered_map<Addr, Cell> owned_;
-  std::unordered_map<std::uint64_t, CachedPage> cache_;
+  // The owned/cache/own-write/pending tables sit on every operation and
+  // every message service; they use the flat open-addressing map (one array
+  // probe instead of a heap node chase per lookup). NB: inserts may rehash —
+  // no reference into these maps is held across an insert into the same map.
+  FlatHashMap<Addr, Cell> owned_;
+  FlatHashMap<std::uint64_t, CachedPage> cache_;
   std::list<std::uint64_t> lru_;  // front = most recently used page
   std::unordered_set<std::uint64_t> read_only_pages_;
 
@@ -250,7 +255,7 @@ class CausalNode final : public SharedMemory {
                  : std::max(accepted_floor, *outstanding.rbegin());
     }
   };
-  std::unordered_map<std::uint64_t, OwnPageWrites> own_writes_;
+  FlatHashMap<std::uint64_t, OwnPageWrites> own_writes_;
 
   // --- crash tolerance (all inert while failover_ == nullptr) ---
   FailoverDirectory* failover_{nullptr};
@@ -273,7 +278,7 @@ class CausalNode final : public SharedMemory {
   };
   std::unordered_map<std::uint64_t, PageRecovery> recovering_;
 
-  std::unordered_map<std::uint64_t, Pending> pending_;
+  FlatHashMap<std::uint64_t, Pending> pending_;
   std::uint64_t next_rid_{1};
   std::size_t outstanding_async_{0};
   /// Owner of the currently pipelined async-write chain (valid while

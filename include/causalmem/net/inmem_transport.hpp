@@ -2,6 +2,16 @@
 // deadline-ordered queue. Per-channel FIFO is guaranteed by making each
 // (src,dst) channel's delivery deadlines monotonic, so jittered latency can
 // never reorder a channel.
+//
+// Fast path: reply-type messages on an idle zero-latency channel are
+// delivered inline on the sender's thread instead of waking the receiver's
+// worker, eliding two context switches per request/reply round trip. The
+// per-channel in-flight count (incremented before a message is queued,
+// decremented only after its handler returns) makes the idle check exact:
+// an inline delivery can never overtake a queued or in-delivery message on
+// the same channel, so per-channel FIFO is preserved. Only message types
+// that every protocol sends with no node lock held are eligible — see
+// inline_eligible() in the .cpp for the proof obligation.
 #pragma once
 
 #include <atomic>
@@ -76,10 +86,20 @@ class InMemTransport final : public Transport {
     Rng rng{0};
     bool has_override{false};
     LatencyModel override_latency{};
+    // exercise_codec state: the directed channel's clock-delta baselines and
+    // a scratch Message whose stamp/cells capacity is recycled across
+    // round-trips (send swaps the decoded message out and the caller's
+    // buffers in), so the steady-state codec path never allocates.
+    ClockCodecState tx;
+    ClockCodecState rx;
+    Message scratch;
+    // Messages queued or in delivery on this channel. 0 means the channel is
+    // completely idle, which is what licenses the inline-delivery fast path.
+    std::atomic<std::uint32_t> inflight{0};
   };
 
   void run_endpoint(Endpoint& ep);
-  [[nodiscard]] Clock::time_point next_deadline(NodeId from, NodeId to);
+  [[nodiscard]] Clock::time_point next_deadline_locked(Channel& ch);
 
   LatencyModel latency_;
   bool exercise_codec_;

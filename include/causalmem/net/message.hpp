@@ -13,6 +13,11 @@
 
 namespace causalmem {
 
+/// Leading byte of every encoded message; bumped whenever the layout
+/// changes so a mixed-version mesh fails loudly instead of misparsing.
+/// v2: added this version byte and the clock mode framing (full/delta).
+inline constexpr std::uint8_t kWireVersion = 2;
+
 enum class MsgType : std::uint8_t {
   // Causal owner protocol (Figure 4).
   kRead = 1,        ///< [READ, x] — request current copy from the owner
@@ -79,8 +84,25 @@ struct Message {
   std::uint64_t rel_seq{0};
   std::uint64_t rel_ack{0};
 
+  /// Encodes into a pooled frame (common/arena.hpp): steady-state senders
+  /// that FrameArena::release() the buffer after use pay no allocation.
+  /// Stateless — the stamp goes out as a full clock.
   [[nodiscard]] std::vector<std::byte> encode() const;
+
+  /// Stateful encode for one directed channel: the stamp is delta-compressed
+  /// against `tx`'s baseline when that is smaller on the wire (see
+  /// VectorClock::encode). Must be paired 1:1, in order, with a
+  /// decode_into(bytes, out, &rx) on the receiving end of the same channel.
+  [[nodiscard]] std::vector<std::byte> encode(ClockCodecState& tx) const;
+
   static Message decode(std::span<const std::byte> bytes);
+
+  /// Decodes into `out`, reusing its stamp/cells capacity — the transports'
+  /// receive paths recycle one Message per channel so steady-state decodes
+  /// are allocation-free. `rx` (nullable) is the channel's clock baseline,
+  /// required to accept delta-clock frames.
+  static void decode_into(std::span<const std::byte> bytes, Message& out,
+                          ClockCodecState* rx);
 
   [[nodiscard]] std::string to_string() const;
 };

@@ -4,9 +4,15 @@
 //
 // Mechanism, per directed channel (s -> d):
 //   - the sender stamps every message with a per-channel sequence number
-//     (Message::rel_seq, 1-based) and keeps a copy until it is acked;
-//   - the receiver delivers strictly in sequence order, buffering gaps and
-//     dropping duplicates, so the layer above sees exactly-once FIFO;
+//     (Message::rel_seq, 1-based) and keeps a copy until it is acked; the
+//     copies live in a deque of consecutive sequence numbers, so a
+//     cumulative ack is a prefix pop, not a map search;
+//   - the receiver delivers strictly in sequence order, buffering gaps in a
+//     bounded ring (ReliableConfig::reorder_window slots) and dropping
+//     duplicates, so the layer above sees exactly-once FIFO. A frame past
+//     the window is dropped and counted (net.out_of_window) — the sender's
+//     retransmission redelivers it once the window opens, so boundedness
+//     costs no correctness, only a retransmit;
 //   - the receiver acks cumulatively: a standalone REL_ACK after every data
 //     frame, plus a piggybacked ack (Message::rel_ack) on reverse-channel
 //     data, both meaning "everything <= k arrived";
@@ -22,7 +28,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
-#include <map>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -47,6 +53,12 @@ struct ReliableConfig {
   /// p^max_retransmits. 0 = never give up (the pre-crash-tolerance
   /// behaviour: infinite RTO backoff).
   std::uint32_t max_retransmits{20};
+  /// Receiver-side reorder-buffer bound, in frames per directed channel. A
+  /// frame with rel_seq >= next_deliver_seq + reorder_window is dropped (and
+  /// counted as net.out_of_window) instead of buffered, so a hostile or
+  /// wildly reordered sender cannot grow the buffer without limit. The
+  /// sender's retransmission recovers the dropped frame.
+  std::size_t reorder_window{64};
 };
 
 class ReliableChannel final : public Transport {
@@ -86,6 +98,9 @@ class ReliableChannel final : public Transport {
   [[nodiscard]] std::uint64_t peer_unreachable_count() const noexcept {
     return peer_unreachable_.load(std::memory_order_relaxed);
   }
+  [[nodiscard]] std::uint64_t out_of_window_count() const noexcept {
+    return out_of_window_.load(std::memory_order_relaxed);
+  }
 
   /// Forgets all sequencing state on every channel to or from `id`: pending
   /// retransmissions are dropped and both directions restart at sequence 1.
@@ -108,18 +123,38 @@ class ReliableChannel final : public Transport {
     /// Retransmissions so far; at config_.max_retransmits the sender gives
     /// up on this message (net.peer_unreachable).
     std::uint32_t retries{0};
+    /// Given up (peer presumed dead). Dead entries cannot be erased from
+    /// the middle of the deque; they are skipped by the retransmit scan and
+    /// popped once they reach the front (by an ack or the dead-prefix pop).
+    bool dead{false};
   };
 
   /// Both halves of one directed channel (s -> d): the sender half lives at
   /// s, the receiver half at d; in-process transports hold them together.
   struct Channel {
     std::mutex mu;
-    // Sender side.
+    // Sender side: outstanding[i] holds sequence number base_seq + i — the
+    // seqs are consecutive by construction, so the deque IS the window and
+    // a cumulative ack is a prefix pop. Invariant:
+    // base_seq + outstanding.size() == next_send_seq.
     std::uint64_t next_send_seq{1};
-    std::map<std::uint64_t, Pending> outstanding;
-    // Receiver side.
+    std::uint64_t base_seq{1};
+    std::deque<Pending> outstanding;
+    // Receiver side: slot seq % reorder_window buffers seq — within the
+    // window [next_deliver_seq, next_deliver_seq + W) slots are unique, so
+    // the `present` bit alone identifies a buffered frame.
     std::uint64_t next_deliver_seq{1};
-    std::map<std::uint64_t, Message> reorder;
+    std::vector<Message> ring;
+    std::vector<std::uint8_t> present;
+    // True while one thread is popping ready frames and delivering them
+    // outside the lock. Frames can arrive on multiple threads (the inner
+    // transport's delivery worker, and sender threads when the inner
+    // transport delivers replies inline), so without this flag two threads
+    // could each pop a ready batch and then interleave their out-of-lock
+    // handler calls, breaking per-channel FIFO. The drainer re-checks the
+    // ring after each batch, so frames installed during its delivery are
+    // picked up before it retires.
+    bool draining{false};
   };
 
   [[nodiscard]] Channel& channel(NodeId from, NodeId to) {
@@ -144,6 +179,7 @@ class ReliableChannel final : public Transport {
   std::atomic<std::uint64_t> dup_drops_{0};
   std::atomic<std::uint64_t> acks_{0};
   std::atomic<std::uint64_t> peer_unreachable_{0};
+  std::atomic<std::uint64_t> out_of_window_{0};
 };
 
 }  // namespace causalmem

@@ -30,8 +30,10 @@
 
 #include <cstdint>
 #include <deque>
+#include <utility>
 #include <vector>
 
+#include "causalmem/common/arena.hpp"
 #include "causalmem/common/expect.hpp"
 #include "causalmem/net/message.hpp"
 #include "causalmem/net/transport.hpp"
@@ -49,6 +51,7 @@ class SimTransport final : public Transport {
       : exercise_codec_(exercise_codec),
         endpoints_(n),
         channels_(n * n),
+        codec_(exercise_codec ? n * n : 0),
         blocked_(n * n, 0),
         crashed_(n, 0),
         epochs_(n, 0) {
@@ -79,7 +82,17 @@ class SimTransport final : public Transport {
     if (stopped_) return;
     const std::size_t n = endpoints_.size();
     CM_EXPECTS(m.from < n && m.to < n);
-    if (exercise_codec_) m = Message::decode(m.encode());
+    if (exercise_codec_) {
+      // Same recycling scheme as InMemTransport::send: pooled frame,
+      // per-channel clock-delta baselines (encode/decode inline keeps them
+      // in lockstep on every schedule), swap to reuse message buffers. All
+      // deterministic — only byte representation changes, never order.
+      CodecState& cs = codec_[m.from * n + m.to];
+      std::vector<std::byte> wire = m.encode(cs.tx);
+      Message::decode_into(wire, cs.scratch, &cs.rx);
+      FrameArena::release(std::move(wire));
+      std::swap(m, cs.scratch);
+    }
     if (crashed_[m.from] != 0 || crashed_[m.to] != 0 ||
         blocked_[m.from * n + m.to] != 0) {
       drop(m);
@@ -205,9 +218,17 @@ class SimTransport final : public Transport {
     trace_msg(m.from, obs::TraceEventKind::kFaultDrop, m);
   }
 
+  /// Per directed channel: clock-delta baselines + recycled decode target.
+  struct CodecState {
+    ClockCodecState tx;
+    ClockCodecState rx;
+    Message scratch;
+  };
+
   bool exercise_codec_;
   std::vector<Handler> endpoints_;
   std::vector<std::deque<Message>> channels_;  // n*n, index from*n+to
+  std::vector<CodecState> codec_;              // n*n when exercising, else 0
   std::vector<std::uint8_t> blocked_;          // n*n, directed
   std::vector<std::uint8_t> crashed_;
   std::vector<std::uint64_t> epochs_;  ///< per-endpoint crash/restart count

@@ -54,6 +54,7 @@ enum class Counter : std::size_t {
   kNetFrameError,        ///< TcpTransport: corrupt frame length, connection torn down
   kNetHeartbeat,         ///< HeartbeatMonitor: one HEARTBEAT probe sent
   kNetPeerUnreachable,   ///< ReliableChannel: gave up retransmitting to a peer
+  kNetOutOfWindow,       ///< ReliableChannel: frame beyond the reorder window dropped
 
   // --- crash tolerance (failover layer; NOT message counters: the
   // fault-free path must keep the paper's 2n+6 accounting untouched) ---
@@ -103,6 +104,7 @@ inline constexpr std::size_t kNumLatencyMetrics =
     case Counter::kNetFrameError:
     case Counter::kNetHeartbeat:
     case Counter::kNetPeerUnreachable:
+    case Counter::kNetOutOfWindow:
     case Counter::kFoSuspect:
     case Counter::kFoFailover:
     case Counter::kFoRecoverRequest:

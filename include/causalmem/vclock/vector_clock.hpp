@@ -27,6 +27,14 @@ enum class ClockOrder : std::uint8_t {
   kConcurrent,  ///< neither dominates
 };
 
+/// One end of a directed channel's clock-delta codec: the last clock carried
+/// on the channel. The encoder and decoder each hold one and advance it on
+/// every clock framed — the transports guarantee encode/decode are paired in
+/// FIFO order per channel, so the two baselines can never diverge.
+struct ClockCodecState {
+  std::vector<std::uint64_t> baseline;
+};
+
 class VectorClock {
  public:
   VectorClock() = default;
@@ -61,16 +69,23 @@ class VectorClock {
     }
   }
 
-  /// Full partial-order comparison against `other`.
+  /// Full partial-order comparison against `other`. Concurrency is decided
+  /// as soon as both directions have been witnessed — the invalidation path
+  /// compares every cached stamp against every incoming one, and on large
+  /// clocks most pairs are concurrent, so the early return matters.
   [[nodiscard]] ClockOrder compare(const VectorClock& other) const {
     CM_EXPECTS(other.size() == size());
     bool some_less = false;
     bool some_greater = false;
     for (std::size_t i = 0; i < components_.size(); ++i) {
-      if (components_[i] < other.components_[i]) some_less = true;
-      if (components_[i] > other.components_[i]) some_greater = true;
+      if (components_[i] < other.components_[i]) {
+        if (some_greater) return ClockOrder::kConcurrent;
+        some_less = true;
+      } else if (components_[i] > other.components_[i]) {
+        if (some_less) return ClockOrder::kConcurrent;
+        some_greater = true;
+      }
     }
-    if (some_less && some_greater) return ClockOrder::kConcurrent;
     if (some_less) return ClockOrder::kBefore;
     if (some_greater) return ClockOrder::kAfter;
     return ClockOrder::kEqual;
@@ -88,10 +103,108 @@ class VectorClock {
 
   friend bool operator==(const VectorClock&, const VectorClock&) = default;
 
-  void encode(ByteWriter& w) const { w.put_vector(components_); }
+  // Wire format ------------------------------------------------------------
+  //
+  // A clock is framed with a one-byte mode:
+  //   kWireFull  (0): u32 count, count x u64 components.
+  //   kWireDelta (1): u32 baseline size, u32 ndeltas, ndeltas x (u32 index,
+  //                   u64 value) — components that differ from the channel
+  //                   baseline (the last clock carried on this directed
+  //                   channel, tracked by ClockCodecState on both ends).
+  // Delta frames are only emitted by encode(w, tx) when a baseline exists,
+  // sizes match and the delta is actually smaller; anything else falls back
+  // to a full clock, which also (re)establishes the baseline. A delta frame
+  // reaching a decoder without channel state is a contract violation: the
+  // stateless codec never produces one.
+  //
+  // Exception: a zero-length full clock leaves the channel baseline alone on
+  // both ends. Stamp-less control messages (READ requests, acks, heartbeats)
+  // are thereby transparent to the delta chain, so the stamped traffic they
+  // interleave with keeps delta-compressing across them.
 
+  static constexpr std::uint8_t kWireFull = 0;
+  static constexpr std::uint8_t kWireDelta = 1;
+
+  /// Stateless encode: always a full clock.
+  void encode(ByteWriter& w) const {
+    w.put<std::uint8_t>(kWireFull);
+    w.put_vector(components_);
+  }
+
+  /// Stateful encode for one directed channel: delta against `tx.baseline`
+  /// when that is strictly smaller on the wire, full otherwise. Either way
+  /// the baseline advances to this clock.
+  void encode(ByteWriter& w, ClockCodecState& tx) const {
+    const std::size_t n = components_.size();
+    if (n == 0) {  // transparent: see the wire-format note above
+      encode(w);
+      return;
+    }
+    if (tx.baseline.size() == n) {
+      std::uint32_t ndeltas = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (components_[i] != tx.baseline[i]) ++ndeltas;
+      }
+      // Delta wire cost: 4 (baseline size) + 4 (count) + 12 per entry;
+      // full: 4 (count) + 8 per component.
+      if (8 + 12 * static_cast<std::size_t>(ndeltas) < 4 + 8 * n) {
+        w.put<std::uint8_t>(kWireDelta);
+        w.put_count(n);
+        w.put<std::uint32_t>(ndeltas);
+        for (std::size_t i = 0; i < n; ++i) {
+          if (components_[i] != tx.baseline[i]) {
+            w.put<std::uint32_t>(static_cast<std::uint32_t>(i));
+            w.put<std::uint64_t>(components_[i]);
+          }
+        }
+        tx.baseline = components_;
+        return;
+      }
+    }
+    encode(w);
+    tx.baseline = components_;
+  }
+
+  /// Stateless decode: accepts full frames only.
   static VectorClock decode(ByteReader& r) {
-    return VectorClock(r.get_vector<std::uint64_t>());
+    VectorClock vt;
+    vt.decode_in_place(r, nullptr);
+    return vt;
+  }
+
+  /// Decodes into this clock, reusing its capacity (no allocation once the
+  /// component vector has grown to channel size). `rx` carries the directed
+  /// channel's baseline and is required for delta frames; pass nullptr for
+  /// the stateless codec.
+  void decode_in_place(ByteReader& r, ClockCodecState* rx) {
+    const auto mode = r.get<std::uint8_t>();
+    if (mode == kWireFull) {
+      const auto n = r.get<std::uint32_t>();
+      CM_EXPECTS_MSG(r.remaining() / sizeof(std::uint64_t) >= n,
+                     "codec under-run (clock)");
+      components_.clear();
+      components_.reserve(n);
+      for (std::uint32_t i = 0; i < n; ++i) {
+        components_.push_back(r.get<std::uint64_t>());
+      }
+      // Empty clocks are baseline-transparent, mirroring the encoder.
+      if (rx != nullptr && n > 0) rx->baseline = components_;
+      return;
+    }
+    CM_EXPECTS_MSG(mode == kWireDelta, "bad clock wire mode");
+    CM_EXPECTS_MSG(rx != nullptr, "delta clock frame without channel state");
+    const auto n = r.get<std::uint32_t>();
+    CM_EXPECTS_MSG(n == rx->baseline.size(),
+                   "delta clock baseline size mismatch");
+    const auto ndeltas = r.get<std::uint32_t>();
+    CM_EXPECTS_MSG(ndeltas <= n, "delta clock count exceeds clock size");
+    components_ = rx->baseline;
+    for (std::uint32_t i = 0; i < ndeltas; ++i) {
+      const auto idx = r.get<std::uint32_t>();
+      CM_EXPECTS_MSG(idx < components_.size(), "delta clock index out of range");
+      components_[idx] = r.get<std::uint64_t>();
+    }
+    rx->baseline = components_;
   }
 
   [[nodiscard]] const std::vector<std::uint64_t>& components() const noexcept {

@@ -138,7 +138,8 @@ ReadResult CausalNode::try_read(Addr x) {
       req.to = target;
       req.request_id = rid;
       req.addr = x;
-      req.stamp = VectorClock(n_);
+      // The stamp stays empty: the owner ignores it, and empty clocks are
+      // transparent to the channel's delta baseline.
       stats_.bump(Counter::kMsgReadRequest);
       transport_.send(std::move(req));
     }
@@ -574,7 +575,6 @@ void CausalNode::complete_pending(const Message& m) {
       req.to = owner_of(m.addr);
       req.request_id = m.request_id;  // keep the same pending slot
       req.addr = m.addr;
-      req.stamp = VectorClock(n_);
       stats_.bump(Counter::kMsgReadRequest);
       lock.unlock();
       transport_.send(std::move(req));
@@ -670,7 +670,7 @@ void CausalNode::complete_pending(const Message& m) {
   }
 
   lock.unlock();
-  prom.set_value(result);
+  prom.set_value(std::move(result));
 }
 
 // --------------------------------------------------------------------------
@@ -841,7 +841,6 @@ void CausalNode::begin_or_join_recovery(std::uint64_t pg, const Message& m,
       req.to = p;
       req.request_id = 0;  // routed by type, not by pending slot
       req.addr = page_base(pg);
-      req.stamp = VectorClock(n_);
       stats_.bump(Counter::kFoRecoverRequest);
       transport_.send(std::move(req));
     }
@@ -942,7 +941,6 @@ bool CausalNode::rejoin() {
       req.from = id_;
       req.to = p;
       req.request_id = rid;
-      req.stamp = VectorClock(n_);
       stats_.bump(Counter::kFoSyncRequest);
       transport_.send(std::move(req));
       waits.push_back(Wait{p, rid, std::move(fut)});
@@ -978,7 +976,8 @@ bool CausalNode::rejoin() {
 CausalNode::Cell& CausalNode::owned_cell(Addr x) {
   auto it = owned_.find(x);
   if (it == owned_.end()) {
-    it = owned_.emplace(x, Cell{kInitialValue, VectorClock(n_), WriteTag{}})
+    it = owned_
+             .try_emplace(x, Cell{kInitialValue, VectorClock(n_), WriteTag{}})
              .first;
   }
   return it->second;
@@ -988,7 +987,7 @@ void CausalNode::install_page(std::uint64_t page, CachedPage&& cp) {
   if (auto it = cache_.find(page); it != cache_.end()) erase_page(it);
   lru_.push_front(page);
   cp.lru_it = lru_.begin();
-  cache_.emplace(page, std::move(cp));
+  cache_.try_emplace(page, std::move(cp));
 }
 
 void CausalNode::cache_own_write(Addr x, Value v, const WriteTag& tag,
@@ -1028,12 +1027,13 @@ void CausalNode::cache_own_write(Addr x, Value v, const WriteTag& tag,
 void CausalNode::invalidate_cache(const VectorClock& threshold,
                                   std::uint64_t keep_page) {
   obs::Tracer* const tr = stats_.tracer();
+  const bool flush_all = cfg_.invalidation == InvalidationStrategy::kFlushAll;
+  const bool any_read_only = !read_only_pages_.empty();
   for (auto it = cache_.begin(); it != cache_.end();) {
     const bool keep =
-        it->first == keep_page || read_only_pages_.contains(it->first);
-    const bool drop =
-        !keep && (cfg_.invalidation == InvalidationStrategy::kFlushAll ||
-                  it->second.stamp.before(threshold));
+        it->first == keep_page ||
+        (any_read_only && read_only_pages_.contains(it->first));
+    const bool drop = !keep && (flush_all || it->second.stamp.before(threshold));
     if (drop) {
       stats_.bump(Counter::kInvalidationApplied);
       if (tr != nullptr) {
@@ -1048,8 +1048,7 @@ void CausalNode::invalidate_cache(const VectorClock& threshold,
   }
 }
 
-void CausalNode::erase_page(
-    std::unordered_map<std::uint64_t, CachedPage>::iterator it) {
+void CausalNode::erase_page(FlatHashMap<std::uint64_t, CachedPage>::iterator it) {
   lru_.erase(it->second.lru_it);
   cache_.erase(it);
 }

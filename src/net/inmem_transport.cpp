@@ -1,9 +1,39 @@
 #include "causalmem/net/inmem_transport.hpp"
 
+#include "causalmem/common/arena.hpp"
 #include "causalmem/common/expect.hpp"
 #include "causalmem/common/logging.hpp"
 
 namespace causalmem {
+
+namespace {
+
+// Message types eligible for inline delivery on the sender's thread.
+//
+// Proof obligation: every send site of an eligible type, in every protocol
+// layer, must hold no node or channel lock at the call — the inline path
+// runs the receiver's handler (which takes the receiver's locks, and may
+// itself send) before send() returns. Reply types qualify: all four DSM
+// node implementations build replies under their mutex but send after
+// releasing it, and ReliableChannel's acks are sent outside its channel
+// locks. Request types do NOT qualify (AtomicNode sends kInvalidate under
+// its mutex; requesters send while their own reply future is registered),
+// and one-way updates (kBroadcastUpdate, kHeartbeat) stay on the queued
+// path so their fan-out keeps its cost off the sending thread.
+constexpr bool inline_eligible(MsgType t) noexcept {
+  switch (t) {
+    case MsgType::kReadReply:
+    case MsgType::kWriteReply:
+    case MsgType::kSyncReply:
+    case MsgType::kRecoverReply:
+    case MsgType::kRelAck:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
 
 InMemTransport::InMemTransport(std::size_t n, LatencyModel latency,
                                bool exercise_codec)
@@ -48,11 +78,8 @@ void InMemTransport::set_channel_latency(NodeId from, NodeId to,
   ch.override_latency = latency;
 }
 
-InMemTransport::Clock::time_point InMemTransport::next_deadline(NodeId from,
-                                                                NodeId to) {
-  const auto n = endpoints_.size();
-  Channel& ch = *channels_[from * n + to];
-  std::scoped_lock lock(ch.mu);
+InMemTransport::Clock::time_point InMemTransport::next_deadline_locked(
+    Channel& ch) {
   const LatencyModel& lat = ch.has_override ? ch.override_latency : latency_;
   auto deadline = Clock::now();
   if (!lat.is_zero()) {
@@ -74,20 +101,59 @@ void InMemTransport::send(Message m) {
   CM_EXPECTS(m.to < endpoints_.size());
   if (stopping_.load(std::memory_order_acquire)) return;
 
-  if (exercise_codec_) {
-    // Round-trip through the wire format to prove serialization fidelity.
-    m = Message::decode(m.encode());
+  Channel& ch = *channels_[m.from * endpoints_.size() + m.to];
+  Clock::time_point deadline{};
+  bool try_inline = false;
+  {
+    std::scoped_lock lock(ch.mu);
+    if (exercise_codec_) {
+      // Round-trip through the wire format to prove serialization fidelity.
+      // Encode and decode share this channel's lock, so the clock-delta
+      // baselines advance in perfect lockstep; the frame comes from (and
+      // returns to) the arena, and the swap recycles the caller's message
+      // buffers as the next round-trip's decode target.
+      std::vector<std::byte> wire = m.encode(ch.tx);
+      Message::decode_into(wire, ch.scratch, &ch.rx);
+      FrameArena::release(std::move(wire));
+      std::swap(m, ch.scratch);
+    }
+    const LatencyModel& lat = ch.has_override ? ch.override_latency : latency_;
+    try_inline = lat.is_zero() && inline_eligible(m.type);
+    if (!try_inline) deadline = next_deadline_locked(ch);
   }
 
   // Wire-level send: recorded here (below the recovery layers) so
   // retransmissions show up as the extra sends they are.
   trace_msg(m.from, obs::TraceEventKind::kSend, m);
 
-  const auto deadline = next_deadline(m.from, m.to);
   Endpoint& ep = *endpoints_[m.to];
+  if (try_inline) {
+    // Claim the idle channel (0 -> 1). Success means nothing is queued or
+    // mid-delivery on it, so delivering here cannot reorder the channel;
+    // holding the claim until the handler returns keeps it that way. The
+    // acquire pairs with the release decrements below, so the handler sees
+    // every effect of the channel's previous delivery. On a busy channel,
+    // fall through to the queue (the deadline was skipped above: a
+    // zero-latency channel's deadline is just "now").
+    std::uint32_t idle = 0;
+    if (ch.inflight.compare_exchange_strong(idle, 1,
+                                            std::memory_order_acq_rel)) {
+      trace_msg(m.to, obs::TraceEventKind::kRecv, m);
+      ep.handler(m);
+      delivered_.fetch_add(1, std::memory_order_relaxed);
+      ch.inflight.fetch_sub(1, std::memory_order_release);
+      return;
+    }
+    std::scoped_lock lock(ch.mu);
+    deadline = next_deadline_locked(ch);
+  }
+
   {
     std::scoped_lock lock(ep.mu);
     if (ep.stopped) return;
+    // Count before the push is visible: any send that happens-after this one
+    // observes a non-idle channel and cannot jump the queue.
+    ch.inflight.fetch_add(1, std::memory_order_relaxed);
     ep.queue.push(Envelope{deadline, ep.next_seq++, std::move(m)});
   }
   ep.cv.notify_one();
@@ -108,12 +174,19 @@ void InMemTransport::run_endpoint(Endpoint& ep) {
                        [&] { return ep.stopped && ep.queue.empty(); });
       continue;
     }
-    Envelope env = ep.queue.top();
+    // priority_queue::top() is const, but moving out before pop() is safe
+    // (pop only needs the element to be assignable) and saves copying the
+    // message's stamp and cells on every delivery.
+    Envelope env = std::move(const_cast<Envelope&>(ep.queue.top()));
     ep.queue.pop();
     lock.unlock();
     trace_msg(env.msg.to, obs::TraceEventKind::kRecv, env.msg);
     ep.handler(env.msg);
     delivered_.fetch_add(1, std::memory_order_relaxed);
+    // Release the channel only after the handler returns: an inline send
+    // that observes 0 must also observe this delivery's effects.
+    channels_[env.msg.from * endpoints_.size() + env.msg.to]->inflight
+        .fetch_sub(1, std::memory_order_release);
     lock.lock();
   }
 }

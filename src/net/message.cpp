@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "causalmem/common/arena.hpp"
+
 namespace causalmem {
 
 const char* msg_type_name(MsgType t) noexcept {
@@ -39,28 +41,53 @@ CellUpdate CellUpdate::decode(ByteReader& r) {
   return c;
 }
 
-std::vector<std::byte> Message::encode() const {
-  ByteWriter w;
-  w.put(type);
-  w.put(from);
-  w.put(to);
-  w.put(request_id);
-  w.put(addr);
-  w.put(value);
-  w.put(tag.writer);
-  w.put(tag.seq);
-  stamp.encode(w);
-  w.put<std::uint8_t>(accepted ? 1 : 0);
-  w.put<std::uint32_t>(static_cast<std::uint32_t>(cells.size()));
-  for (const auto& c : cells) c.encode(w);
-  w.put(rel_seq);
-  w.put(rel_ack);
+namespace {
+
+/// Everything but the stamp, which the two encode overloads frame
+/// differently (full vs. channel-delta).
+template <typename StampEncoder>
+std::vector<std::byte> encode_message(const Message& m, StampEncoder&& stamp) {
+  ByteWriter w(FrameArena::acquire());
+  w.put(kWireVersion);
+  w.put(m.type);
+  w.put(m.from);
+  w.put(m.to);
+  w.put(m.request_id);
+  w.put(m.addr);
+  w.put(m.value);
+  w.put(m.tag.writer);
+  w.put(m.tag.seq);
+  stamp(w);
+  w.put<std::uint8_t>(m.accepted ? 1 : 0);
+  w.put_count(m.cells.size());
+  for (const auto& c : m.cells) c.encode(w);
+  w.put(m.rel_seq);
+  w.put(m.rel_ack);
   return std::move(w).take();
 }
 
+}  // namespace
+
+std::vector<std::byte> Message::encode() const {
+  return encode_message(*this, [this](ByteWriter& w) { stamp.encode(w); });
+}
+
+std::vector<std::byte> Message::encode(ClockCodecState& tx) const {
+  return encode_message(*this,
+                        [this, &tx](ByteWriter& w) { stamp.encode(w, tx); });
+}
+
 Message Message::decode(std::span<const std::byte> bytes) {
-  ByteReader r(bytes);
   Message m;
+  decode_into(bytes, m, nullptr);
+  return m;
+}
+
+void Message::decode_into(std::span<const std::byte> bytes, Message& m,
+                          ClockCodecState* rx) {
+  ByteReader r(bytes);
+  const auto version = r.get<std::uint8_t>();
+  CM_EXPECTS_MSG(version == kWireVersion, "unsupported wire version");
   m.type = r.get<MsgType>();
   m.from = r.get<NodeId>();
   m.to = r.get<NodeId>();
@@ -69,7 +96,7 @@ Message Message::decode(std::span<const std::byte> bytes) {
   m.value = r.get<Value>();
   m.tag.writer = r.get<NodeId>();
   m.tag.seq = r.get<std::uint64_t>();
-  m.stamp = VectorClock::decode(r);
+  m.stamp.decode_in_place(r, rx);
   m.accepted = r.get<std::uint8_t>() != 0;
   const auto n = r.get<std::uint32_t>();
   // Each cell occupies a fixed number of wire bytes; checking the count
@@ -79,12 +106,12 @@ Message Message::decode(std::span<const std::byte> bytes) {
       sizeof(Addr) + sizeof(Value) + sizeof(NodeId) + sizeof(std::uint64_t);
   CM_EXPECTS_MSG(r.remaining() / kCellWireBytes >= n,
                  "codec under-run (cell count)");
+  m.cells.clear();
   m.cells.reserve(n);
   for (std::uint32_t i = 0; i < n; ++i) m.cells.push_back(CellUpdate::decode(r));
   m.rel_seq = r.get<std::uint64_t>();
   m.rel_ack = r.get<std::uint64_t>();
   CM_ENSURES(r.exhausted());
-  return m;
 }
 
 std::string Message::to_string() const {

@@ -1,5 +1,7 @@
 #include "causalmem/net/reliable_channel.hpp"
 
+#include <algorithm>
+
 #include "causalmem/common/backoff.hpp"
 #include "causalmem/common/expect.hpp"
 #include "causalmem/common/logging.hpp"
@@ -18,11 +20,15 @@ ReliableChannel::ReliableChannel(std::unique_ptr<Transport> inner,
   CM_EXPECTS(inner_ != nullptr);
   CM_EXPECTS(config_.initial_rto.count() > 0);
   CM_EXPECTS(config_.max_rto >= config_.initial_rto);
+  CM_EXPECTS(config_.reorder_window > 0);
   const std::size_t n = inner_->node_count();
   handlers_.resize(n);
   channels_.reserve(n * n);
   for (std::size_t i = 0; i < n * n; ++i) {
-    channels_.push_back(std::make_unique<Channel>());
+    auto ch = std::make_unique<Channel>();
+    ch->ring.resize(config_.reorder_window);
+    ch->present.assign(config_.reorder_window, 0);
+    channels_.push_back(std::move(ch));
   }
 }
 
@@ -74,8 +80,7 @@ void ReliableChannel::send(Message m) {
     std::scoped_lock lock(ch.mu);
     m.rel_seq = ch.next_send_seq++;
     const std::uint64_t now = obs::now_ns();
-    ch.outstanding.emplace(
-        m.rel_seq,
+    ch.outstanding.push_back(
         Pending{m, now + to_ns(config_.initial_rto), config_.initial_rto, now});
   }
   inner_->send(std::move(m));
@@ -86,8 +91,12 @@ void ReliableChannel::apply_ack(NodeId sender, NodeId receiver,
   if (acked == 0) return;
   Channel& ch = channel(sender, receiver);
   std::scoped_lock lock(ch.mu);
-  ch.outstanding.erase(ch.outstanding.begin(),
-                       ch.outstanding.upper_bound(acked));
+  // Cumulative: everything <= acked arrived. The deque holds consecutive
+  // seqs starting at base_seq, so the acked prefix pops off the front.
+  while (!ch.outstanding.empty() && ch.base_seq <= acked) {
+    ch.outstanding.pop_front();
+    ++ch.base_seq;
+  }
 }
 
 void ReliableChannel::send_ack(NodeId receiver, NodeId sender,
@@ -117,33 +126,65 @@ void ReliableChannel::on_receive(const Message& m) {
   }
   apply_ack(/*sender=*/m.to, /*receiver=*/m.from, m.rel_ack);
 
-  std::vector<Message> ready;
-  std::uint64_t ack_val = 0;
+  Channel& ch = channel(m.from, m.to);
   {
-    Channel& ch = channel(m.from, m.to);
     std::scoped_lock lock(ch.mu);
-    if (m.rel_seq < ch.next_deliver_seq || ch.reorder.contains(m.rel_seq)) {
+    const std::size_t window = config_.reorder_window;
+    if (m.rel_seq >= ch.next_deliver_seq + window) {
+      // Beyond the bounded reorder buffer: drop instead of buffering, so a
+      // wildly reordered (or hostile) sender cannot grow receiver state
+      // without limit. The sender's retransmission redelivers the frame
+      // once the window has advanced past it.
+      out_of_window_.fetch_add(1, std::memory_order_relaxed);
+      bump_node(m.to, Counter::kNetOutOfWindow);
+    } else if (m.rel_seq < ch.next_deliver_seq ||
+               ch.present[m.rel_seq % window] != 0) {
       // Duplicate (retransmission that crossed its ack, or an injected
       // copy). Drop it but re-ack: the first ack may have been lost.
       dup_drops_.fetch_add(1, std::memory_order_relaxed);
       bump_node(m.to, Counter::kNetDupDropped);
       trace_msg(m.to, obs::TraceEventKind::kDupDrop, m);
     } else {
-      ch.reorder.emplace(m.rel_seq, m);
-      while (!ch.reorder.empty() &&
-             ch.reorder.begin()->first == ch.next_deliver_seq) {
-        ready.push_back(std::move(ch.reorder.begin()->second));
-        ch.reorder.erase(ch.reorder.begin());
+      const std::size_t slot = m.rel_seq % window;
+      ch.ring[slot] = m;
+      ch.present[slot] = 1;
+    }
+    if (ch.draining) {
+      // Another thread is mid-drain and will deliver (and ack) any frame we
+      // just installed before it retires; a second popper here could
+      // interleave its out-of-lock handler calls with the drainer's and
+      // break per-channel FIFO.
+      return;
+    }
+    ch.draining = true;
+  }
+  // Drain as the channel's sole popper. Deliver outside the lock: handlers
+  // are protocol state machines that send replies, and those sends re-enter
+  // this adapter (send() takes this very channel's mutex for the piggyback
+  // ack when replying). Re-check after each batch so frames that arrived on
+  // other threads during delivery are not stranded in the ring.
+  std::vector<Message> ready;
+  std::uint64_t ack_val = 0;
+  for (;;) {
+    {
+      std::scoped_lock lock(ch.mu);
+      const std::size_t window = config_.reorder_window;
+      while (ch.present[ch.next_deliver_seq % window] != 0) {
+        const std::size_t head = ch.next_deliver_seq % window;
+        ready.push_back(std::move(ch.ring[head]));
+        ch.ring[head] = Message{};  // release the buffered frame's storage
+        ch.present[head] = 0;
         ++ch.next_deliver_seq;
       }
+      if (ready.empty()) {
+        ch.draining = false;
+        ack_val = ch.next_deliver_seq - 1;
+        break;
+      }
     }
-    ack_val = ch.next_deliver_seq - 1;
+    for (const Message& r : ready) handlers_[m.to](r);
+    ready.clear();
   }
-  // Deliver outside the channel lock: handlers are protocol state machines
-  // that send replies, and those sends re-enter this adapter. FIFO is
-  // preserved because exactly one inner delivery thread serves a given
-  // (src,dst) channel.
-  for (const Message& r : ready) handlers_[m.to](r);
   send_ack(/*receiver=*/m.to, /*sender=*/m.from, ack_val);
 }
 
@@ -156,9 +197,11 @@ void ReliableChannel::reset_peer(NodeId id) {
                         &channel(static_cast<NodeId>(other), id)}) {
       std::scoped_lock lock(ch->mu);
       ch->outstanding.clear();
-      ch->reorder.clear();
+      ch->base_seq = 1;
       ch->next_send_seq = 1;
       ch->next_deliver_seq = 1;
+      for (Message& buffered : ch->ring) buffered = Message{};
+      std::fill(ch->present.begin(), ch->present.end(), std::uint8_t{0});
     }
   }
 }
@@ -179,12 +222,8 @@ bool ReliableChannel::retransmit_due() {
       {
         Channel& ch = channel(static_cast<NodeId>(s), static_cast<NodeId>(d));
         std::scoped_lock lock(ch.mu);
-        for (auto it = ch.outstanding.begin(); it != ch.outstanding.end();) {
-          Pending& pending = it->second;
-          if (pending.deadline_ns > now) {
-            ++it;
-            continue;
-          }
+        for (Pending& pending : ch.outstanding) {
+          if (pending.dead || pending.deadline_ns > now) continue;
           if (config_.max_retransmits != 0 &&
               pending.retries >= config_.max_retransmits) {
             // Give up: the peer is presumed dead. The message dies here —
@@ -195,14 +234,19 @@ bool ReliableChannel::retransmit_due() {
             trace_msg(pending.msg.from,
                       obs::TraceEventKind::kPeerUnreachable, pending.msg);
             CM_LOG_DEBUG("reliable give-up " << pending.msg.to_string());
-            it = ch.outstanding.erase(it);
+            pending.dead = true;
+            pending.msg = Message{};  // release the copy's storage now
             continue;
           }
           ++pending.retries;
           pending.rto = std::min(pending.rto * 2, config_.max_rto);
           pending.deadline_ns = now + to_ns(pending.rto);
           resend.push_back(Resend{pending.msg, pending.first_sent_ns});
-          ++it;
+        }
+        // Dead entries at the front no longer gate the window prefix.
+        while (!ch.outstanding.empty() && ch.outstanding.front().dead) {
+          ch.outstanding.pop_front();
+          ++ch.base_seq;
         }
       }
       for (Resend& r : resend) {

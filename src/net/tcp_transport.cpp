@@ -10,6 +10,7 @@
 #include <cstring>
 #include <system_error>
 
+#include "causalmem/common/arena.hpp"
 #include "causalmem/common/expect.hpp"
 #include "causalmem/common/logging.hpp"
 #include "causalmem/stats/counters.hpp"
@@ -164,6 +165,10 @@ void TcpTransport::mark_broken(Conn& conn, const char* why) {
 }
 
 void TcpTransport::run_reader(Conn& conn) {
+  // Both buffers live for the whole connection: after the first few frames
+  // their capacity covers the steady state and reads decode allocation-free.
+  std::vector<std::byte> payload;
+  Message m;
   for (;;) {
     std::uint32_t len = 0;
     if (!read_exact(conn.fd, &len, sizeof(len))) return;
@@ -176,10 +181,10 @@ void TcpTransport::run_reader(Conn& conn) {
       mark_broken(conn, "corrupt frame length");
       return;
     }
-    std::vector<std::byte> payload(len);
+    payload.resize(len);
     if (!read_exact(conn.fd, payload.data(), len)) return;
     if (stopping_.load(std::memory_order_acquire)) return;
-    Message m = Message::decode(payload);
+    Message::decode_into(payload, m, &conn.rx);
     CM_ASSERT(m.to < n_);
     trace_msg(m.to, obs::TraceEventKind::kRecv, m);
     handlers_[m.to](m);
@@ -198,7 +203,7 @@ void TcpTransport::send(Message m) {
     return;
   }
   trace_msg(m.from, obs::TraceEventKind::kSend, m);
-  write_frame(*conn, m.encode());
+  write_frame(*conn, m);
 }
 
 void TcpTransport::send_raw(NodeId from, NodeId to,
@@ -210,14 +215,23 @@ void TcpTransport::send_raw(NodeId from, NodeId to,
   (void)write_all(conn->fd, bytes.data(), bytes.size());
 }
 
-void TcpTransport::write_frame(Conn& conn, const std::vector<std::byte>& payload) {
-  const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+void TcpTransport::write_frame(Conn& conn, const Message& m) {
+  // Encode under write_mu: the stream's clock-delta baseline must advance in
+  // exactly the order frames hit the socket. The frame is assembled —
+  // length prefix and payload — in the connection's reusable buffer and
+  // written with a single send() call.
   std::scoped_lock lock(conn.write_mu);
+  std::vector<std::byte> payload = m.encode(conn.tx);
+  const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+  conn.wbuf.clear();
+  conn.wbuf.resize(sizeof(len));
+  std::memcpy(conn.wbuf.data(), &len, sizeof(len));
+  conn.wbuf.insert(conn.wbuf.end(), payload.begin(), payload.end());
+  FrameArena::release(std::move(payload));
   // A failed send means the reply the peer owes us will never come; silently
   // dropping it would leave a blocked requester waiting forever. Count it,
   // log it, and break the connection so later sends fail fast.
-  if (!write_all(conn.fd, &len, sizeof(len)) ||
-      !write_all(conn.fd, payload.data(), payload.size())) {
+  if (!write_all(conn.fd, conn.wbuf.data(), conn.wbuf.size())) {
     if (stats_ != nullptr && conn.owner < n_) {
       stats_->node(conn.owner).bump(Counter::kNetSendFailed);
     }

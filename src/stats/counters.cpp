@@ -34,6 +34,7 @@ const char* counter_name(Counter c) noexcept {
     case Counter::kNetFrameError: return "net.frame_error";
     case Counter::kNetHeartbeat: return "net.heartbeat";
     case Counter::kNetPeerUnreachable: return "net.peer_unreachable";
+    case Counter::kNetOutOfWindow: return "net.out_of_window";
     case Counter::kFoSuspect: return "fo.suspect";
     case Counter::kFoFailover: return "fo.failover";
     case Counter::kFoRecoverRequest: return "fo.recover_request";
