@@ -13,8 +13,14 @@ using namespace causalmem;
 using namespace causalmem::bench;
 
 int main(int argc, char** argv) {
-  constexpr std::size_t kN = 6;
   constexpr std::size_t kIterations = 10;
+  const std::string n_flag = parse_flag_value(argc, argv, "--n");
+  const std::size_t kN =
+      n_flag.empty() ? 6 : std::strtoull(n_flag.c_str(), nullptr, 10);
+  if (kN < 2) {
+    std::fprintf(stderr, "--n must be >= 2\n");
+    return 2;
+  }
   const double drop_rate = parse_drop_rate(argc, argv);
   const std::string json_path = parse_json_path(argc, argv);
   const std::string trace_path = parse_flag_value(argc, argv, "--trace");

@@ -14,6 +14,8 @@
 //   mixed_reliable mixed, with the ReliableChannel (seq/ack/retransmit
 //                  bookkeeping) on the path — fault-free, so any cost is
 //                  pure channel overhead.
+//   mixed_traced   mixed, with the per-node trace rings enabled — the delta
+//                  against mixed is the full cost of always-on tracing.
 //
 // The binary self-validates: the metrics document it emits must parse with
 // obs::parse_json and contain an ops_per_sec value per scenario, or the
@@ -203,6 +205,14 @@ int main(int argc, char** argv) {
     rel.options.exercise_codec = true;
     rel.options.reliable = true;
     scenarios.push_back(rel);
+
+    // mixed with the tracer rings live: the delta between this row and
+    // "mixed" is the whole cost of always-on tracing (ring writes + trace-id
+    // minting on every protocol message). docs/PERFORMANCE.md tracks it.
+    Scenario traced{"mixed_traced", shape, {}};
+    traced.options.exercise_codec = true;
+    traced.options.trace.enabled = true;
+    scenarios.push_back(traced);
   }
 
   Table table({"scenario", "ops/sec", "elapsed ms", "messages"});

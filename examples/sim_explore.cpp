@@ -5,10 +5,15 @@
 //
 // Usage:
 //   sim_explore dfs <scenario> [--delay-bound K] [--max-schedules N]
-//                              [--artifact PATH]
+//                              [--artifact PATH] [--flight DIR]
 //   sim_explore random <scenario> --seeds N [--first-seed S]
-//                              [--artifact PATH]
-//   sim_explore replay <scenario> <schedule-file>
+//                              [--artifact PATH] [--flight DIR]
+//   sim_explore replay <scenario> <schedule-file> [--flight DIR]
+//
+// --flight DIR arms the flight recorder: a failing execution dumps the full
+// observability state (correlated trace, counters, vector clocks, recent
+// ops) into a timestamped subdirectory of DIR, alongside the minimized
+// schedule artifact.
 //
 // Scenarios:
 //   causal             the Fig. 4 owner protocol, 2-node small scope
@@ -24,6 +29,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <utility>
 
 #include "causalmem/sim/explorer.hpp"
 #include "causalmem/sim/scenarios.hpp"
@@ -36,21 +42,24 @@ int usage() {
   std::fprintf(
       stderr,
       "usage: sim_explore dfs <scenario> [--delay-bound K]"
-      " [--max-schedules N] [--artifact PATH]\n"
+      " [--max-schedules N] [--artifact PATH] [--flight DIR]\n"
       "       sim_explore random <scenario> --seeds N [--first-seed S]"
-      " [--artifact PATH]\n"
-      "       sim_explore replay <scenario> <schedule-file>\n"
+      " [--artifact PATH] [--flight DIR]\n"
+      "       sim_explore replay <scenario> <schedule-file> [--flight DIR]\n"
       "scenarios: causal | broadcast | broadcast-ungated\n");
   return 2;
 }
 
-bool make_run(const std::string& name, RunFn* out) {
+bool make_run(const std::string& name, const std::string& flight_dir,
+              RunFn* out) {
   if (name == "causal") {
-    *out = make_causal_run(small_scope_causal());
-  } else if (name == "broadcast") {
-    *out = make_broadcast_run(small_scope_broadcast(true));
-  } else if (name == "broadcast-ungated") {
-    *out = make_broadcast_run(small_scope_broadcast(false));
+    CausalScenarioConfig cfg = small_scope_causal();
+    cfg.flight_dir = flight_dir;
+    *out = make_causal_run(std::move(cfg));
+  } else if (name == "broadcast" || name == "broadcast-ungated") {
+    BroadcastScenarioConfig cfg = small_scope_broadcast(name == "broadcast");
+    cfg.flight_dir = flight_dir;
+    *out = make_broadcast_run(std::move(cfg));
   } else {
     std::fprintf(stderr, "unknown scenario '%s'\n", name.c_str());
     return false;
@@ -76,6 +85,10 @@ int report(const ExploreResult& res) {
     std::printf("minimized repro schedule (%zu steps):\n%s",
                 res.repro.steps.size(), res.repro.to_text().c_str());
   }
+  if (!res.flight_artifact.empty()) {
+    std::printf("flight-recorder dump written to %s\n",
+                res.flight_artifact.c_str());
+  }
   return 1;
 }
 
@@ -84,11 +97,40 @@ int report(const ExploreResult& res) {
 int main(int argc, char** argv) {
   if (argc < 3) return usage();
   const std::string mode = argv[1];
+
+  ExploreOptions opt;
+  std::uint64_t seeds = 0;
+  std::uint64_t first_seed = 1;
+  std::string flight_dir;
+  // replay takes one positional (the schedule file) before the flags.
+  const int flags_from = mode == "replay" ? 4 : 3;
+  for (int i = flags_from; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (i + 1 >= argc) return usage();  // every flag takes a value
+    const char* val = argv[++i];
+    if (flag == "--delay-bound") {
+      opt.delay_bound = std::atoi(val);
+    } else if (flag == "--max-schedules") {
+      opt.max_schedules = std::strtoull(val, nullptr, 10);
+    } else if (flag == "--artifact") {
+      opt.artifact_path = val;
+    } else if (flag == "--flight") {
+      flight_dir = val;
+    } else if (flag == "--seeds") {
+      seeds = std::strtoull(val, nullptr, 10);
+    } else if (flag == "--first-seed") {
+      first_seed = std::strtoull(val, nullptr, 10);
+    } else {
+      std::fprintf(stderr, "unknown flag '%s'\n", flag.c_str());
+      return usage();
+    }
+  }
+
   RunFn run;
-  if (!make_run(argv[2], &run)) return usage();
+  if (!make_run(argv[2], flight_dir, &run)) return usage();
 
   if (mode == "replay") {
-    if (argc != 4) return usage();
+    if (argc < 4) return usage();
     std::string err;
     const auto sched = Schedule::load(argv[3], &err);
     if (!sched) {
@@ -99,33 +141,14 @@ int main(int argc, char** argv) {
     if (res.failed()) {
       std::printf("replay reproduced the failure:\n  %s\n",
                   res.failure().c_str());
+      if (!res.flight_artifact.empty()) {
+        std::printf("flight-recorder dump written to %s\n",
+                    res.flight_artifact.c_str());
+      }
       return 0;  // reproducing the recorded failure is this mode's success
     }
     std::printf("replay ran clean — the schedule does NOT reproduce\n");
     return 1;
-  }
-
-  ExploreOptions opt;
-  std::uint64_t seeds = 0;
-  std::uint64_t first_seed = 1;
-  for (int i = 3; i < argc; ++i) {
-    const std::string flag = argv[i];
-    if (i + 1 >= argc) return usage();  // every flag takes a value
-    const char* val = argv[++i];
-    if (flag == "--delay-bound") {
-      opt.delay_bound = std::atoi(val);
-    } else if (flag == "--max-schedules") {
-      opt.max_schedules = std::strtoull(val, nullptr, 10);
-    } else if (flag == "--artifact") {
-      opt.artifact_path = val;
-    } else if (flag == "--seeds") {
-      seeds = std::strtoull(val, nullptr, 10);
-    } else if (flag == "--first-seed") {
-      first_seed = std::strtoull(val, nullptr, 10);
-    } else {
-      std::fprintf(stderr, "unknown flag '%s'\n", flag.c_str());
-      return usage();
-    }
   }
 
   if (mode == "dfs") {

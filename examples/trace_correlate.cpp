@@ -1,0 +1,111 @@
+// trace_correlate — merge per-run (or per-node) Chrome-trace JSON files
+// written by the tracer (bench_solver --trace, write_chrome_trace, a flight
+// recorder's trace.json) into ONE correlated trace: events grouped by the
+// wire-propagated trace id, with flow arrows following each remote operation
+// across nodes. The merged file loads in ui.perfetto.dev.
+//
+// Usage:
+//   trace_correlate [-o OUT.json] [--require-flows N] <trace.json>...
+//
+// Prints a summary (events, flows, complete cross-node flows) and exits 0.
+// With --require-flows N the exit code is 1 unless at least N flows are
+// complete AND cross-node AND connected (every send matched by a receive) —
+// the CI smoke test uses this to assert end-to-end trace-id propagation.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "causalmem/obs/correlate.hpp"
+
+using namespace causalmem;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: trace_correlate [-o OUT.json] [--require-flows N]"
+               " <trace.json>...\n");
+  return 2;
+}
+
+bool read_file(const char* path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path;
+  std::size_t require_flows = 0;
+  std::vector<const char*> inputs;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "-o") == 0) {
+      if (++i >= argc) return usage();
+      out_path = argv[i];
+    } else if (std::strcmp(argv[i], "--require-flows") == 0) {
+      if (++i >= argc) return usage();
+      require_flows = std::strtoull(argv[i], nullptr, 10);
+    } else {
+      inputs.push_back(argv[i]);
+    }
+  }
+  if (inputs.empty()) return usage();
+
+  obs::TraceCorrelator corr;
+  for (const char* path : inputs) {
+    std::string text;
+    if (!read_file(path, &text)) {
+      std::fprintf(stderr, "cannot read %s\n", path);
+      return 2;
+    }
+    std::vector<obs::TraceEvent> events;
+    std::string error;
+    if (!obs::trace_events_from_json(text, &events, &error)) {
+      std::fprintf(stderr, "%s: %s\n", path, error.c_str());
+      return 2;
+    }
+    std::printf("%s: %zu events\n", path, events.size());
+    corr.add_events(events);
+  }
+
+  const auto& flows = corr.flows();
+  const auto complete = corr.complete_cross_node_flows();
+  std::size_t cross = 0;
+  for (const obs::TraceFlow& f : flows) {
+    if (f.cross_node()) ++cross;
+  }
+  std::printf("merged: %zu events over %zu nodes\n", corr.events().size(),
+              corr.node_count());
+  std::printf("flows: %zu total, %zu cross-node, %zu complete "
+              "(cross-node, every send matched by its receive)\n",
+              flows.size(), cross, complete.size());
+
+  if (!out_path.empty()) {
+    std::ofstream out(out_path, std::ios::binary | std::ios::trunc);
+    const std::string doc = corr.to_chrome_trace();
+    out.write(doc.data(), static_cast<std::streamsize>(doc.size()));
+    out.put('\n');
+    if (!out.flush()) {
+      std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+      return 2;
+    }
+    std::printf("correlated trace written to %s\n", out_path.c_str());
+  }
+
+  if (complete.size() < require_flows) {
+    std::fprintf(stderr,
+                 "FAIL: %zu complete cross-node flows < required %zu\n",
+                 complete.size(), require_flows);
+    return 1;
+  }
+  return 0;
+}

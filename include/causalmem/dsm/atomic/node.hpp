@@ -74,6 +74,7 @@ class AtomicNode final : public SharedMemory {
     NodeId origin{kNoNode};      ///< requester; == id_ for a local write
     std::uint64_t reply_rid{0};  ///< request to answer when acks drain
     std::size_t remaining{0};    ///< outstanding INV_ACKs
+    std::uint64_t trace_id{0};   ///< the write's correlation id (flows on)
   };
 
   void on_message(const Message& m);
@@ -89,11 +90,20 @@ class AtomicNode final : public SharedMemory {
 
   /// Starts the invalidation round for a write (or applies it immediately if
   /// no copies exist). Caller holds mu_. Returns true if completed inline.
+  /// `trace_id` is the write's correlation id: it rides on the INV fan-out,
+  /// the acks and the eventual W_REPLY.
   bool begin_write(std::unique_lock<std::mutex>& lock, Addr x, Value v,
-                   WriteTag tag, NodeId origin, std::uint64_t reply_rid);
+                   WriteTag tag, NodeId origin, std::uint64_t reply_rid,
+                   std::uint64_t trace_id);
 
   OwnedCell& owned_cell(Addr x);
   std::future<Message> register_pending(std::uint64_t rid);
+
+  /// Mints a correlation id for one remote (or fan-out-bearing) operation:
+  /// globally unique, never 0. Caller holds mu_.
+  [[nodiscard]] std::uint64_t new_trace_id() noexcept {
+    return (static_cast<std::uint64_t>(id_) + 1) << 48 | ++trace_seq_;
+  }
 
   const NodeId id_;
   const std::size_t n_;
@@ -111,6 +121,7 @@ class AtomicNode final : public SharedMemory {
   std::unordered_map<Addr, std::deque<Message>> deferred_;
   std::unordered_map<std::uint64_t, std::promise<Message>> pending_;
   std::uint64_t next_rid_{1};
+  std::uint64_t trace_seq_{0};  ///< per-node trace-id counter (new_trace_id)
 };
 
 }  // namespace causalmem

@@ -71,6 +71,12 @@ class BroadcastNode final : public SharedMemory {
   [[nodiscard]] bool deliverable(const Message& m) const;
   void apply(const Message& m);
 
+  /// Mints the correlation id stamped on one write's whole broadcast fan-out.
+  /// Caller holds mu_.
+  [[nodiscard]] std::uint64_t new_trace_id() noexcept {
+    return (static_cast<std::uint64_t>(id_) + 1) << 48 | ++trace_seq_;
+  }
+
   const NodeId id_;
   const std::size_t n_;
   const BroadcastConfig cfg_;
@@ -86,6 +92,7 @@ class BroadcastNode final : public SharedMemory {
   std::vector<Message> holdback_;
   std::uint64_t write_seq_{0};
   std::uint64_t applied_total_{0};
+  std::uint64_t trace_seq_{0};  ///< per-node trace-id counter (new_trace_id)
 };
 
 }  // namespace causalmem

@@ -134,6 +134,7 @@ class CausalNode final : public SharedMemory {
   struct Pending {
     bool async{false};
     std::uint64_t start_ns{0};  ///< invocation time of the blocked operation
+    std::uint64_t trace_id{0};  ///< correlation id of the owning operation
     std::promise<Message> reply;
   };
 
@@ -188,6 +189,10 @@ class CausalNode final : public SharedMemory {
   /// Deadline bookkeeping for one expired round against `target`.
   void on_round_timeout(NodeId target, Addr x, std::uint64_t epoch_at_send);
 
+  /// Fires the flight-recorder unreachable trigger (no-op when none is
+  /// attached). Called after an operation surfaces OpStatus::kUnreachable.
+  void notify_unreachable(MsgType op, NodeId target, Addr x);
+
   /// Returns the owned cell for x, creating the initial-value cell on first
   /// touch (the paper: locations are initialized by distinguished writes
   /// that precede all operations). Caller holds mu_.
@@ -204,7 +209,8 @@ class CausalNode final : public SharedMemory {
   /// Figure 4's invalidation sweep: drops every cached page whose stamp is
   /// strictly older than `threshold` (or everything, under kFlushAll),
   /// except `keep_page` and read-only pages. Caller holds mu_.
-  void invalidate_cache(const VectorClock& threshold, std::uint64_t keep_page);
+  void invalidate_cache(const VectorClock& threshold, std::uint64_t keep_page,
+                        std::uint64_t trace_id = 0);
 
   void erase_page(FlatHashMap<std::uint64_t, CachedPage>::iterator it);
   void touch_lru(CachedPage& cp);
@@ -215,7 +221,15 @@ class CausalNode final : public SharedMemory {
   }
 
   std::future<Message> register_pending(std::uint64_t rid, bool async,
-                                        std::uint64_t start_ns = 0);
+                                        std::uint64_t start_ns = 0,
+                                        std::uint64_t trace_id = 0);
+
+  /// Mints the correlation id stamped on every message and trace event of
+  /// one remote operation: globally unique across nodes (the node id lives
+  /// in the top bits), never 0. Caller holds mu_.
+  [[nodiscard]] std::uint64_t new_trace_id() noexcept {
+    return (static_cast<std::uint64_t>(id_) + 1) << 48 | ++trace_seq_;
+  }
 
   const NodeId id_;
   const std::size_t n_;
@@ -280,6 +294,7 @@ class CausalNode final : public SharedMemory {
 
   FlatHashMap<std::uint64_t, Pending> pending_;
   std::uint64_t next_rid_{1};
+  std::uint64_t trace_seq_{0};  ///< per-node trace-id counter (new_trace_id)
   std::size_t outstanding_async_{0};
   /// Owner of the currently pipelined async-write chain (valid while
   /// outstanding_async_ > 0): consecutive async writes may overlap only

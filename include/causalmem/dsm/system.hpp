@@ -17,6 +17,7 @@
 #include "causalmem/net/inmem_transport.hpp"
 #include "causalmem/net/reliable_channel.hpp"
 #include "causalmem/net/tcp_transport.hpp"
+#include "causalmem/obs/flight_recorder.hpp"
 #include "causalmem/obs/trace.hpp"
 #include "causalmem/sim/transport.hpp"
 #include "causalmem/stats/counters.hpp"
@@ -38,6 +39,18 @@ struct TraceOptions {
   /// Ring-buffer capacity per node (rounded up to a power of two);
   /// wraparound keeps the newest events.
   std::size_t events_per_node{1u << 16};
+};
+
+/// Anomaly-triggered flight recorder (obs/flight_recorder.hpp): on the first
+/// checker violation, unreachable operation, failover election, counter
+/// trigger or explicit dump(), every node's trace ring, counters, histograms,
+/// vector clocks and recent-op history freeze into one artifact directory.
+struct FlightOptions {
+  bool enabled{false};
+  /// Forces trace.enabled on (an artifact without a trace is near-useless);
+  /// set this false to keep tracing off and record counters/state only.
+  bool force_trace{true};
+  obs::FlightRecorderOptions recorder{};
 };
 
 /// Crash tolerance (see dsm/failover.hpp and PROTOCOL.md §Failover).
@@ -84,6 +97,8 @@ struct SystemOptions {
   FailoverOptions failover{};
   /// Protocol event tracing; see TraceOptions.
   TraceOptions trace{};
+  /// Anomaly-triggered flight recorder; see FlightOptions.
+  FlightOptions flight{};
   /// Deterministic simulation mode: run on a SimTransport driven by this
   /// scheduler (see sim/scheduler.hpp and docs/SIMULATION.md). Excludes
   /// use_tcp, latency models, random faults, fault_layer and reliable —
@@ -119,11 +134,25 @@ class DsmSystem {
       failover_dir_ = dir.get();
       ownership_ = std::move(dir);
     }
+    if (options.flight.enabled && options.flight.force_trace) {
+      options.trace.enabled = true;
+    }
     if (options.trace.enabled) {
       trace_ = std::make_unique<obs::TraceHub>(n, options.trace.events_per_node);
       for (NodeId i = 0; i < n; ++i) {
         stats_.node(i).set_tracer(&trace_->node(i));
       }
+    }
+    if (options.flight.enabled) {
+      flight_ = std::make_unique<obs::FlightRecorder>(options.flight.recorder);
+      flight_->attach(&stats_, trace_.get());
+      for (NodeId i = 0; i < n; ++i) {
+        stats_.node(i).set_flight_recorder(flight_.get());
+      }
+      // Chain the recent-op history ring in front of the user's observer.
+      recent_ops_ =
+          std::make_unique<obs::RecentOpsObserver>(*flight_, observer);
+      observer = recent_ops_.get();
     }
     std::unique_ptr<Transport> transport;
     if (options.sim != nullptr) {
@@ -187,6 +216,18 @@ class DsmSystem {
       } else {
         CM_EXPECTS_MSG(false,
                        "failover requires a node type with attach_failover");
+      }
+    }
+    if (flight_ != nullptr) {
+      if constexpr (requires(const NodeT& nd) { nd.vector_time(); }) {
+        flight_->set_vclock_probe([this] {
+          std::vector<std::vector<std::uint64_t>> out;
+          out.reserve(nodes_.size());
+          for (const auto& nd : nodes_) {
+            out.push_back(nd->vector_time().components());
+          }
+          return out;
+        });
       }
     }
     transport_->start();
@@ -287,6 +328,12 @@ class DsmSystem {
   /// the transport is shut down.
   [[nodiscard]] obs::TraceHub* trace_hub() noexcept { return trace_.get(); }
 
+  /// The flight recorder, or nullptr when options.flight is off. Checkers
+  /// call on_violation(); tests/benches call dump() / poll() / fired().
+  [[nodiscard]] obs::FlightRecorder* flight_recorder() noexcept {
+    return flight_.get();
+  }
+
  private:
   template <typename C>
   static Addr page_size_of(const C& config) {
@@ -299,8 +346,11 @@ class DsmSystem {
 
   StatsRegistry stats_;
   // Declared before transport_/nodes_ (and thus destroyed after them): the
-  // delivery threads and nodes may record into the tracers until shutdown.
+  // delivery threads and nodes may record into the tracers (and trigger the
+  // flight recorder) until shutdown.
   std::unique_ptr<obs::TraceHub> trace_;
+  std::unique_ptr<obs::FlightRecorder> flight_;
+  std::unique_ptr<obs::RecentOpsObserver> recent_ops_;
   std::unique_ptr<Ownership> ownership_;
   std::unique_ptr<Transport> transport_;
   // Non-owning views into the transport stack (bottom to top).

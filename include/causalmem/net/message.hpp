@@ -16,7 +16,14 @@ namespace causalmem {
 /// Leading byte of every encoded message; bumped whenever the layout
 /// changes so a mixed-version mesh fails loudly instead of misparsing.
 /// v2: added this version byte and the clock mode framing (full/delta).
-inline constexpr std::uint8_t kWireVersion = 2;
+/// v3: appended the trailing trace_id field. v2 frames are still accepted
+/// by decode (trace_id reads as 0), so a v3 reader tolerates v2 peers;
+/// a v2 reader rejects v3 frames loudly rather than misparsing.
+inline constexpr std::uint8_t kWireVersion = 3;
+
+/// Oldest wire version decode still accepts (tolerated-by-ignore: fields
+/// added since then read as zero).
+inline constexpr std::uint8_t kMinWireVersion = 2;
 
 enum class MsgType : std::uint8_t {
   // Causal owner protocol (Figure 4).
@@ -83,6 +90,14 @@ struct Message {
   /// messages carry only rel_ack. Zero overhead when the adapter is absent.
   std::uint64_t rel_seq{0};
   std::uint64_t rel_ack{0};
+
+  /// Correlation id linking every message (and trace event) of one protocol
+  /// operation across nodes: assigned by the initiator when an operation
+  /// first goes remote, echoed by owners into replies and propagated into
+  /// invalidation fan-out. 0 = untraced (local ops, recovery traffic,
+  /// transport-internal frames, v2 peers). Wire-format v3 appends it to the
+  /// frame; decode of a v2 frame leaves it 0.
+  std::uint64_t trace_id{0};
 
   /// Encodes into a pooled frame (common/arena.hpp): steady-state senders
   /// that FrameArena::release() the buffer after use pay no allocation.

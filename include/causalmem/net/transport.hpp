@@ -77,7 +77,8 @@ class Transport {
     if (obs::Tracer* t = stats_->tracer(node)) {
       t->record(kind, static_cast<std::uint8_t>(m.type),
                 node == m.from ? m.to : m.from, m.addr,
-                m.stamp.size() != 0 ? &m.stamp : nullptr);
+                m.stamp.size() != 0 ? &m.stamp : nullptr,
+                /*ts_ns=*/0, /*dur_ns=*/0, m.trace_id);
     }
   }
 

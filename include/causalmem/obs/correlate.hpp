@@ -1,0 +1,94 @@
+// Cross-node trace correlation: groups every node's TraceEvents by the
+// trace id that the protocol piggybacks on the wire (Message::trace_id,
+// wire-format v3), so one remote operation — a write's send, receive, owner
+// apply, invalidation fan-out and ack — reads as ONE connected flow instead
+// of N per-node islands. The correlator renders the merged trace as
+// Chrome-trace/Perfetto JSON with flow arrows (ph "s"/"t"/"f") following
+// each operation across processes, and can load such JSON back (the args
+// carry the numeric fields losslessly), so traces from separate runs or
+// separate per-node files merge offline.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "causalmem/obs/trace.hpp"
+
+namespace causalmem::obs {
+
+/// All events sharing one trace id, ordered by (ts, node, seq) — the
+/// lifetime of one remote protocol operation across every node it touched.
+struct TraceFlow {
+  std::uint64_t trace_id{0};
+  std::vector<TraceEvent> events;
+
+  /// True when the flow touched more than one node.
+  [[nodiscard]] bool cross_node() const noexcept;
+
+  /// Node of the earliest event (the operation's initiator).
+  [[nodiscard]] NodeId initiator() const noexcept;
+
+  /// True for a flow that ran to completion: the initiator recorded its
+  /// operation-done span (kReadDone/kWriteDone), or — for one-way fan-out
+  /// flows with no requester-side completion, like broadcast updates — a
+  /// remote apply landed. A flow cut short by a crash, a deadline or ring
+  /// overwrite is incomplete.
+  [[nodiscard]] bool complete() const noexcept;
+
+  /// True when every kSend in the flow has a matching kRecv on the
+  /// destination node (no message of the operation is still in flight or
+  /// lost). Retransmissions count as extra sends of the same (type, peer)
+  /// edge and do not break connectivity.
+  [[nodiscard]] bool connected() const noexcept;
+};
+
+/// Merges trace buffers (typically TraceHub::events() of one run, or several
+/// per-node files loaded via trace_events_from_json) and groups them into
+/// per-operation flows.
+class TraceCorrelator {
+ public:
+  TraceCorrelator() = default;
+  explicit TraceCorrelator(std::vector<TraceEvent> events);
+
+  /// Adds more events (merging is by trace id, so buffers from different
+  /// nodes/files can arrive in any order).
+  void add_events(const std::vector<TraceEvent>& events);
+
+  /// All events, (ts, node, seq)-ordered.
+  [[nodiscard]] const std::vector<TraceEvent>& events() const;
+
+  /// All flows with a non-zero trace id, ordered by first-event timestamp.
+  [[nodiscard]] const std::vector<TraceFlow>& flows() const;
+
+  /// Flows that are complete(), connected() and cross_node() — the
+  /// "one connected flow per write" the merged trace is judged by.
+  [[nodiscard]] std::vector<const TraceFlow*> complete_cross_node_flows()
+      const;
+
+  /// 1 + the highest node id seen (0 when empty).
+  [[nodiscard]] std::size_t node_count() const;
+
+  /// The merged trace as Chrome-trace JSON: every event (same format as
+  /// chrome_trace_json) plus flow-arrow records (ph "s"/"t"/"f", id = trace
+  /// id) linking each cross-node flow's events in order.
+  [[nodiscard]] std::string to_chrome_trace() const;
+
+ private:
+  void invalidate() noexcept { grouped_ = false; }
+  void regroup() const;
+
+  mutable std::vector<TraceEvent> events_;
+  mutable std::vector<TraceFlow> flows_;
+  mutable bool grouped_{false};
+};
+
+/// Parses Chrome-trace JSON written by chrome_trace_json / to_chrome_trace
+/// back into TraceEvents (metadata and flow-arrow records are skipped; the
+/// numeric args restore kind/trace_id/timestamps losslessly). Returns false
+/// and sets `*error` on malformed input.
+bool trace_events_from_json(std::string_view json,
+                            std::vector<TraceEvent>* out, std::string* error);
+
+}  // namespace causalmem::obs

@@ -1,0 +1,195 @@
+// Anomaly-triggered flight recorder: a passive observer that, the moment
+// something goes wrong — a checker violation, an operation exhausting its
+// retries, a failover election, a user-registered counter predicate, or an
+// explicit dump() — freezes the whole system's observability state into one
+// timestamped artifact directory:
+//
+//   manifest.json  — schema "causalmem-flightrec-v1": what fired, when, where
+//   trace.json     — all nodes' trace rings merged + correlated (Chrome trace
+//                    with cross-node flow arrows; loads in ui.perfetto.dev)
+//   metrics.json   — counters/histograms ("causalmem-metrics-v1")
+//   state.json     — per-node vector clocks and the recent-operation history
+//
+// The recorder reaches trigger sites the same way the tracer does: a single
+// relaxed pointer load through NodeStats::flight_recorder(), so an unarmed
+// system pays one predictable branch. Triggers are cold paths. The first
+// trigger wins (one-shot latch); later triggers are counted but do not dump
+// again, so the artifact reflects the *first* anomaly, not the last.
+//
+// Ring snapshots are best-effort: writers may still be running when a trigger
+// fires mid-flight, and a slot being overwritten at that instant is skipped
+// (same contract as Tracer::events()).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "causalmem/common/types.hpp"
+#include "causalmem/dsm/observer.hpp"
+
+namespace causalmem {
+class StatsRegistry;
+}  // namespace causalmem
+
+namespace causalmem::obs {
+
+class TraceHub;
+
+struct FlightRecorderOptions {
+  /// Base directory; each dump creates `<artifact_dir>/<slug>-<ts_ns>/`.
+  std::string artifact_dir{"flightrec"};
+
+  /// Per-node recent-operation history depth (RecentOpsObserver ring).
+  std::size_t recent_ops{128};
+
+  /// False records triggers (trigger_count(), last_trigger()) without
+  /// writing an artifact — for tests that only assert the wiring.
+  bool armed{true};
+
+  /// Free-form label copied into the manifest (e.g. bench config, seed).
+  std::string run_label;
+};
+
+/// What fired, recorded in the manifest.
+struct FlightTrigger {
+  std::string kind;    ///< "violation"|"unreachable"|"failover"|"counter"|"manual"
+  std::string detail;  ///< human-readable specifics
+  NodeId node{kNoNode};
+  NodeId peer{kNoNode};
+};
+
+/// One entry of the per-node recent-operation history.
+struct RecentOp {
+  bool is_write{false};
+  bool applied{true};  ///< false: owner-wins policy rejected the write
+  Addr addr{0};
+  Value value{0};
+  WriteTag tag{};
+  std::uint64_t start_ns{0};
+  std::uint64_t end_ns{0};
+};
+
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(FlightRecorderOptions opts = {});
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Points the recorder at the system's stats and (optional) trace hub.
+  /// Both must outlive the recorder; either may be nullptr, dropping the
+  /// corresponding artifact file. Sizes the recent-op rings.
+  void attach(const StatsRegistry* stats, const TraceHub* hub);
+
+  /// Registers a provider of per-node vector clocks for state.json (the
+  /// system wires this; the recorder itself knows nothing about memories).
+  void set_vclock_probe(
+      std::function<std::vector<std::vector<std::uint64_t>>()> probe);
+
+  /// Registers a named predicate over the live counters; poll() fires the
+  /// recorder when any predicate first turns true.
+  void add_counter_trigger(std::string name,
+                           std::function<bool(const StatsRegistry&)> pred);
+
+  /// Evaluates the registered counter predicates (call from a heartbeat /
+  /// progress loop; cheap when none are registered).
+  void poll();
+
+  // ---- trigger entry points (all one-shot; cold paths) ----
+
+  /// A consistency checker found a violation.
+  void on_violation(std::string detail);
+
+  /// An operation exhausted its retries (OpStatus::kUnreachable).
+  void on_unreachable(NodeId node, NodeId target, std::uint8_t msg_type,
+                      Addr x);
+
+  /// A failover election completed: `successor` took over `failed`'s pages.
+  void on_failover(NodeId successor, NodeId failed);
+
+  /// Explicit dump. Returns true if this call wrote the artifact (false:
+  /// already fired, unarmed, or I/O failure).
+  bool dump(std::string reason);
+
+  /// Appends to the node's recent-op ring (RecentOpsObserver calls this).
+  void note_op(NodeId node, const RecentOp& op);
+
+  [[nodiscard]] bool fired() const noexcept {
+    return fired_.load(std::memory_order_acquire);
+  }
+
+  /// Triggers seen so far (including suppressed ones after the first).
+  [[nodiscard]] std::uint64_t trigger_count() const noexcept {
+    return triggers_.load(std::memory_order_relaxed);
+  }
+
+  /// Directory of the written artifact; empty until a dump succeeds.
+  [[nodiscard]] std::string artifact_path() const;
+
+  /// The trigger that latched the recorder (valid once fired()).
+  [[nodiscard]] FlightTrigger last_trigger() const;
+
+ private:
+  /// Latches on the first trigger and (when armed) writes the artifact.
+  /// Returns true if this call performed the dump.
+  bool fire(FlightTrigger t);
+  bool write_artifact(const FlightTrigger& t, std::string* dir_out) const;
+
+  const FlightRecorderOptions opts_;
+  const StatsRegistry* stats_{nullptr};
+  const TraceHub* hub_{nullptr};
+  std::function<std::vector<std::vector<std::uint64_t>>()> vclock_probe_;
+
+  struct CounterTrigger {
+    std::string name;
+    std::function<bool(const StatsRegistry&)> pred;
+  };
+  std::vector<CounterTrigger> counter_triggers_;
+
+  struct OpRing {
+    std::mutex mu;
+    std::vector<RecentOp> ops;  ///< ring of opts_.recent_ops entries
+    std::uint64_t next{0};      ///< total ops seen; next % size = slot
+  };
+  std::vector<std::unique_ptr<OpRing>> recent_;
+
+  std::atomic<bool> fired_{false};
+  std::atomic<std::uint64_t> triggers_{0};
+  mutable std::mutex mu_;  ///< guards trigger_/artifact_dir_ and the dump
+  FlightTrigger trigger_;
+  std::string artifact_dir_;
+};
+
+/// OpObserver decorator that feeds the flight recorder's recent-operation
+/// rings and forwards to an optional downstream observer. DsmSystem chains
+/// this in front of the user's observer when a recorder is installed.
+class RecentOpsObserver final : public OpObserver {
+ public:
+  RecentOpsObserver(FlightRecorder& fr, OpObserver* next = nullptr)
+      : fr_(fr), next_(next) {}
+
+  void on_read(NodeId node, Addr x, Value v, const WriteTag& tag,
+               const OpTiming& timing) override {
+    fr_.note_op(node, RecentOp{false, true, x, v, tag, timing.start_ns,
+                               timing.end_ns});
+    if (next_ != nullptr) next_->on_read(node, x, v, tag, timing);
+  }
+
+  void on_write(NodeId node, Addr x, Value v, const WriteTag& tag,
+                bool applied, const OpTiming& timing) override {
+    fr_.note_op(node, RecentOp{true, applied, x, v, tag, timing.start_ns,
+                               timing.end_ns});
+    if (next_ != nullptr) next_->on_write(node, x, v, tag, applied, timing);
+  }
+
+ private:
+  FlightRecorder& fr_;
+  OpObserver* const next_;
+};
+
+}  // namespace causalmem::obs

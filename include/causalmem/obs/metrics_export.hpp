@@ -18,6 +18,8 @@
 
 namespace causalmem::obs {
 
+class JsonWriter;
+
 /// Everything measured about one run (one table row) of a benchmark:
 /// configuration parameters, derived scalar results, per-node counter
 /// snapshots, merged latency histograms and the tracer's summary.
@@ -91,11 +93,33 @@ class MetricsExporter {
   std::vector<std::unique_ptr<RunMetrics>> runs_;
 };
 
+/// One-call live snapshot: a complete "causalmem-metrics-v1" document of the
+/// registry's current counters and histograms (plus the trace summary when
+/// `hub` is non-null). Counters are relaxed-atomic reads, so polling mid-run
+/// is safe and cheap; successive calls give incremental views of the same
+/// run (a dashboard/bench can diff consecutive documents).
+[[nodiscard]] std::string live_metrics_json(const StatsRegistry& stats,
+                                            const TraceHub* hub = nullptr,
+                                            const std::string& label = "live");
+
 /// Renders events as a Chrome-trace JSON object ({"traceEvents": [...]}) that
 /// Perfetto and chrome://tracing load directly: one "process" per node,
-/// instant events for point events, complete ("X") events for spans.
+/// instant events for point events, complete ("X") events for spans. Each
+/// event's args carry the numeric kind/msg_type/trace_id/ts_ns/dur_ns fields
+/// so correlate.hpp's trace_events_from_json can reload the file losslessly.
 [[nodiscard]] std::string chrome_trace_json(const std::vector<TraceEvent>& events,
                                             std::size_t node_count);
+
+/// Streaming pieces of chrome_trace_json, for writers that append extra
+/// records into the same traceEvents array (the TraceCorrelator uses them to
+/// interleave flow-arrow records with the events). Usage:
+///   JsonWriter w; chrome_trace_begin(w, n);
+///   for (ev : events) chrome_trace_event(w, ev);
+///   ... extra records ...
+///   std::string doc = chrome_trace_end(std::move(w));
+void chrome_trace_begin(JsonWriter& w, std::size_t node_count);
+void chrome_trace_event(JsonWriter& w, const TraceEvent& ev);
+[[nodiscard]] std::string chrome_trace_end(JsonWriter&& w);
 
 /// Drains `hub` (writers must be quiescent) and writes the Chrome-trace JSON
 /// to `path`; returns false on I/O failure.

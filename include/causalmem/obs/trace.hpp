@@ -18,6 +18,7 @@
 #include <atomic>
 #include <bit>
 #include <cstdint>
+#include <cstdio>
 #include <memory>
 #include <vector>
 
@@ -50,6 +51,7 @@ enum class TraceEventKind : std::uint8_t {
   kUnreachable,  ///< an operation exhausted its retries (typed failure)
   kPeerUnreachable,  ///< ReliableChannel gave up retransmitting to a peer
   kRestart,      ///< a restarted node finished rejoining
+  kApply,        ///< owner applied (certified) a remote write to memory
   kKindCount,
 };
 
@@ -80,9 +82,22 @@ inline constexpr std::size_t kNumTraceEventKinds =
     case TraceEventKind::kUnreachable: return "unreachable";
     case TraceEventKind::kPeerUnreachable: return "peer_unreachable";
     case TraceEventKind::kRestart: return "restart";
+    case TraceEventKind::kApply: return "apply";
     case TraceEventKind::kKindCount: break;
   }
-  return "unknown";
+  // Unknown/future kinds (e.g. a newer build's trace read by this one) get a
+  // stable per-value name instead of one shared "unknown": distinct kinds
+  // stay distinguishable, and repeated calls return the same pointer.
+  struct UnknownKindNames {
+    char names[256][9];  // "kind_255" + NUL
+    UnknownKindNames() noexcept {
+      for (unsigned i = 0; i < 256; ++i) {
+        std::snprintf(names[i], sizeof(names[i]), "kind_%u", i);
+      }
+    }
+  };
+  static const UnknownKindNames unknown;
+  return unknown.names[static_cast<std::uint8_t>(k)];
 }
 
 struct TraceEvent {
@@ -94,6 +109,9 @@ struct TraceEvent {
   TraceEventKind kind{TraceEventKind::kSend};
   std::uint8_t msg_type{0};  ///< MsgType value for message events, 0 = n/a
   Addr addr{0};
+  /// Correlation id shared by all events of one protocol operation across
+  /// all nodes (Message::trace_id); 0 = not part of a correlated flow.
+  std::uint64_t trace_id{0};
   std::vector<std::uint64_t> vclock;  ///< node's VT at the event; may be empty
 };
 
@@ -113,7 +131,8 @@ class Tracer {
   void record(TraceEventKind kind, std::uint8_t msg_type = 0,
               NodeId peer = kNoNode, Addr addr = 0,
               const VectorClock* vt = nullptr, std::uint64_t ts_ns = 0,
-              std::uint64_t dur_ns = 0) noexcept {
+              std::uint64_t dur_ns = 0,
+              std::uint64_t trace_id = 0) noexcept {
     const std::uint64_t ticket =
         cursor_.fetch_add(1, std::memory_order_relaxed);
     Slot& s = slots_[ticket & mask_];
@@ -135,6 +154,7 @@ class Tracer {
     s.ev.kind = kind;
     s.ev.msg_type = msg_type;
     s.ev.addr = addr;
+    s.ev.trace_id = trace_id;
     if (vt != nullptr) {
       s.ev.vclock = vt->components();
     } else {

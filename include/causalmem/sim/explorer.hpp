@@ -57,6 +57,10 @@ struct ExecutionResult {
   RunReport report;
   bool consistent{true};
   std::string violation;  ///< checker diagnosis when !consistent
+  /// Flight-recorder artifact directory, when the scenario armed a recorder
+  /// (CausalScenarioConfig::flight_dir) and this execution's history failed
+  /// the checker; "" otherwise.
+  std::string flight_artifact;
 
   /// Failed = inconsistent history OR a run that did not complete cleanly
   /// (deadlock, livelock, strategy abort) — all are findings.
@@ -93,6 +97,9 @@ struct ExploreResult {
   std::string failure;  ///< first failure's diagnosis
   Schedule repro;       ///< minimized replayable schedule of that failure
   std::string artifact_written;  ///< path actually written ("" if none)
+  /// Flight-recorder dump of the first failing execution ("" when the
+  /// scenario has no recorder armed) — rides alongside the schedule artifact.
+  std::string flight_artifact;
 
   [[nodiscard]] bool clean() const noexcept { return !found_failure; }
 };

@@ -94,6 +94,11 @@ struct CausalScenarioConfig {
   std::vector<ChaosEvent> chaos;
   SimOptions sim{};
   bool trace{true};
+  /// When non-empty, arm a FlightRecorder with this artifact base directory:
+  /// an execution whose history fails the consistency checker dumps the full
+  /// observability state (correlated trace, counters, clocks, recent ops)
+  /// there before the system is torn down.
+  std::string flight_dir;
 };
 
 /// Broadcast-memory scenario (no owners, no chaos: replicas are symmetric
@@ -104,6 +109,8 @@ struct BroadcastScenarioConfig {
   std::vector<std::vector<ScriptOp>> scripts;
   SimOptions sim{};
   bool trace{true};
+  /// Same contract as CausalScenarioConfig::flight_dir.
+  std::string flight_dir;
 };
 
 /// Everything one execution observed, serialized deterministically — the

@@ -17,6 +17,7 @@
 namespace causalmem {
 
 namespace obs {
+class FlightRecorder;
 class Tracer;
 }  // namespace obs
 
@@ -197,6 +198,19 @@ class NodeStats {
     tracer_.store(t, std::memory_order_relaxed);
   }
 
+  /// The system's flight recorder, or nullptr when none is armed. Same
+  /// single-relaxed-load seam as tracer(): trigger sites (all cold paths)
+  /// check this unconditionally.
+  [[nodiscard]] obs::FlightRecorder* flight_recorder() const noexcept {
+    return flight_.load(std::memory_order_relaxed);
+  }
+
+  /// Attaches (or detaches, with nullptr) the flight recorder. It must
+  /// outlive every thread that may trigger through this NodeStats.
+  void set_flight_recorder(obs::FlightRecorder* fr) noexcept {
+    flight_.store(fr, std::memory_order_relaxed);
+  }
+
   void reset() noexcept {
     for (auto& v : values_) v.store(0, std::memory_order_relaxed);
     for (auto& h : latency_) h.reset();
@@ -206,6 +220,7 @@ class NodeStats {
   std::array<std::atomic<std::uint64_t>, kNumCounters> values_{};
   std::array<obs::Histogram, kNumLatencyMetrics> latency_{};
   std::atomic<obs::Tracer*> tracer_{nullptr};
+  std::atomic<obs::FlightRecorder*> flight_{nullptr};
 };
 
 /// Counters for a whole system of n nodes.

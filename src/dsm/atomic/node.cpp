@@ -9,12 +9,12 @@ namespace {
 
 /// Operation-completion span + latency sample (tr may be null: tracing off).
 void record_op_done(NodeStats& stats, obs::Tracer* tr, LatencyMetric metric,
-                    obs::TraceEventKind kind, Addr x,
-                    const OpTiming& done) noexcept {
+                    obs::TraceEventKind kind, Addr x, const OpTiming& done,
+                    std::uint64_t trace_id = 0) noexcept {
   const std::uint64_t dur = done.end_ns - done.start_ns;
   stats.record_latency(metric, dur);
   if (tr != nullptr) {
-    tr->record(kind, 0, kNoNode, x, nullptr, done.start_ns, dur);
+    tr->record(kind, 0, kNoNode, x, nullptr, done.start_ns, dur, trace_id);
   }
 }
 
@@ -82,10 +82,12 @@ Value AtomicNode::read(Addr x) {
   }
 
   std::uint64_t rid;
+  std::uint64_t tid;
   std::future<Message> fut;
   {
     std::unique_lock lock(mu_);
     rid = next_rid_++;
+    tid = new_trace_id();
     fut = register_pending(rid);
   }
   Message req;
@@ -94,6 +96,7 @@ Value AtomicNode::read(Addr x) {
   req.to = ownership_.owner(x);
   req.request_id = rid;
   req.addr = x;
+  req.trace_id = tid;
   stats_.bump(Counter::kMsgReadRequest);
   transport_.send(std::move(req));
 
@@ -103,7 +106,7 @@ Value AtomicNode::read(Addr x) {
   const Message rep = fut.get();
   const OpTiming done = op_start.close();
   record_op_done(stats_, tr, LatencyMetric::kReadNs,
-                 obs::TraceEventKind::kReadDone, x, done);
+                 obs::TraceEventKind::kReadDone, x, done, tid);
   std::unique_lock lock(mu_);
   if (observer_ != nullptr) {
     observer_->on_read(id_, x, rep.value, rep.tag, done);
@@ -118,8 +121,10 @@ void AtomicNode::write(Addr x, Value v) {
     std::unique_lock lock(mu_);
     stats_.bump(Counter::kWriteLocal);
     const WriteTag tag{id_, ++write_seq_};
+    // A local write still fans out invalidations; the id correlates them.
+    const std::uint64_t tid = new_trace_id();
     write_done_cv_.wait(lock, [&] { return !in_flight_.contains(x); });
-    if (!begin_write(lock, x, v, tag, id_, 0)) {
+    if (!begin_write(lock, x, v, tag, id_, 0, tid)) {
       // Our round is in flight; wait until it completes (our write applies —
       // possibly to be overwritten by a deferred write right after, which is
       // a legitimate subsequent event, not a failure of ours).
@@ -130,7 +135,7 @@ void AtomicNode::write(Addr x, Value v) {
     }
     const OpTiming done = op_start.close();
     record_op_done(stats_, tr, LatencyMetric::kWriteNs,
-                   obs::TraceEventKind::kWriteDone, x, done);
+                   obs::TraceEventKind::kWriteDone, x, done, tid);
     if (observer_ != nullptr) {
       observer_->on_write(id_, x, v, tag, true, done);
     }
@@ -138,6 +143,7 @@ void AtomicNode::write(Addr x, Value v) {
   }
 
   std::uint64_t rid;
+  std::uint64_t tid;
   std::future<Message> fut;
   WriteTag tag;
   {
@@ -145,6 +151,7 @@ void AtomicNode::write(Addr x, Value v) {
     stats_.bump(Counter::kWriteRemote);
     tag = WriteTag{id_, ++write_seq_};
     rid = next_rid_++;
+    tid = new_trace_id();
     fut = register_pending(rid);
   }
   Message req;
@@ -155,13 +162,14 @@ void AtomicNode::write(Addr x, Value v) {
   req.addr = x;
   req.value = v;
   req.tag = tag;
+  req.trace_id = tid;
   stats_.bump(Counter::kMsgWriteRequest);
   transport_.send(std::move(req));
 
   (void)fut.get();  // cache install happened in complete_pending (FIFO-safe)
   const OpTiming done = op_start.close();
   record_op_done(stats_, tr, LatencyMetric::kWriteNs,
-                 obs::TraceEventKind::kWriteDone, x, done);
+                 obs::TraceEventKind::kWriteDone, x, done, tid);
   std::unique_lock lock(mu_);
   if (observer_ != nullptr) {
     observer_->on_write(id_, x, v, tag, true, done);
@@ -219,6 +227,7 @@ void AtomicNode::serve_read(const Message& m) {
   rep.addr = m.addr;
   rep.value = c.value;
   rep.tag = c.tag;
+  rep.trace_id = m.trace_id;  // the reply stays on the requester's flow
   stats_.bump(Counter::kMsgReadReply);
   lock.unlock();
   transport_.send(std::move(rep));
@@ -231,12 +240,14 @@ void AtomicNode::serve_write(const Message& m) {
     deferred_[m.addr].push_back(m);
     return;
   }
-  (void)begin_write(lock, m.addr, m.value, m.tag, m.from, m.request_id);
+  (void)begin_write(lock, m.addr, m.value, m.tag, m.from, m.request_id,
+                    m.trace_id);
 }
 
 bool AtomicNode::begin_write(std::unique_lock<std::mutex>& lock, Addr x,
                              Value v, WriteTag tag, NodeId origin,
-                             std::uint64_t reply_rid) {
+                             std::uint64_t reply_rid,
+                             std::uint64_t trace_id) {
   CM_ASSERT(!in_flight_.contains(x));
   OwnedCell& c = owned_cell(x);
   std::unordered_set<NodeId> members = c.copyset;
@@ -245,6 +256,11 @@ bool AtomicNode::begin_write(std::unique_lock<std::mutex>& lock, Addr x,
     c.value = v;
     c.tag = tag;
     c.copyset.clear();
+    if (obs::Tracer* t = stats_.tracer()) {
+      t->record(obs::TraceEventKind::kApply,
+                static_cast<std::uint8_t>(MsgType::kWrite), origin, x, nullptr,
+                0, 0, trace_id);
+    }
     if (origin != id_) {
       c.copyset.insert(origin);
       Message rep;
@@ -255,6 +271,7 @@ bool AtomicNode::begin_write(std::unique_lock<std::mutex>& lock, Addr x,
       rep.addr = x;
       rep.value = v;
       rep.tag = tag;
+      rep.trace_id = trace_id;
       stats_.bump(Counter::kMsgWriteReply);
       lock.unlock();
       transport_.send(std::move(rep));
@@ -263,13 +280,15 @@ bool AtomicNode::begin_write(std::unique_lock<std::mutex>& lock, Addr x,
     return true;
   }
 
-  in_flight_.emplace(x, PendingWrite{v, tag, origin, reply_rid, members.size()});
+  in_flight_.emplace(
+      x, PendingWrite{v, tag, origin, reply_rid, members.size(), trace_id});
   for (NodeId member : members) {
     Message inv;
     inv.type = MsgType::kInvalidate;
     inv.from = id_;
     inv.to = member;
     inv.addr = x;
+    inv.trace_id = trace_id;  // the fan-out belongs to the write's flow
     stats_.bump(Counter::kMsgInvalidate);
     transport_.send(std::move(inv));
   }
@@ -282,7 +301,8 @@ void AtomicNode::handle_inv(const Message& m) {
     cache_.erase(m.addr);
     stats_.bump(Counter::kInvalidationApplied);
     if (obs::Tracer* t = stats_.tracer()) {
-      t->record(obs::TraceEventKind::kInvalidate, 0, m.from, m.addr);
+      t->record(obs::TraceEventKind::kInvalidate, 0, m.from, m.addr, nullptr,
+                0, 0, m.trace_id);
     }
     stats_.bump(Counter::kMsgInvalidateAck);
   }
@@ -291,6 +311,7 @@ void AtomicNode::handle_inv(const Message& m) {
   ack.from = id_;
   ack.to = m.from;
   ack.addr = m.addr;
+  ack.trace_id = m.trace_id;  // the ack closes one edge of the write's flow
   transport_.send(std::move(ack));
 }
 
@@ -314,6 +335,11 @@ void AtomicNode::finish_write(std::unique_lock<std::mutex>& lock, Addr x) {
   c.value = pw.value;
   c.tag = pw.tag;
   c.copyset.clear();
+  if (obs::Tracer* t = stats_.tracer()) {
+    t->record(obs::TraceEventKind::kApply,
+              static_cast<std::uint8_t>(MsgType::kWrite), pw.origin, x,
+              nullptr, 0, 0, pw.trace_id);
+  }
   if (pw.origin != id_) {
     c.copyset.insert(pw.origin);
     Message rep;
@@ -324,6 +350,7 @@ void AtomicNode::finish_write(std::unique_lock<std::mutex>& lock, Addr x) {
     rep.addr = x;
     rep.value = pw.value;
     rep.tag = pw.tag;
+    rep.trace_id = pw.trace_id;
     stats_.bump(Counter::kMsgWriteReply);
     lock.unlock();
     transport_.send(std::move(rep));
@@ -349,6 +376,7 @@ void AtomicNode::finish_write(std::unique_lock<std::mutex>& lock, Addr x) {
       rep.addr = x;
       rep.value = cell.value;
       rep.tag = cell.tag;
+      rep.trace_id = next.trace_id;
       stats_.bump(Counter::kMsgReadReply);
       lock.unlock();
       transport_.send(std::move(rep));
@@ -357,7 +385,7 @@ void AtomicNode::finish_write(std::unique_lock<std::mutex>& lock, Addr x) {
     } else {
       CM_ASSERT(next.type == MsgType::kWrite);
       (void)begin_write(lock, x, next.value, next.tag, next.from,
-                        next.request_id);
+                        next.request_id, next.trace_id);
       dq = deferred_.find(x);
     }
   }

@@ -58,12 +58,13 @@ void BroadcastNode::write(Addr x, Value v) {
     ++delivered_[id_];
     ++applied_total_;
     store_[x] = StoredCell{v, tag};
+    const std::uint64_t tid = new_trace_id();
     const OpTiming done = op_start.close();
     const std::uint64_t dur = done.end_ns - done.start_ns;
     stats_.record_latency(LatencyMetric::kWriteNs, dur);
     if (tr != nullptr) {
       tr->record(obs::TraceEventKind::kWriteDone, 0, kNoNode, x, nullptr,
-                 done.start_ns, dur);
+                 done.start_ns, dur, tid);
     }
     if (observer_ != nullptr) {
       observer_->on_write(id_, x, v, tag, true, done);
@@ -75,6 +76,7 @@ void BroadcastNode::write(Addr x, Value v) {
     m.value = v;
     m.tag = tag;
     m.stamp = VectorClock(std::vector<std::uint64_t>(delivered_));
+    m.trace_id = tid;  // every fan-out copy carries the write's flow id
   }
   applied_cv_.notify_all();
   for (NodeId peer = 0; peer < n_; ++peer) {
@@ -151,6 +153,13 @@ void BroadcastNode::apply(const Message& m) {
   store_[m.addr] = StoredCell{m.value, m.tag};
   ++delivered_[m.from];
   ++applied_total_;
+  // The replica-side take-effect point of the broadcast write — closes one
+  // edge of the writer's fan-out flow.
+  if (obs::Tracer* t = stats_.tracer()) {
+    t->record(obs::TraceEventKind::kApply,
+              static_cast<std::uint8_t>(MsgType::kBroadcastUpdate), m.from,
+              m.addr, &m.stamp, 0, 0, m.trace_id);
+  }
 }
 
 void BroadcastNode::drain_holdback() {

@@ -7,6 +7,7 @@
 #include "causalmem/common/expect.hpp"
 #include "causalmem/common/logging.hpp"
 #include "causalmem/obs/clock.hpp"
+#include "causalmem/obs/flight_recorder.hpp"
 #include "causalmem/obs/trace.hpp"
 
 namespace causalmem {
@@ -16,12 +17,12 @@ namespace {
 /// Records an operation-completion span and its latency sample. `tr` may be
 /// null (tracing off) — the latency histogram is always recorded.
 void record_op_done(NodeStats& stats, obs::Tracer* tr, LatencyMetric metric,
-                    obs::TraceEventKind kind, Addr x,
-                    const OpTiming& done) noexcept {
+                    obs::TraceEventKind kind, Addr x, const OpTiming& done,
+                    std::uint64_t trace_id = 0) noexcept {
   const std::uint64_t dur = done.end_ns - done.start_ns;
   stats.record_latency(metric, dur);
   if (tr != nullptr) {
-    tr->record(kind, 0, kNoNode, x, nullptr, done.start_ns, dur);
+    tr->record(kind, 0, kNoNode, x, nullptr, done.start_ns, dur, trace_id);
   }
 }
 
@@ -68,6 +69,9 @@ ReadResult CausalNode::try_read(Addr x) {
   const OpTiming op_start = OpTiming::begin();
   obs::Tracer* const tr = stats_.tracer();
   const std::uint64_t pg = page_of(x);
+  // Correlation id for the whole miss (all retry rounds share it); 0 until
+  // the operation is known to go remote.
+  std::uint64_t tid = 0;
   {
     std::unique_lock lock(mu_);
     if (owner_of(x) == id_ && page_ready_locally(pg)) {
@@ -106,8 +110,10 @@ ReadResult CausalNode::try_read(Addr x) {
       }
     }
     stats_.bump(Counter::kReadMiss);
+    tid = new_trace_id();
     if (tr != nullptr) {
-      tr->record(obs::TraceEventKind::kReadMiss, 0, owner_of(x), x, &vt_);
+      tr->record(obs::TraceEventKind::kReadMiss, 0, owner_of(x), x, &vt_, 0, 0,
+                 tid);
     }
   }
 
@@ -131,13 +137,14 @@ ReadResult CausalNode::try_read(Addr x) {
       target = owner_of(x);
       rid = next_rid_++;
       epoch_at_send = transport_.endpoint_epoch(id_);
-      fut = register_pending(rid, /*async=*/false, op_start.start_ns);
+      fut = register_pending(rid, /*async=*/false, op_start.start_ns, tid);
       Message req;
       req.type = MsgType::kRead;
       req.from = id_;
       req.to = target;
       req.request_id = rid;
       req.addr = x;
+      req.trace_id = tid;
       // The stamp stays empty: the owner ignores it, and empty clocks are
       // transparent to the channel's delta baseline.
       stats_.bump(Counter::kMsgReadRequest);
@@ -156,7 +163,7 @@ ReadResult CausalNode::try_read(Addr x) {
     if (await_reply(fut, rid, deadline)) {
       const Value v = fut.get().value;
       record_op_done(stats_, tr, LatencyMetric::kReadNs,
-                     obs::TraceEventKind::kReadDone, x, op_start.close());
+                     obs::TraceEventKind::kReadDone, x, op_start.close(), tid);
       return ReadResult{OpStatus::kOk, v};
     }
     on_round_timeout(target, x, epoch_at_send);
@@ -164,8 +171,10 @@ ReadResult CausalNode::try_read(Addr x) {
   stats_.bump(Counter::kFoUnreachable);
   if (tr != nullptr) {
     tr->record(obs::TraceEventKind::kUnreachable,
-               static_cast<std::uint8_t>(MsgType::kRead), target, x);
+               static_cast<std::uint8_t>(MsgType::kRead), target, x, nullptr,
+               0, 0, tid);
   }
+  notify_unreachable(MsgType::kRead, target, x);
   return ReadResult{OpStatus::kUnreachable, 0};
 }
 
@@ -249,8 +258,10 @@ OpStatus CausalNode::try_write(Addr x, Value v) {
   if (!cfg_.read_through) cache_own_write(x, v, tag, stamp_at_issue);
 
   const bool async = cfg_.write_mode == WriteMode::kAsync;
+  const std::uint64_t tid = new_trace_id();
   std::uint64_t rid = next_rid_++;
-  std::future<Message> fut = register_pending(rid, async, op_start.start_ns);
+  std::future<Message> fut =
+      register_pending(rid, async, op_start.start_ns, tid);
   if (async) {
     ++outstanding_async_;
     async_chain_owner_ = target;
@@ -264,6 +275,7 @@ OpStatus CausalNode::try_write(Addr x, Value v) {
   req.value = v;
   req.tag = tag;
   req.stamp = stamp_at_issue;
+  req.trace_id = tid;
   stats_.bump(Counter::kMsgWriteRequest);
   std::uint64_t epoch_at_send = transport_.endpoint_epoch(id_);
   transport_.send(Message(req));
@@ -273,7 +285,7 @@ OpStatus CausalNode::try_write(Addr x, Value v) {
     // Certification happens in the background (complete_pending); deadline
     // handling does not apply — flush() is the fence.
     record_op_done(stats_, tr, LatencyMetric::kWriteNs,
-                   obs::TraceEventKind::kWriteDone, x, op_start.close());
+                   obs::TraceEventKind::kWriteDone, x, op_start.close(), tid);
     return OpStatus::kOk;
   }
 
@@ -290,7 +302,7 @@ OpStatus CausalNode::try_write(Addr x, Value v) {
       target = owner_of(x);
       rid = next_rid_++;
       epoch_at_send = transport_.endpoint_epoch(id_);
-      fut = register_pending(rid, /*async=*/false, op_start.start_ns);
+      fut = register_pending(rid, /*async=*/false, op_start.start_ns, tid);
       Message retry = req;
       retry.to = target;
       retry.request_id = rid;
@@ -303,7 +315,8 @@ OpStatus CausalNode::try_write(Addr x, Value v) {
       // delivery thread (FIFO position — see the read path comment).
       (void)fut.get();
       record_op_done(stats_, tr, LatencyMetric::kWriteNs,
-                     obs::TraceEventKind::kWriteDone, x, op_start.close());
+                     obs::TraceEventKind::kWriteDone, x, op_start.close(),
+                     tid);
       return OpStatus::kOk;
     }
     on_round_timeout(target, x, epoch_at_send);
@@ -328,8 +341,10 @@ OpStatus CausalNode::try_write(Addr x, Value v) {
   stats_.bump(Counter::kFoUnreachable);
   if (tr != nullptr) {
     tr->record(obs::TraceEventKind::kUnreachable,
-               static_cast<std::uint8_t>(MsgType::kWrite), target, x);
+               static_cast<std::uint8_t>(MsgType::kWrite), target, x, nullptr,
+               0, 0, tid);
   }
+  notify_unreachable(MsgType::kWrite, target, x);
   return OpStatus::kUnreachable;
 }
 
@@ -466,6 +481,7 @@ void CausalNode::serve_read(const Message& m) {
   rep.to = m.from;
   rep.request_id = m.request_id;
   rep.addr = m.addr;
+  rep.trace_id = m.trace_id;  // the reply stays on the requester's flow
   transport_.send(std::move(rep));
 }
 
@@ -506,9 +522,16 @@ void CausalNode::serve_write(const Message& m) {
       cur.value = m.value;
       cur.stamp = vt_;  // M_i[x] := (v, VT_i) with the merged clock
       cur.tag = m.tag;
+      // The owner-side take-effect point of the remote write — the middle
+      // node of the correlated flow (send -> recv -> apply -> reply).
+      if (obs::Tracer* t = stats_.tracer()) {
+        t->record(obs::TraceEventKind::kApply,
+                  static_cast<std::uint8_t>(MsgType::kWrite), m.from, m.addr,
+                  &vt_, 0, 0, m.trace_id);
+      }
       // The remote write is a causal interaction: invalidate cached values
       // that are now provably overwritable (M_i[y].VT < VT_i).
-      invalidate_cache(vt_, page_of(m.addr));
+      invalidate_cache(vt_, page_of(m.addr), m.trace_id);
     }
     rep.stamp = vt_;
     rep.value = accepted ? m.value : cur.value;
@@ -521,6 +544,7 @@ void CausalNode::serve_write(const Message& m) {
   rep.addr = m.addr;
   rep.tag = m.tag;
   rep.accepted = accepted;
+  rep.trace_id = m.trace_id;  // the reply stays on the writer's flow
   transport_.send(std::move(rep));
 }
 
@@ -575,6 +599,7 @@ void CausalNode::complete_pending(const Message& m) {
       req.to = owner_of(m.addr);
       req.request_id = m.request_id;  // keep the same pending slot
       req.addr = m.addr;
+      req.trace_id = it->second.trace_id;  // still the same operation's flow
       stats_.bump(Counter::kMsgReadRequest);
       lock.unlock();
       transport_.send(std::move(req));
@@ -626,7 +651,7 @@ void CausalNode::complete_pending(const Message& m) {
     const Cell chosen = cp.cells[m.addr - page_base(pg)];
     log_observe(m.addr, chosen);
     if (!cfg_.read_through) {
-      invalidate_cache(m.stamp, pg);
+      invalidate_cache(m.stamp, pg, m.trace_id);
       install_page(pg, std::move(cp));
       evict_over_capacity();
     }
@@ -1025,7 +1050,8 @@ void CausalNode::cache_own_write(Addr x, Value v, const WriteTag& tag,
 }
 
 void CausalNode::invalidate_cache(const VectorClock& threshold,
-                                  std::uint64_t keep_page) {
+                                  std::uint64_t keep_page,
+                                  std::uint64_t trace_id) {
   obs::Tracer* const tr = stats_.tracer();
   const bool flush_all = cfg_.invalidation == InvalidationStrategy::kFlushAll;
   const bool any_read_only = !read_only_pages_.empty();
@@ -1038,7 +1064,7 @@ void CausalNode::invalidate_cache(const VectorClock& threshold,
       stats_.bump(Counter::kInvalidationApplied);
       if (tr != nullptr) {
         tr->record(obs::TraceEventKind::kInvalidate, 0, kNoNode,
-                   page_base(it->first), &threshold);
+                   page_base(it->first), &threshold, 0, 0, trace_id);
       }
       lru_.erase(it->second.lru_it);
       it = cache_.erase(it);
@@ -1073,12 +1099,20 @@ void CausalNode::evict_over_capacity() {
 
 std::future<Message> CausalNode::register_pending(std::uint64_t rid,
                                                   bool async,
-                                                  std::uint64_t start_ns) {
+                                                  std::uint64_t start_ns,
+                                                  std::uint64_t trace_id) {
   auto [it, inserted] = pending_.try_emplace(rid);
   CM_ASSERT(inserted);
   it->second.async = async;
   it->second.start_ns = start_ns;
+  it->second.trace_id = trace_id;
   return it->second.reply.get_future();
+}
+
+void CausalNode::notify_unreachable(MsgType op, NodeId target, Addr x) {
+  if (obs::FlightRecorder* fr = stats_.flight_recorder()) {
+    fr->on_unreachable(id_, target, static_cast<std::uint8_t>(op), x);
+  }
 }
 
 }  // namespace causalmem

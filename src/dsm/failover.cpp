@@ -6,6 +6,7 @@
 #include "causalmem/common/expect.hpp"
 #include "causalmem/common/logging.hpp"
 #include "causalmem/obs/clock.hpp"
+#include "causalmem/obs/flight_recorder.hpp"
 #include "causalmem/obs/trace.hpp"
 
 namespace causalmem {
@@ -98,6 +99,10 @@ bool FailoverDirectory::suspect(NodeId suspect, NodeId reporter) {
     stats_->node(successor).bump(Counter::kFoFailover);
     if (obs::Tracer* t = stats_->tracer(successor)) {
       t->record(obs::TraceEventKind::kFailover, 0, suspect);
+    }
+    if (obs::FlightRecorder* fr =
+            stats_->node(successor).flight_recorder()) {
+      fr->on_failover(successor, suspect);
     }
   }
   return true;

@@ -63,6 +63,7 @@ std::vector<std::byte> encode_message(const Message& m, StampEncoder&& stamp) {
   for (const auto& c : m.cells) c.encode(w);
   w.put(m.rel_seq);
   w.put(m.rel_ack);
+  w.put(m.trace_id);  // v3 trailer
   return std::move(w).take();
 }
 
@@ -87,7 +88,8 @@ void Message::decode_into(std::span<const std::byte> bytes, Message& m,
                           ClockCodecState* rx) {
   ByteReader r(bytes);
   const auto version = r.get<std::uint8_t>();
-  CM_EXPECTS_MSG(version == kWireVersion, "unsupported wire version");
+  CM_EXPECTS_MSG(version >= kMinWireVersion && version <= kWireVersion,
+                 "unsupported wire version");
   m.type = r.get<MsgType>();
   m.from = r.get<NodeId>();
   m.to = r.get<NodeId>();
@@ -111,6 +113,8 @@ void Message::decode_into(std::span<const std::byte> bytes, Message& m,
   for (std::uint32_t i = 0; i < n; ++i) m.cells.push_back(CellUpdate::decode(r));
   m.rel_seq = r.get<std::uint64_t>();
   m.rel_ack = r.get<std::uint64_t>();
+  // v2 frames end here; the v3 trace_id trailer reads as 0 for them.
+  m.trace_id = version >= 3 ? r.get<std::uint64_t>() : 0;
   CM_ENSURES(r.exhausted());
 }
 
@@ -123,6 +127,7 @@ std::string Message::to_string() const {
   if (!cells.empty()) oss << " cells=" << cells.size();
   if (rel_seq != 0) oss << " rseq=" << rel_seq;
   if (rel_ack != 0) oss << " rack=" << rel_ack;
+  if (trace_id != 0) oss << " tid=" << trace_id;
   return oss.str();
 }
 

@@ -1,0 +1,248 @@
+#include "causalmem/obs/correlate.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "causalmem/obs/json.hpp"
+#include "causalmem/obs/metrics_export.hpp"
+
+namespace causalmem::obs {
+
+namespace {
+
+bool event_order(const TraceEvent& a, const TraceEvent& b) {
+  if (a.ts_ns != b.ts_ns) return a.ts_ns < b.ts_ns;
+  if (a.node != b.node) return a.node < b.node;
+  return a.seq < b.seq;
+}
+
+/// One directed message edge of a flow: (sender, receiver, message type).
+/// Retransmissions of the same message collapse onto the same edge key.
+std::uint64_t edge_key(NodeId from, NodeId to, std::uint8_t msg_type) {
+  return static_cast<std::uint64_t>(from) << 24 |
+         static_cast<std::uint64_t>(to) << 8 | msg_type;
+}
+
+}  // namespace
+
+bool TraceFlow::cross_node() const noexcept {
+  if (events.empty()) return false;
+  const NodeId first = events.front().node;
+  for (const TraceEvent& ev : events) {
+    if (ev.node != first) return true;
+  }
+  return false;
+}
+
+NodeId TraceFlow::initiator() const noexcept {
+  return events.empty() ? kNoNode : events.front().node;
+}
+
+bool TraceFlow::complete() const noexcept {
+  bool applied = false;
+  for (const TraceEvent& ev : events) {
+    if (ev.kind == TraceEventKind::kReadDone ||
+        ev.kind == TraceEventKind::kWriteDone) {
+      return true;
+    }
+    applied = applied || ev.kind == TraceEventKind::kApply;
+  }
+  // One-way fan-out flows (no requester-side done span in this buffer) count
+  // as complete once a remote apply landed.
+  return applied && cross_node();
+}
+
+bool TraceFlow::connected() const noexcept {
+  // kSend at node A carries peer = destination; kRecv at node B carries
+  // peer = sender (Transport::trace_msg). Every send edge must have a
+  // matching receive edge or the operation's message never arrived.
+  std::unordered_set<std::uint64_t> recv_edges;
+  for (const TraceEvent& ev : events) {
+    if (ev.kind == TraceEventKind::kRecv && ev.peer != kNoNode) {
+      recv_edges.insert(edge_key(ev.peer, ev.node, ev.msg_type));
+    }
+  }
+  for (const TraceEvent& ev : events) {
+    if (ev.kind != TraceEventKind::kSend || ev.peer == kNoNode) continue;
+    if (recv_edges.count(edge_key(ev.node, ev.peer, ev.msg_type)) == 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TraceCorrelator::TraceCorrelator(std::vector<TraceEvent> events)
+    : events_(std::move(events)) {}
+
+void TraceCorrelator::add_events(const std::vector<TraceEvent>& events) {
+  events_.insert(events_.end(), events.begin(), events.end());
+  invalidate();
+}
+
+const std::vector<TraceEvent>& TraceCorrelator::events() const {
+  regroup();
+  return events_;
+}
+
+const std::vector<TraceFlow>& TraceCorrelator::flows() const {
+  regroup();
+  return flows_;
+}
+
+std::vector<const TraceFlow*> TraceCorrelator::complete_cross_node_flows()
+    const {
+  regroup();
+  std::vector<const TraceFlow*> out;
+  for (const TraceFlow& f : flows_) {
+    if (f.cross_node() && f.complete() && f.connected()) {
+      out.push_back(&f);
+    }
+  }
+  return out;
+}
+
+std::size_t TraceCorrelator::node_count() const {
+  std::size_t n = 0;
+  for (const TraceEvent& ev : events_) {
+    if (ev.node != kNoNode) {
+      n = std::max(n, static_cast<std::size_t>(ev.node) + 1);
+    }
+  }
+  return n;
+}
+
+void TraceCorrelator::regroup() const {
+  if (grouped_) return;
+  std::sort(events_.begin(), events_.end(), event_order);
+  flows_.clear();
+  std::unordered_map<std::uint64_t, std::size_t> index;
+  for (const TraceEvent& ev : events_) {
+    if (ev.trace_id == 0) continue;  // untraced: local ops, transport frames
+    const auto [it, inserted] = index.emplace(ev.trace_id, flows_.size());
+    if (inserted) {
+      flows_.push_back(TraceFlow{ev.trace_id, {}});
+    }
+    flows_[it->second].events.push_back(ev);
+  }
+  // events_ is globally ordered, so per-flow event lists are too; order the
+  // flows themselves by when each operation started.
+  std::sort(flows_.begin(), flows_.end(),
+            [](const TraceFlow& a, const TraceFlow& b) {
+              return event_order(a.events.front(), b.events.front());
+            });
+  grouped_ = true;
+}
+
+std::string TraceCorrelator::to_chrome_trace() const {
+  regroup();
+  JsonWriter w;
+  chrome_trace_begin(w, node_count());
+  for (const TraceEvent& ev : events_) chrome_trace_event(w, ev);
+  // Flow arrows: one "s" → "t"... → "f" chain per cross-node operation,
+  // sharing id = trace id, each arrowhead pinned to the (pid, ts) of the
+  // trace event it follows.
+  for (const TraceFlow& f : flows_) {
+    if (!f.cross_node() || f.events.size() < 2) continue;
+    for (std::size_t i = 0; i < f.events.size(); ++i) {
+      const TraceEvent& ev = f.events[i];
+      const char* ph = i == 0                    ? "s"
+                       : i + 1 == f.events.size() ? "f"
+                                                  : "t";
+      w.begin_object();
+      w.key("name").value("op");
+      w.key("cat").value("flow");
+      w.key("ph").value(ph);
+      w.key("id").value(f.trace_id);
+      w.key("pid").value(static_cast<std::uint64_t>(ev.node));
+      w.key("tid").value(0);
+      w.key("ts").value(static_cast<double>(ev.ts_ns) / 1000.0);
+      if (ph[0] == 'f') {
+        w.key("bp").value("e");  // bind to the enclosing slice, not the next
+      }
+      w.end_object();
+    }
+  }
+  return chrome_trace_end(std::move(w));
+}
+
+namespace {
+
+bool num_field(const JsonValue& args, std::string_view key,
+               std::uint64_t* out) {
+  const JsonValue* v = args.find(key);
+  if (v == nullptr || !v->is_number()) return false;
+  *out = static_cast<std::uint64_t>(v->number);
+  return true;
+}
+
+}  // namespace
+
+bool trace_events_from_json(std::string_view json,
+                            std::vector<TraceEvent>* out,
+                            std::string* error) {
+  out->clear();
+  std::string parse_error;
+  const std::optional<JsonValue> doc = parse_json(json, &parse_error);
+  if (!doc) {
+    if (error != nullptr) *error = "invalid JSON: " + parse_error;
+    return false;
+  }
+  const JsonValue* trace_events = doc->find("traceEvents");
+  if (trace_events == nullptr || !trace_events->is_array()) {
+    if (error != nullptr) *error = "no traceEvents array";
+    return false;
+  }
+  for (const JsonValue& rec : trace_events->array) {
+    if (!rec.is_object()) {
+      if (error != nullptr) *error = "non-object trace record";
+      return false;
+    }
+    const JsonValue* ph = rec.find("ph");
+    if (ph == nullptr || !ph->is_string()) continue;
+    // Only "X" spans and "i" instants are event records; metadata ("M") and
+    // flow arrows ("s"/"t"/"f") carry no payload to reload.
+    if (ph->string != "X" && ph->string != "i") continue;
+    const JsonValue* args = rec.find("args");
+    const JsonValue* pid = rec.find("pid");
+    if (args == nullptr || !args->is_object() || pid == nullptr ||
+        !pid->is_number()) {
+      continue;
+    }
+    TraceEvent ev;
+    std::uint64_t kind = 0;
+    // Records written before the numeric-args format (or by other tools)
+    // lack the exact fields; skip them rather than guess.
+    if (!num_field(*args, "kind", &kind) ||
+        !num_field(*args, "ts_ns", &ev.ts_ns)) {
+      continue;
+    }
+    ev.kind = static_cast<TraceEventKind>(kind);
+    ev.node = static_cast<NodeId>(pid->number);
+    std::uint64_t tmp = 0;
+    if (num_field(*args, "seq", &tmp)) ev.seq = tmp;
+    if (num_field(*args, "addr", &tmp)) ev.addr = tmp;
+    if (num_field(*args, "peer", &tmp)) ev.peer = static_cast<NodeId>(tmp);
+    if (num_field(*args, "msg_type", &tmp)) {
+      ev.msg_type = static_cast<std::uint8_t>(tmp);
+    }
+    if (num_field(*args, "trace_id", &tmp)) ev.trace_id = tmp;
+    if (num_field(*args, "dur_ns", &tmp)) ev.dur_ns = tmp;
+    if (const JsonValue* vt = args->find("vt");
+        vt != nullptr && vt->is_array()) {
+      ev.vclock.reserve(vt->array.size());
+      for (const JsonValue& c : vt->array) {
+        if (!c.is_number()) {
+          if (error != nullptr) *error = "non-numeric vt component";
+          return false;
+        }
+        ev.vclock.push_back(static_cast<std::uint64_t>(c.number));
+      }
+    }
+    out->push_back(std::move(ev));
+  }
+  std::sort(out->begin(), out->end(), event_order);
+  return true;
+}
+
+}  // namespace causalmem::obs

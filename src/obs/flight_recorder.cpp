@@ -1,0 +1,259 @@
+#include "causalmem/obs/flight_recorder.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <utility>
+
+#include "causalmem/net/message.hpp"
+#include "causalmem/obs/clock.hpp"
+#include "causalmem/obs/correlate.hpp"
+#include "causalmem/obs/json.hpp"
+#include "causalmem/obs/metrics_export.hpp"
+#include "causalmem/obs/trace.hpp"
+#include "causalmem/stats/counters.hpp"
+
+namespace causalmem::obs {
+
+namespace {
+
+/// Lowercases and squashes a reason string into a directory-name-safe slug.
+std::string slugify(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if ((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9')) {
+      out.push_back(c);
+    } else if (c >= 'A' && c <= 'Z') {
+      out.push_back(static_cast<char>(c - 'A' + 'a'));
+    } else if (!out.empty() && out.back() != '-') {
+      out.push_back('-');
+    }
+    if (out.size() >= 40) break;
+  }
+  while (!out.empty() && out.back() == '-') out.pop_back();
+  return out.empty() ? "trigger" : out;
+}
+
+bool write_file(const std::filesystem::path& path, const std::string& doc) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out.write(doc.data(), static_cast<std::streamsize>(doc.size()));
+  out.put('\n');
+  return static_cast<bool>(out.flush());
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder(FlightRecorderOptions opts)
+    : opts_(std::move(opts)) {}
+
+void FlightRecorder::attach(const StatsRegistry* stats, const TraceHub* hub) {
+  stats_ = stats;
+  hub_ = hub;
+  recent_.clear();
+  const std::size_t n = stats != nullptr ? stats->node_count() : 0;
+  recent_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    recent_.push_back(std::make_unique<OpRing>());
+  }
+}
+
+void FlightRecorder::set_vclock_probe(
+    std::function<std::vector<std::vector<std::uint64_t>>()> probe) {
+  vclock_probe_ = std::move(probe);
+}
+
+void FlightRecorder::add_counter_trigger(
+    std::string name, std::function<bool(const StatsRegistry&)> pred) {
+  counter_triggers_.push_back({std::move(name), std::move(pred)});
+}
+
+void FlightRecorder::poll() {
+  if (stats_ == nullptr || fired()) return;
+  for (const CounterTrigger& ct : counter_triggers_) {
+    if (ct.pred(*stats_)) {
+      fire(FlightTrigger{"counter", ct.name, kNoNode, kNoNode});
+      return;
+    }
+  }
+}
+
+void FlightRecorder::on_violation(std::string detail) {
+  fire(FlightTrigger{"violation", std::move(detail), kNoNode, kNoNode});
+}
+
+void FlightRecorder::on_unreachable(NodeId node, NodeId target,
+                                    std::uint8_t msg_type, Addr x) {
+  std::string detail = "op ";
+  detail += msg_type_name(static_cast<MsgType>(msg_type));
+  detail += " addr ";
+  detail += std::to_string(x);
+  detail += " exhausted retries to node ";
+  detail += std::to_string(target);
+  fire(FlightTrigger{"unreachable", std::move(detail), node, target});
+}
+
+void FlightRecorder::on_failover(NodeId successor, NodeId failed) {
+  std::string detail = "node " + std::to_string(successor) +
+                       " took over pages of node " + std::to_string(failed);
+  fire(FlightTrigger{"failover", std::move(detail), successor, failed});
+}
+
+bool FlightRecorder::dump(std::string reason) {
+  return fire(FlightTrigger{"manual", std::move(reason), kNoNode, kNoNode});
+}
+
+void FlightRecorder::note_op(NodeId node, const RecentOp& op) {
+  if (node >= recent_.size() || opts_.recent_ops == 0) return;
+  OpRing& ring = *recent_[node];
+  std::scoped_lock lock(ring.mu);
+  if (ring.ops.size() < opts_.recent_ops) {
+    ring.ops.push_back(op);
+  } else {
+    ring.ops[ring.next % opts_.recent_ops] = op;
+  }
+  ++ring.next;
+}
+
+std::string FlightRecorder::artifact_path() const {
+  std::scoped_lock lock(mu_);
+  return artifact_dir_;
+}
+
+FlightTrigger FlightRecorder::last_trigger() const {
+  std::scoped_lock lock(mu_);
+  return trigger_;
+}
+
+bool FlightRecorder::fire(FlightTrigger t) {
+  triggers_.fetch_add(1, std::memory_order_relaxed);
+  bool expected = false;
+  if (!fired_.compare_exchange_strong(expected, true,
+                                      std::memory_order_acq_rel)) {
+    return false;  // someone else latched first; keep their artifact
+  }
+  std::scoped_lock lock(mu_);
+  trigger_ = std::move(t);
+  if (!opts_.armed) return false;
+  std::string dir;
+  if (!write_artifact(trigger_, &dir)) return false;
+  artifact_dir_ = std::move(dir);
+  return true;
+}
+
+bool FlightRecorder::write_artifact(const FlightTrigger& t,
+                                    std::string* dir_out) const {
+  namespace fs = std::filesystem;
+  const std::uint64_t ts = now_ns();
+  // Process-wide ordinal: under a simulated (deterministic) clock, repeated
+  // runs in one process would otherwise collide on the same directory.
+  static std::atomic<std::uint64_t> ordinal{0};
+  const fs::path dir =
+      fs::path(opts_.artifact_dir) /
+      (slugify(t.kind + "-" + t.detail) + "-" + std::to_string(ts) + "-" +
+       std::to_string(ordinal.fetch_add(1, std::memory_order_relaxed)));
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) return false;
+
+  // trace.json — merged + correlated Chrome trace (when tracing is on).
+  bool has_trace = false;
+  if (hub_ != nullptr) {
+    TraceCorrelator corr(hub_->events());
+    has_trace = write_file(dir / "trace.json", corr.to_chrome_trace());
+  }
+
+  // metrics.json — the standard causalmem-metrics-v1 document.
+  bool has_metrics = false;
+  if (stats_ != nullptr) {
+    MetricsExporter exp("flight_recorder");
+    exp.set_meta("trigger", t.kind);
+    if (!opts_.run_label.empty()) exp.set_meta("run_label", opts_.run_label);
+    RunMetrics& run = exp.add_run("at_trigger");
+    run.capture(*stats_);
+    if (hub_ != nullptr) run.capture_trace(*hub_);
+    has_metrics = exp.write((dir / "metrics.json").string());
+  }
+
+  // state.json — per-node vector clocks + recent-operation history.
+  {
+    JsonWriter w;
+    w.begin_object();
+    w.key("schema").value("causalmem-flightrec-state-v1");
+    if (vclock_probe_) {
+      w.key("vclocks").begin_array();
+      for (const auto& vt : vclock_probe_()) {
+        w.begin_array();
+        for (std::uint64_t c : vt) w.value(c);
+        w.end_array();
+      }
+      w.end_array();
+    }
+    w.key("recent_ops").begin_array();
+    for (std::size_t node = 0; node < recent_.size(); ++node) {
+      OpRing& ring = *recent_[node];
+      std::scoped_lock ring_lock(ring.mu);
+      w.begin_object();
+      w.key("node").value(static_cast<std::uint64_t>(node));
+      w.key("total").value(ring.next);
+      w.key("ops").begin_array();
+      // Oldest first: the ring's logical order starts at `next` when full.
+      const std::size_t count = ring.ops.size();
+      const std::size_t start =
+          count < opts_.recent_ops ? 0 : ring.next % opts_.recent_ops;
+      for (std::size_t i = 0; i < count; ++i) {
+        const RecentOp& op = ring.ops[(start + i) % count];
+        w.begin_object();
+        w.key("kind").value(op.is_write ? "write" : "read");
+        if (op.is_write && !op.applied) w.key("applied").value(false);
+        w.key("addr").value(static_cast<std::uint64_t>(op.addr));
+        w.key("value").value(static_cast<std::int64_t>(op.value));
+        if (!op.tag.is_initial()) {
+          w.key("tag").begin_array()
+              .value(static_cast<std::uint64_t>(op.tag.writer))
+              .value(op.tag.seq)
+              .end_array();
+        }
+        w.key("start_ns").value(op.start_ns);
+        if (op.end_ns != 0) w.key("end_ns").value(op.end_ns);
+        w.end_object();
+      }
+      w.end_array();
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    if (!write_file(dir / "state.json", std::move(w).str())) return false;
+  }
+
+  // manifest.json last: its presence marks a complete artifact.
+  {
+    JsonWriter w;
+    w.begin_object();
+    w.key("schema").value("causalmem-flightrec-v1");
+    w.key("ts_ns").value(ts);
+    if (!opts_.run_label.empty()) w.key("run_label").value(opts_.run_label);
+    w.key("trigger").begin_object();
+    w.key("kind").value(t.kind);
+    w.key("detail").value(t.detail);
+    if (t.node != kNoNode) {
+      w.key("node").value(static_cast<std::uint64_t>(t.node));
+    }
+    if (t.peer != kNoNode) {
+      w.key("peer").value(static_cast<std::uint64_t>(t.peer));
+    }
+    w.end_object();
+    w.key("files").begin_array();
+    if (has_trace) w.value("trace.json");
+    if (has_metrics) w.value("metrics.json");
+    w.value("state.json");
+    w.end_array();
+    w.end_object();
+    if (!write_file(dir / "manifest.json", std::move(w).str())) return false;
+  }
+
+  *dir_out = dir.string();
+  return true;
+}
+
+}  // namespace causalmem::obs

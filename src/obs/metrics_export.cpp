@@ -142,6 +142,15 @@ bool MetricsExporter::write(const std::string& path) const {
   return static_cast<bool>(out.flush());
 }
 
+std::string live_metrics_json(const StatsRegistry& stats, const TraceHub* hub,
+                              const std::string& label) {
+  MetricsExporter exp("live");
+  RunMetrics& run = exp.add_run(label);
+  run.capture(stats);
+  if (hub != nullptr) run.capture_trace(*hub);
+  return exp.to_json();
+}
+
 namespace {
 
 /// Message-bearing kinds get the MsgType spelled into the event name so the
@@ -163,9 +172,7 @@ bool kind_has_msg_type(TraceEventKind k) noexcept {
 
 }  // namespace
 
-std::string chrome_trace_json(const std::vector<TraceEvent>& events,
-                              std::size_t node_count) {
-  JsonWriter w;
+void chrome_trace_begin(JsonWriter& w, std::size_t node_count) {
   w.begin_object();
   w.key("displayTimeUnit").value("ns");
   w.key("traceEvents").begin_array();
@@ -181,45 +188,70 @@ std::string chrome_trace_json(const std::vector<TraceEvent>& events,
     w.end_object();
     w.end_object();
   }
-  std::string name;
-  for (const TraceEvent& ev : events) {
-    name = trace_event_kind_name(ev.kind);
-    if (ev.msg_type != 0 && kind_has_msg_type(ev.kind)) {
-      name += ' ';
-      name += msg_type_name(static_cast<MsgType>(ev.msg_type));
-    }
-    w.begin_object();
-    w.key("name").value(name);
-    w.key("cat").value(ev.dur_ns != 0 ? "op" : "proto");
-    w.key("pid").value(static_cast<std::uint64_t>(ev.node));
-    w.key("tid").value(0);
-    // Chrome trace timestamps are microseconds; fractional values keep the
-    // nanosecond resolution.
-    w.key("ts").value(static_cast<double>(ev.ts_ns) / 1000.0);
-    if (ev.dur_ns != 0) {
-      w.key("ph").value("X");
-      w.key("dur").value(static_cast<double>(ev.dur_ns) / 1000.0);
-    } else {
-      w.key("ph").value("i");
-      w.key("s").value("t");
-    }
-    w.key("args").begin_object();
-    w.key("seq").value(ev.seq);
-    if (ev.peer != kNoNode) {
-      w.key("peer").value(static_cast<std::uint64_t>(ev.peer));
-    }
-    w.key("addr").value(static_cast<std::uint64_t>(ev.addr));
-    if (!ev.vclock.empty()) {
-      w.key("vt").begin_array();
-      for (std::uint64_t c : ev.vclock) w.value(c);
-      w.end_array();
-    }
-    w.end_object();
-    w.end_object();
+}
+
+void chrome_trace_event(JsonWriter& w, const TraceEvent& ev) {
+  std::string name = trace_event_kind_name(ev.kind);
+  if (ev.msg_type != 0 && kind_has_msg_type(ev.kind)) {
+    name += ' ';
+    name += msg_type_name(static_cast<MsgType>(ev.msg_type));
   }
+  w.begin_object();
+  w.key("name").value(name);
+  w.key("cat").value(ev.dur_ns != 0 ? "op" : "proto");
+  w.key("pid").value(static_cast<std::uint64_t>(ev.node));
+  w.key("tid").value(0);
+  // Chrome trace timestamps are microseconds; fractional values keep the
+  // nanosecond resolution.
+  w.key("ts").value(static_cast<double>(ev.ts_ns) / 1000.0);
+  if (ev.dur_ns != 0) {
+    w.key("ph").value("X");
+    w.key("dur").value(static_cast<double>(ev.dur_ns) / 1000.0);
+  } else {
+    w.key("ph").value("i");
+    w.key("s").value("t");
+  }
+  w.key("args").begin_object();
+  w.key("seq").value(ev.seq);
+  if (ev.peer != kNoNode) {
+    w.key("peer").value(static_cast<std::uint64_t>(ev.peer));
+  }
+  w.key("addr").value(static_cast<std::uint64_t>(ev.addr));
+  // Exact numeric fields (the display ts/dur above are lossy microseconds):
+  // these make the document a lossless serialization of the TraceEvent, so
+  // trace_events_from_json can reload it for offline correlation.
+  w.key("kind").value(static_cast<std::uint64_t>(ev.kind));
+  if (ev.msg_type != 0) {
+    w.key("msg_type").value(static_cast<std::uint64_t>(ev.msg_type));
+  }
+  if (ev.trace_id != 0) {
+    w.key("trace_id").value(ev.trace_id);
+  }
+  w.key("ts_ns").value(ev.ts_ns);
+  if (ev.dur_ns != 0) {
+    w.key("dur_ns").value(ev.dur_ns);
+  }
+  if (!ev.vclock.empty()) {
+    w.key("vt").begin_array();
+    for (std::uint64_t c : ev.vclock) w.value(c);
+    w.end_array();
+  }
+  w.end_object();
+  w.end_object();
+}
+
+std::string chrome_trace_end(JsonWriter&& w) {
   w.end_array();
   w.end_object();
   return std::move(w).str();
+}
+
+std::string chrome_trace_json(const std::vector<TraceEvent>& events,
+                              std::size_t node_count) {
+  JsonWriter w;
+  chrome_trace_begin(w, node_count);
+  for (const TraceEvent& ev : events) chrome_trace_event(w, ev);
+  return chrome_trace_end(std::move(w));
 }
 
 bool write_chrome_trace(const std::string& path, const TraceHub& hub) {

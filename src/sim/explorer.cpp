@@ -31,6 +31,7 @@ void report_failure(const RunFn& run, const ExecutionResult& er,
                     const ExploreOptions& opt, ExploreResult* res) {
   res->found_failure = true;
   res->failure = er.failure();
+  res->flight_artifact = er.flight_artifact;
   if (opt.minimize) {
     std::uint64_t extra = 0;
     res->repro = minimize_failure(run, er.report, &extra);

@@ -136,7 +136,15 @@ ExecutionResult finish_run(RunReport report, const Recorder& recorder,
   const ConsistencyReport cons = check_consistency_hierarchy(hist);
   ExecutionResult res;
   res.consistent = cons.ok();
-  if (!cons.ok()) res.violation = cons.reason;
+  if (!cons.ok()) {
+    res.violation = cons.reason;
+    // File the violation while the system is still alive so the recorder can
+    // snapshot trace rings, counters and clocks at the point of failure.
+    if (obs::FlightRecorder* fr = sys.flight_recorder()) {
+      fr->on_violation(cons.reason);
+      res.flight_artifact = fr->artifact_path();
+    }
+  }
   if (out != nullptr) {
     out->history_text = format_history(hist);
     out->counters_text = format_counters(sys.stats());
@@ -164,6 +172,12 @@ ExecutionResult run_causal_scenario(const CausalScenarioConfig& cfg,
   SystemOptions opts;
   opts.sim = &sched;
   opts.trace.enabled = cfg.trace;
+  if (!cfg.flight_dir.empty()) {
+    opts.flight.enabled = true;
+    opts.flight.force_trace = cfg.trace;  // don't force tracing if opted out
+    opts.flight.recorder.artifact_dir = cfg.flight_dir;
+    opts.flight.recorder.run_label = "causal_scenario";
+  }
   opts.failover.enabled = cfg.failover;
   opts.failover.heartbeat = cfg.heartbeat;
   opts.failover.heartbeat_config.interval = cfg.heartbeat_interval;
@@ -222,6 +236,12 @@ ExecutionResult run_broadcast_scenario(const BroadcastScenarioConfig& cfg,
   SystemOptions opts;
   opts.sim = &sched;
   opts.trace.enabled = cfg.trace;
+  if (!cfg.flight_dir.empty()) {
+    opts.flight.enabled = true;
+    opts.flight.force_trace = cfg.trace;
+    opts.flight.recorder.artifact_dir = cfg.flight_dir;
+    opts.flight.recorder.run_label = "broadcast_scenario";
+  }
   DsmSystem<BroadcastNode> sys(cfg.nodes, cfg.config, opts, nullptr,
                                &recorder);
 

@@ -6,13 +6,16 @@
 // transport are all swept.
 #include <gtest/gtest.h>
 
+#include <optional>
 #include <sstream>
+#include <string>
 #include <thread>
 
 #include "causalmem/common/rng.hpp"
 #include "causalmem/dsm/causal/node.hpp"
 #include "causalmem/dsm/system.hpp"
 #include "causalmem/history/causal_checker.hpp"
+#include "causalmem/obs/flight_recorder.hpp"
 #include "causalmem/history/recorder.hpp"
 #include "causalmem/sim/scenarios.hpp"
 
@@ -42,35 +45,52 @@ TEST_P(CausalPropertyTest, RandomExecutionIsCausallyConsistent) {
   const PropertyCase& pc = GetParam();
   for (std::uint64_t seed = 1; seed <= pc.seeds; ++seed) {
     Recorder recorder(pc.nodes);
+    std::string flight_artifact;
+    // The checker runs while the system is still alive: configs that arm
+    // the flight recorder dump the full observability state (correlated
+    // trace, counters, clocks, recent ops) on a violation, before teardown
+    // discards it. CI uploads the artifact directory on failure.
+    std::optional<CausalViolation> violation;
     {
       DsmSystem<CausalNode> sys(pc.nodes, pc.config, pc.options, nullptr,
                                 &recorder);
-      std::vector<std::jthread> threads;
-      for (NodeId p = 0; p < pc.nodes; ++p) {
-        for (int t = 0; t < pc.threads_per_node; ++t) {
-          threads.emplace_back([&sys, &pc, p, t, seed] {
-            Rng rng(seed * 7919 + p * 104729 + t * 7547);
-            SharedMemory& mem = sys.memory(p);
-            for (int i = 0; i < pc.ops_per_node; ++i) {
-              const Addr a = rng.next_below(pc.addrs);
-              const double roll = rng.next_double();
-              if (roll < pc.write_ratio) {
-                mem.write(a, static_cast<Value>(rng.next() >> 8));
-              } else if (roll < pc.write_ratio + pc.discard_ratio) {
-                (void)mem.discard(a);
-              } else {
-                (void)mem.read(a);
+      {
+        std::vector<std::jthread> threads;
+        for (NodeId p = 0; p < pc.nodes; ++p) {
+          for (int t = 0; t < pc.threads_per_node; ++t) {
+            threads.emplace_back([&sys, &pc, p, t, seed] {
+              Rng rng(seed * 7919 + p * 104729 + t * 7547);
+              SharedMemory& mem = sys.memory(p);
+              for (int i = 0; i < pc.ops_per_node; ++i) {
+                const Addr a = rng.next_below(pc.addrs);
+                const double roll = rng.next_double();
+                if (roll < pc.write_ratio) {
+                  mem.write(a, static_cast<Value>(rng.next() >> 8));
+                } else if (roll < pc.write_ratio + pc.discard_ratio) {
+                  (void)mem.discard(a);
+                } else {
+                  (void)mem.read(a);
+                }
               }
-            }
-            mem.flush();
-          });
+              mem.flush();
+            });
+          }
+        }
+      }
+      const History h = recorder.history();
+      violation = CausalChecker(h).check();
+      if (violation.has_value()) {
+        if (obs::FlightRecorder* fr = sys.flight_recorder()) {
+          fr->on_violation(violation->reason);
+          flight_artifact = fr->artifact_path();
         }
       }
     }
-    const History h = recorder.history();
-    const auto violation = CausalChecker(h).check();
     ASSERT_FALSE(violation.has_value())
-        << pc.name << " seed=" << seed << ": " << violation->reason;
+        << pc.name << " seed=" << seed << ": " << violation->reason
+        << (flight_artifact.empty()
+                ? ""
+                : "\nflight-recorder dump: " + flight_artifact);
   }
 }
 
@@ -117,9 +137,19 @@ std::vector<PropertyCase> make_cases() {
   owner_wins.addrs = 3;
   cases.push_back(owner_wins);
 
+  // The two stress configs most likely to shake out an ordering bug arm the
+  // flight recorder: a checker violation leaves a post-mortem artifact under
+  // flightrec/ (relative to the test working directory) for CI to upload.
+  const auto arm_flight = [](PropertyCase* c) {
+    c->options.flight.enabled = true;
+    c->options.flight.recorder.artifact_dir = "flightrec";
+    c->options.flight.recorder.run_label = "property_" + c->name;
+  };
+
   PropertyCase async = base;
   async.name = "async_writes";
   async.config.write_mode = WriteMode::kAsync;
+  arm_flight(&async);
   cases.push_back(async);
 
   PropertyCase paged = base;
@@ -170,6 +200,7 @@ std::vector<PropertyCase> make_cases() {
   faulty_paged.name = "faulty_reliable_pages";
   faulty_paged.config.page_size = 4;
   faulty_paged.addrs = 16;
+  arm_flight(&faulty_paged);
   cases.push_back(faulty_paged);
 
   PropertyCase async_paged = base;

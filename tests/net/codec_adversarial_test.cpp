@@ -58,9 +58,10 @@ TEST(CodecAdversarialDeathTest, WireVersionMismatchIsRejected) {
 
 TEST(CodecAdversarialDeathTest, OverflowingCellCountIsCaughtBeforeAlloc) {
   std::vector<std::byte> wire = sample_message().encode();
-  // The cell count sits 17 bytes from the end: u32 count, one 28-byte cell,
-  // then rel_seq + rel_ack (16 bytes). Forge it to claim 2^31 cells.
-  const std::size_t count_at = wire.size() - 16 - 28 - 4;
+  // The cell count sits 56 bytes from the end: u32 count, one 28-byte cell,
+  // rel_seq + rel_ack (16 bytes), then the v3 trailing trace_id (8 bytes).
+  // Forge it to claim 2^31 cells.
+  const std::size_t count_at = wire.size() - 8 - 16 - 28 - 4;
   wire[count_at + 3] = static_cast<std::byte>(0x80);
   EXPECT_DEATH((void)Message::decode(wire), "codec under-run \\(cell count\\)");
 }

@@ -1,0 +1,99 @@
+// Injected causal violation → automatic flight-recorder dump. The ungated
+// broadcast scenario is the explorer's known-bad self-test; with a flight
+// dir armed, the failing schedule must leave behind a loadable artifact
+// (manifest with a "violation" trigger, correlated trace) alongside the
+// minimized schedule — and a clean scenario must leave nothing.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "causalmem/obs/correlate.hpp"
+#include "causalmem/obs/json.hpp"
+#include "causalmem/sim/explorer.hpp"
+#include "causalmem/sim/scenarios.hpp"
+
+namespace causalmem::sim {
+namespace {
+
+std::string slurp(const std::filesystem::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+TEST(FlightDump, UngatedBroadcastViolationDumpsLoadableArtifact) {
+  const std::filesystem::path base =
+      std::filesystem::path(::testing::TempDir()) / "flight_dump_bad";
+  BroadcastScenarioConfig cfg = small_scope_broadcast(false);
+  cfg.flight_dir = base.string();
+
+  ExploreOptions opt;
+  // Empirically the violation needs 5 non-canonical delay choices (see
+  // ExploreDfs.DelayBoundedSearchStillFindsTheUngatedViolation).
+  opt.delay_bound = 5;
+  opt.max_schedules = 500'000;
+  const ExploreResult res = explore_dfs(make_broadcast_run(cfg), opt);
+  ASSERT_FALSE(res.clean()) << "self-test scenario must fail";
+  ASSERT_FALSE(res.flight_artifact.empty());
+
+  const std::filesystem::path dir = res.flight_artifact;
+  ASSERT_TRUE(std::filesystem::is_directory(dir));
+
+  // manifest.json is written last — its presence marks a complete dump.
+  std::string error;
+  const auto manifest = obs::parse_json(slurp(dir / "manifest.json"), &error);
+  ASSERT_TRUE(manifest.has_value()) << error;
+  EXPECT_EQ(manifest->find("schema")->string, "causalmem-flightrec-v1");
+  EXPECT_EQ(manifest->find("run_label")->string, "broadcast_scenario");
+  const obs::JsonValue* trig = manifest->find("trigger");
+  ASSERT_NE(trig, nullptr);
+  EXPECT_EQ(trig->find("kind")->string, "violation");
+  // The checker's reason (the r(y)=2, r(x)=0 transitivity break) rides in
+  // the trigger detail so the artifact is self-explanatory.
+  EXPECT_FALSE(trig->find("detail")->string.empty());
+
+  const auto metrics = obs::parse_json(slurp(dir / "metrics.json"), &error);
+  ASSERT_TRUE(metrics.has_value()) << error;
+  EXPECT_EQ(metrics->find("schema")->string, "causalmem-metrics-v1");
+
+  // The frozen trace loads back through the correlator and spans the three
+  // replicas of the scenario.
+  std::vector<obs::TraceEvent> events;
+  ASSERT_TRUE(
+      obs::trace_events_from_json(slurp(dir / "trace.json"), &events, &error))
+      << error;
+  EXPECT_FALSE(events.empty());
+  obs::TraceCorrelator corr(std::move(events));
+  EXPECT_EQ(corr.node_count(), 3u);
+
+  const auto state = obs::parse_json(slurp(dir / "state.json"), &error);
+  ASSERT_TRUE(state.has_value()) << error;
+  EXPECT_EQ(state->find("schema")->string, "causalmem-flightrec-state-v1");
+  EXPECT_EQ(state->find("recent_ops")->array.size(), 3u);
+}
+
+TEST(FlightDump, CleanCausalScenarioLeavesNoArtifact) {
+  const std::filesystem::path base =
+      std::filesystem::path(::testing::TempDir()) / "flight_dump_clean";
+  CausalScenarioConfig cfg = small_scope_causal();
+  cfg.flight_dir = base.string();
+
+  ExploreOptions opt;
+  opt.delay_bound = 1;
+  opt.max_schedules = 200;
+  const ExploreResult res = explore_dfs(make_causal_run(cfg), opt);
+  EXPECT_TRUE(res.clean()) << res.failure;
+  EXPECT_TRUE(res.flight_artifact.empty());
+  // Armed but never fired: no artifact directories were created.
+  if (std::filesystem::exists(base)) {
+    EXPECT_TRUE(std::filesystem::is_empty(base));
+  }
+}
+
+}  // namespace
+}  // namespace causalmem::sim

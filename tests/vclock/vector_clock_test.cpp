@@ -85,6 +85,67 @@ TEST(VectorClock, CodecRoundTrip) {
   EXPECT_TRUE(r.exhausted());
 }
 
+TEST(VectorClock, DeltaCodecFallsBackToFullAfterBaselineLoss) {
+  // A directed channel's delta chain survives its baseline being evicted or
+  // reset mid-stream (node restart, channel-state recycling): the encoder
+  // must fall back to a full frame, which re-establishes both baselines, and
+  // the chain then resumes delta-compressing.
+  ClockCodecState tx, rx;
+  VectorClock clock(std::vector<std::uint64_t>{5, 1, 0, 7});
+  const auto frame = [&](const VectorClock& c) {
+    ByteWriter w;
+    c.encode(w, tx);
+    ByteReader r(w.bytes());
+    const auto mode = static_cast<std::uint8_t>(w.bytes()[0]);
+    VectorClock back;
+    back.decode_in_place(r, &rx);
+    EXPECT_EQ(back, c);
+    EXPECT_TRUE(r.exhausted());
+    return mode;
+  };
+
+  // First frame of the stream: no baseline yet, must go full.
+  EXPECT_EQ(frame(clock), VectorClock::kWireFull);
+  // One-component bumps now delta-compress.
+  clock.increment(2);
+  EXPECT_EQ(frame(clock), VectorClock::kWireDelta);
+  clock.increment(2);
+  EXPECT_EQ(frame(clock), VectorClock::kWireDelta);
+
+  // Baseline loss (both ends, as a restart produces): next frame falls back
+  // to full even though only one component changed...
+  tx.baseline.clear();
+  rx.baseline.clear();
+  clock.increment(0);
+  EXPECT_EQ(frame(clock), VectorClock::kWireFull);
+  // ...and the full frame re-seeded the baselines: deltas resume.
+  clock.increment(3);
+  EXPECT_EQ(frame(clock), VectorClock::kWireDelta);
+
+  // Baseline size mismatch (channel recycled for a differently-sized
+  // cluster) likewise forces full, then recovers.
+  tx.baseline = {1, 2};
+  rx.baseline = {1, 2};
+  clock.increment(1);
+  EXPECT_EQ(frame(clock), VectorClock::kWireFull);
+  clock.increment(1);
+  EXPECT_EQ(frame(clock), VectorClock::kWireDelta);
+
+  // An every-component change makes a delta frame larger than full; the
+  // encoder must pick full (and still advance the baseline).
+  for (std::uint32_t i = 0; i < 4; ++i) clock.increment(i);
+  EXPECT_EQ(frame(clock), VectorClock::kWireFull);
+  clock.increment(0);
+  EXPECT_EQ(frame(clock), VectorClock::kWireDelta);
+
+  // Empty clocks are baseline-transparent: a stamp-less control frame in the
+  // middle does not break the delta chain around it.
+  const VectorClock empty;
+  EXPECT_EQ(frame(empty), VectorClock::kWireFull);
+  clock.increment(2);
+  EXPECT_EQ(frame(clock), VectorClock::kWireDelta);
+}
+
 TEST(VectorClock, ToStringFormatsComponents) {
   const VectorClock a(std::vector<std::uint64_t>{1, 0, 3});
   EXPECT_EQ(a.to_string(), "[1,0,3]");
