@@ -1,0 +1,46 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320): integrity guard for
+// persisted records. Every on-disk frame the persist layer writes carries a
+// CRC so torn, truncated or bit-flipped data is *detected* and rejected —
+// never parsed on trust (see docs/PERSISTENCE.md).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace causalmem {
+
+namespace detail {
+
+constexpr std::array<std::uint32_t, 256> make_crc32_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+inline constexpr std::array<std::uint32_t, 256> kCrc32Table =
+    make_crc32_table();
+
+}  // namespace detail
+
+/// CRC of `bytes`, chainable via `seed` (pass a previous crc32 result to
+/// extend it over a further span).
+[[nodiscard]] constexpr std::uint32_t crc32(std::span<const std::byte> bytes,
+                                            std::uint32_t seed = 0) {
+  std::uint32_t crc = seed ^ 0xFFFFFFFFu;
+  for (const std::byte b : bytes) {
+    crc = detail::kCrc32Table[(crc ^ std::to_integer<std::uint32_t>(b)) &
+                              0xFFu] ^
+          (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+}  // namespace causalmem

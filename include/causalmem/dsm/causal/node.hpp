@@ -42,6 +42,10 @@
 
 namespace causalmem {
 
+namespace persist {
+class Store;
+}
+
 class CausalNode final : public SharedMemory {
  public:
   using Config = CausalConfig;
@@ -82,12 +86,33 @@ class CausalNode final : public SharedMemory {
   /// transport starts.
   void attach_failover(FailoverDirectory* dir);
 
+  /// Attaches durable storage (checkpoint + WAL; see docs/PERSISTENCE.md).
+  /// Every owner apply point then appends one WAL record before the write's
+  /// reply leaves, and rejoin() restores the owned cells from disk instead
+  /// of keeping them in memory across the crash. `store` must outlive the
+  /// node. Call before the transport starts.
+  void attach_persist(persist::Store* store);
+
+  /// Takes an asynchronous uncoordinated checkpoint of the owned cells +
+  /// vector clock right now (the periodic trigger is
+  /// PersistConfig::checkpoint_every WAL appends). Returns false without a
+  /// store or on I/O failure.
+  bool checkpoint_now();
+
   /// Restart protocol for a node whose transport just un-crashed: drops all
   /// volatile protocol state (cache, recovery log, pending bookkeeping —
   /// write_seq_ survives as this node's stable write counter, keeping write
   /// tags unique across incarnations), rebuilds the vector clock, and
   /// resyncs it from every live peer. Returns true when every live peer
   /// answered within the request deadline. Requires attach_failover.
+  ///
+  /// With a persist::Store attached the crash is honest: the owned cells do
+  /// NOT survive in memory — they are reloaded from checkpoint + WAL
+  /// (complete for every acknowledged write under sync_every_append), and
+  /// recovery elections for restored pages become writestamp-bounded
+  /// catch-up rounds that fetch only what some peer observed fresher. When
+  /// the disk is gone too, every page this node serves must first win a
+  /// peer election, exactly as if the page had migrated.
   bool rejoin();
   [[nodiscard]] bool owns(Addr x) const override;
   void flush() override;
@@ -135,8 +160,15 @@ class CausalNode final : public SharedMemory {
     bool async{false};
     std::uint64_t start_ns{0};  ///< invocation time of the blocked operation
     std::uint64_t trace_id{0};  ///< correlation id of the owning operation
+    /// served_merges_ at send time: lets a READ reply detect owner-side
+    /// installs that this node absorbed while the request was in flight
+    /// (see the stale-install guard in complete_pending).
+    VectorClock serve_snapshot;
     std::promise<Message> reply;
   };
+
+  /// invalidate_cache sentinel: exempt no page from the sweep.
+  static constexpr std::uint64_t kNoPage = ~std::uint64_t{0};
 
   [[nodiscard]] std::uint64_t page_of(Addr x) const noexcept {
     return x / cfg_.page_size;
@@ -151,6 +183,10 @@ class CausalNode final : public SharedMemory {
   void complete_pending(const Message& m);
   void serve_sync(const Message& m);
   void serve_recover(const Message& m);
+  /// Answers a writestamp-bounded catch-up request: a copy only when this
+  /// node observed one that beats the requester's durable bound
+  /// (fresher_stamp), else a payload-free "you're current".
+  void serve_catchup(const Message& m);
   void on_recover_reply(const Message& m);
 
   /// True when this node may serve/read the page from its own owned_ cells:
@@ -216,6 +252,14 @@ class CausalNode final : public SharedMemory {
   void touch_lru(CachedPage& cp);
   void evict_over_capacity();
 
+  /// WAL-appends one just-applied owned cell (the durability point of the
+  /// apply: the record is on disk before the reply leaves) and takes the
+  /// periodic checkpoint when due. No-op without a store. Caller holds mu_.
+  void persist_apply(Addr x, const Cell& c);
+
+  /// Checkpoints all owned cells + vt_ and resets the WAL. Caller holds mu_.
+  bool checkpoint_locked();
+
   [[nodiscard]] NodeId owner_of(Addr x) const {
     return ownership_.owner(page_base(page_of(x)));
   }
@@ -241,6 +285,14 @@ class CausalNode final : public SharedMemory {
 
   mutable std::mutex mu_;
   VectorClock vt_;
+  /// Join of the issue stamps of every remote value that became locally
+  /// readable here (WRITE services installing into owned_, READ replies
+  /// installing into cache_, recovery elections). Unlike vt_ it excludes
+  /// this node's own increments and reply-borne merges that installed
+  /// nothing, so it is exactly the knowledge a concurrent reader could
+  /// pick up from this node's memory — the reference point for the
+  /// mid-flight stale-install guard in complete_pending.
+  VectorClock served_merges_;
   std::uint64_t write_seq_{0};
   // The owned/cache/own-write/pending tables sit on every operation and
   // every message service; they use the flat open-addressing map (one array
@@ -273,6 +325,14 @@ class CausalNode final : public SharedMemory {
 
   // --- crash tolerance (all inert while failover_ == nullptr) ---
   FailoverDirectory* failover_{nullptr};
+  /// Durable storage, or null (volatile node). See attach_persist.
+  persist::Store* persist_{nullptr};
+  /// True after a rejoin() that found NOTHING durable while a store was
+  /// attached (disk lost with the crash): the incarnation may not serve any
+  /// page — base-owned ones included — before its election, because the
+  /// in-memory "cells survive the crash" stand-in no longer applies and
+  /// conjured initial values could roll back what peers already read.
+  bool lost_disk_epoch_{false};
   /// Monotone freshest-observed copy of every remote cell this node ever
   /// saw certified (read replies, accepted write replies). Unlike cache_,
   /// entries are exempt from invalidation and eviction: they are not

@@ -87,6 +87,19 @@ class FailoverDirectory final : public Ownership {
   /// with their successor; the restarted node rejoins as a peer.
   void mark_restarted(NodeId id);
 
+  /// Declares whether `id` has durable storage attached (a persist::Store).
+  /// suspect() prefers the next live DURABLE node in ring order as the
+  /// successor — a durable successor that later crashes itself can restore
+  /// the migrated pages from its checkpoint + WAL instead of depending on
+  /// whatever copies happen to survive in peers' caches. With no durable
+  /// candidate the choice falls back to the plain next-live rule, so
+  /// persistence-free systems are unaffected.
+  void set_durable(NodeId id, bool durable);
+
+  [[nodiscard]] bool is_durable(NodeId id) const {
+    return durable_[id].load(std::memory_order_acquire);
+  }
+
  private:
   const std::size_t n_;
   std::unique_ptr<Ownership> base_;
@@ -94,6 +107,7 @@ class FailoverDirectory final : public Ownership {
   std::mutex mu_;  // serializes suspect()/mark_restarted()
   std::vector<std::atomic<NodeId>> reroute_;     // kNoNode = not rerouted
   std::vector<std::atomic<bool>> down_;
+  std::vector<std::atomic<bool>> durable_;       // set_durable()
   std::vector<std::atomic<std::uint64_t>> last_alive_;
   std::atomic<std::uint64_t> epoch_{0};
 };

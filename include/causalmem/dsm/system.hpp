@@ -19,6 +19,7 @@
 #include "causalmem/net/tcp_transport.hpp"
 #include "causalmem/obs/flight_recorder.hpp"
 #include "causalmem/obs/trace.hpp"
+#include "causalmem/persist/store.hpp"
 #include "causalmem/sim/transport.hpp"
 #include "causalmem/stats/counters.hpp"
 
@@ -95,6 +96,14 @@ struct SystemOptions {
   bool fault_layer{false};
   /// Owner failover and node restart; see FailoverOptions.
   FailoverOptions failover{};
+  /// Durable per-node checkpoints + write-ahead log (persist/*; see
+  /// docs/PERSISTENCE.md). With persist.enabled the system owns one
+  /// persist::Store per node (files dir/node<i>.ckpt and dir/node<i>.wal),
+  /// attaches it before the transport starts, and restart_node() restores
+  /// the node's owned cells from disk instead of keeping them in memory.
+  /// Requires a node type with attach_persist (CausalNode); pair it with
+  /// failover.enabled for the restart path.
+  persist::PersistConfig persist{};
   /// Protocol event tracing; see TraceOptions.
   TraceOptions trace{};
   /// Anomaly-triggered flight recorder; see FlightOptions.
@@ -218,6 +227,34 @@ class DsmSystem {
                        "failover requires a node type with attach_failover");
       }
     }
+    if (options.persist.enabled) {
+      if constexpr (requires(NodeT& nd, persist::Store* s) {
+                      nd.attach_persist(s);
+                    }) {
+        stores_.reserve(n);
+        for (NodeId i = 0; i < n; ++i) {
+          stores_.push_back(std::make_unique<persist::Store>(
+              options.persist, i, n, &stats_.node(i)));
+          nodes_[i]->attach_persist(stores_[i].get());
+        }
+      } else {
+        CM_EXPECTS_MSG(false,
+                       "persist requires a node type with attach_persist");
+      }
+    }
+    if (flight_ != nullptr && !stores_.empty()) {
+      // Persistence state rides along in every flight-recorder artifact
+      // (persist.json): one summary line per store.
+      flight_->set_extra_artifact("persist.json", [this] {
+        std::string out = "[\n";
+        for (std::size_t i = 0; i < stores_.size(); ++i) {
+          out += "  " + stores_[i]->summary_json();
+          out += i + 1 < stores_.size() ? ",\n" : "\n";
+        }
+        out += "]\n";
+        return out;
+      });
+    }
     if (flight_ != nullptr) {
       if constexpr (requires(const NodeT& nd) { nd.vector_time(); }) {
         flight_->set_vclock_probe([this] {
@@ -323,6 +360,13 @@ class DsmSystem {
     return failover_dir_;
   }
 
+  /// Node `i`'s durable store, or nullptr when options.persist is off.
+  /// Tests/benches use it to force checkpoints, inspect paths, or model a
+  /// media loss (lose_disk) before restart_node.
+  [[nodiscard]] persist::Store* store(NodeId i) noexcept {
+    return i < stores_.size() ? stores_[i].get() : nullptr;
+  }
+
   /// The per-node event tracers, or nullptr when options.trace is off.
   /// Drain (trace_hub()->events()) only after application threads join and
   /// the transport is shut down.
@@ -360,6 +404,9 @@ class DsmSystem {
   ReliableChannel* reliable_{nullptr};
   Transport* below_reliable_{nullptr};
   FailoverDirectory* failover_dir_{nullptr};  // aliases ownership_ when set
+  // Declared before nodes_ (destroyed after them): nodes append to their
+  // store from operations and message service until the transport stops.
+  std::vector<std::unique_ptr<persist::Store>> stores_;
   std::vector<std::unique_ptr<NodeT>> nodes_;
   // Last member: destroyed first, so the prober never outlives the
   // transport stack it sends through.

@@ -50,6 +50,13 @@ enum class MsgType : std::uint8_t {
   kSyncReply,       ///< peer -> restarted node: my current vector time
   kRecover,         ///< successor -> peer: your freshest copy of this page?
   kRecoverReply,    ///< peer -> successor: copy + writestamp (accepted = have)
+
+  // Durable recovery (persist layer). A restarted node that restored a page
+  // from checkpoint + WAL does not need the full copy again — it asks peers
+  // only for something FRESHER than its durable bound.
+  kCatchupRequest,  ///< restarted node -> peer: copy of x fresher than VT?
+  kCatchupReply,    ///< peer -> node: fresher copy (accepted) or "you're
+                    ///< current" (!accepted, no payload)
 };
 
 [[nodiscard]] const char* msg_type_name(MsgType t) noexcept;

@@ -91,6 +91,14 @@ class FlightRecorder {
   void set_vclock_probe(
       std::function<std::vector<std::vector<std::uint64_t>>()> probe);
 
+  /// Registers an extra artifact file: `filename` is written into the
+  /// artifact directory with whatever `provider` returns at dump time
+  /// (e.g. the persist layer's per-node store summaries as persist.json).
+  /// Providers run on the dumping thread; they must be safe to call while
+  /// the system is live.
+  void set_extra_artifact(std::string filename,
+                          std::function<std::string()> provider);
+
   /// Registers a named predicate over the live counters; poll() fires the
   /// recorder when any predicate first turns true.
   void add_counter_trigger(std::string name,
@@ -144,6 +152,8 @@ class FlightRecorder {
   const StatsRegistry* stats_{nullptr};
   const TraceHub* hub_{nullptr};
   std::function<std::vector<std::vector<std::uint64_t>>()> vclock_probe_;
+  std::vector<std::pair<std::string, std::function<std::string()>>>
+      extra_artifacts_;
 
   struct CounterTrigger {
     std::string name;

@@ -52,6 +52,9 @@ enum class TraceEventKind : std::uint8_t {
   kPeerUnreachable,  ///< ReliableChannel gave up retransmitting to a peer
   kRestart,      ///< a restarted node finished rejoining
   kApply,        ///< owner applied (certified) a remote write to memory
+  kCheckpoint,   ///< durable checkpoint written (addr = cells checkpointed)
+  kWalReplay,    ///< restart replayed the WAL (addr = records restored)
+  kCatchup,      ///< writestamp-bounded catch-up round for a restored page
   kKindCount,
 };
 
@@ -83,6 +86,9 @@ inline constexpr std::size_t kNumTraceEventKinds =
     case TraceEventKind::kPeerUnreachable: return "peer_unreachable";
     case TraceEventKind::kRestart: return "restart";
     case TraceEventKind::kApply: return "apply";
+    case TraceEventKind::kCheckpoint: return "checkpoint";
+    case TraceEventKind::kWalReplay: return "wal_replay";
+    case TraceEventKind::kCatchup: return "catchup";
     case TraceEventKind::kKindCount: break;
   }
   // Unknown/future kinds (e.g. a newer build's trace read by this one) get a

@@ -1,0 +1,126 @@
+// Filesystem seam for the persist layer. Two implementations:
+//
+//   RealVfs — POSIX files with explicit fsync, for examples and benches.
+//   MemVfs  — deterministic in-memory fake with crash semantics, for the
+//             simulation scheduler and the crash-consistency torture tests:
+//             appended bytes stay UNSYNCED until sync()/a syncing append,
+//             crash() rolls every file back to its synced size (modelling a
+//             torn tail), lose_disk() drops everything (correlated media
+//             failure), and corrupt() flips one bit for adversarial tests.
+//
+// The seam is what makes checkpoint/crash/replay interleavings explorable
+// bit-identically under sim::SimScheduler: no host filesystem state leaks
+// into a schedule.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace causalmem::persist {
+
+class Vfs {
+ public:
+  virtual ~Vfs() = default;
+
+  /// Whole-file read. Returns false when the file does not exist.
+  virtual bool read_file(const std::string& path,
+                         std::vector<std::byte>& out) = 0;
+
+  /// Durable atomic replace: write a temporary sibling, fsync it, rename it
+  /// over `path`. After a crash either the old or the new content is seen in
+  /// full — never a mix.
+  virtual bool write_file_atomic(const std::string& path,
+                                 std::span<const std::byte> data) = 0;
+
+  /// Appends to `path` (creating it). With `sync`, the bytes are durable
+  /// when the call returns; without, they may be lost by a crash.
+  virtual bool append(const std::string& path, std::span<const std::byte> data,
+                      bool sync) = 0;
+
+  /// Makes every previously appended byte of `path` durable.
+  virtual bool sync(const std::string& path) = 0;
+
+  /// Truncates `path` to `size` bytes (used to cut a detected torn tail).
+  virtual bool truncate(const std::string& path, std::uint64_t size) = 0;
+
+  virtual bool remove(const std::string& path) = 0;
+  virtual bool exists(const std::string& path) = 0;
+
+  /// Creates `dir` and missing parents. No-op when already present.
+  virtual bool mkdirs(const std::string& dir) = 0;
+
+  /// Crash-simulation hook: rolls `path` back to its last synced prefix, as
+  /// a power loss would. MemVfs drops the unsynced appended bytes; the
+  /// RealVfs default is a no-op (for real files the kernel page cache is
+  /// the power-loss model, not something a live process can replay).
+  virtual void drop_unsynced(const std::string& path) { (void)path; }
+};
+
+/// POSIX-backed implementation. Stateless; one instance can serve any number
+/// of nodes/threads.
+class RealVfs final : public Vfs {
+ public:
+  bool read_file(const std::string& path, std::vector<std::byte>& out) override;
+  bool write_file_atomic(const std::string& path,
+                         std::span<const std::byte> data) override;
+  bool append(const std::string& path, std::span<const std::byte> data,
+              bool sync) override;
+  bool sync(const std::string& path) override;
+  bool truncate(const std::string& path, std::uint64_t size) override;
+  bool remove(const std::string& path) override;
+  bool exists(const std::string& path) override;
+  bool mkdirs(const std::string& dir) override;
+};
+
+/// Deterministic in-memory fake (see file header). Thread-safe; iteration
+/// order over files is the path order (std::map), so dumps are stable.
+class MemVfs final : public Vfs {
+ public:
+  bool read_file(const std::string& path, std::vector<std::byte>& out) override;
+  bool write_file_atomic(const std::string& path,
+                         std::span<const std::byte> data) override;
+  bool append(const std::string& path, std::span<const std::byte> data,
+              bool sync) override;
+  bool sync(const std::string& path) override;
+  bool truncate(const std::string& path, std::uint64_t size) override;
+  bool remove(const std::string& path) override;
+  bool exists(const std::string& path) override;
+  bool mkdirs(const std::string& dir) override;
+  void drop_unsynced(const std::string& path) override;
+
+  // Crash semantics (tests / sim chaos) -----------------------------------
+
+  /// Power loss: every file rolls back to its synced prefix — unsynced
+  /// appended bytes vanish, exactly the torn-tail model the WAL reader must
+  /// survive.
+  void crash();
+
+  /// Media loss: every file disappears.
+  void lose_disk();
+
+  /// Flips one bit of `path` at byte `offset`. Returns false out of range.
+  bool corrupt(const std::string& path, std::uint64_t offset,
+               std::uint8_t bit = 0);
+
+  [[nodiscard]] std::uint64_t file_size(const std::string& path) const;
+  [[nodiscard]] std::uint64_t synced_size(const std::string& path) const;
+  [[nodiscard]] std::vector<std::string> list() const;
+
+ private:
+  struct File {
+    std::vector<std::byte> data;
+    std::size_t synced{0};  ///< prefix guaranteed to survive crash()
+  };
+  mutable std::mutex mu_;
+  std::map<std::string, File> files_;
+};
+
+/// Process-wide RealVfs used when PersistConfig::vfs is null.
+[[nodiscard]] Vfs& default_vfs();
+
+}  // namespace causalmem::persist

@@ -1,0 +1,81 @@
+// Log-structured write-ahead journal (`causalmem-wal-v1`), appended at
+// owner apply points and replayed on restart. Layout:
+//
+//   header:  16-byte magic "causalmem-wal-v1" | u32 node | u32 n
+//            | u32 crc32(previous 24 bytes)
+//   record:  u32 payload_len | u32 crc32(payload) | payload
+//   payload: u64 addr | i64 value | u32 tag.writer | u64 tag.seq
+//            | u64 write_seq | u32 clock_count | clock_count x u64
+//
+// Replay walks records until the first frame whose length over-runs the
+// file or whose CRC fails — everything from there on is a torn or corrupt
+// tail: it is reported (`truncated_bytes`) and the caller truncates the
+// file back to `valid_bytes`. A torn tail is expected after a crash
+// mid-append; it is never an error, and never trusted.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "causalmem/persist/format.hpp"
+#include "causalmem/persist/vfs.hpp"
+
+namespace causalmem::persist {
+
+/// One owner-side apply: the cell as installed plus the owner's own write
+/// counter at append time (replay restores `write_seq` as the max seen, so
+/// restarted nodes keep minting unique write tags).
+struct WalRecord {
+  DurableCell cell;
+  std::uint64_t write_seq{0};
+};
+
+struct WalReplay {
+  bool file_present{false};
+  bool header_valid{false};      ///< magic/node/n/CRC all checked out
+  std::vector<WalRecord> records;
+  std::uint64_t valid_bytes{0};  ///< clean prefix length (incl. header)
+  std::uint64_t truncated_bytes{0};  ///< torn/corrupt tail length
+};
+
+/// Validates and replays `path`. Never aborts on bad bytes: a corrupt
+/// header yields header_valid=false with no records (the whole file is
+/// untrusted); a bad record stops the walk and reports the tail. Does NOT
+/// modify the file — the caller truncates to `valid_bytes` before
+/// appending again.
+[[nodiscard]] WalReplay replay_wal(Vfs& vfs, const std::string& path,
+                                   NodeId expect_node, std::size_t expect_n);
+
+/// Append side. The header is (re)written whenever the file is absent.
+class WalWriter {
+ public:
+  WalWriter(Vfs& vfs, std::string path, NodeId node, std::size_t n,
+            bool sync_each);
+
+  /// Appends one CRC-guarded record; with sync_each the record is durable
+  /// when this returns (an owner may then certify the write to its client).
+  bool append(const WalRecord& rec);
+
+  /// Truncates to a bare header: called after a checkpoint superseded the
+  /// log's contents.
+  bool reset();
+
+  [[nodiscard]] std::uint64_t appended_bytes() const noexcept {
+    return appended_bytes_;
+  }
+
+ private:
+  bool ensure_header();
+  Vfs& vfs_;
+  const std::string path_;
+  const NodeId node_;
+  const std::size_t n_;
+  const bool sync_each_;
+  std::uint64_t appended_bytes_{0};
+};
+
+/// The 28-byte v1 header for `node` in an `n`-node system.
+[[nodiscard]] std::vector<std::byte> wal_header(NodeId node, std::size_t n);
+
+}  // namespace causalmem::persist

@@ -36,16 +36,22 @@ namespace causalmem::sim {
 
 /// One scripted operation of a scenario process.
 struct ScriptOp {
-  enum class Kind : std::uint8_t { kRead, kWrite };
+  enum class Kind : std::uint8_t { kRead, kWrite, kSleep };
   Kind kind{Kind::kRead};
   Addr addr{0};
-  Value value{0};
+  Value value{0};  ///< written value, or virtual-ns delay for kSleep
 
   [[nodiscard]] static ScriptOp read(Addr x) {
     return ScriptOp{Kind::kRead, x, 0};
   }
   [[nodiscard]] static ScriptOp write(Addr x, Value v) {
     return ScriptOp{Kind::kWrite, x, v};
+  }
+  /// Parks until `delay_ns` of virtual time passed since the run started
+  /// (absolute, like ChaosEvent::after_ns — NOT relative to the previous
+  /// op), so scripts can be sequenced against chaos events exactly.
+  [[nodiscard]] static ScriptOp sleep_until(std::uint64_t after_ns) {
+    return ScriptOp{Kind::kSleep, 0, static_cast<Value>(after_ns)};
   }
 };
 
@@ -54,7 +60,17 @@ struct ScriptOp {
 /// crashed flag only after the node-level rejoin completed, so the node's
 /// workload resumes against recovered state.
 struct ChaosEvent {
-  enum class Kind : std::uint8_t { kCrash, kRestart, kPartition, kHeal };
+  enum class Kind : std::uint8_t {
+    kCrash,
+    kRestart,
+    kPartition,
+    kHeal,
+    // Durable-persistence chaos (require CausalScenarioConfig::persist).
+    kCheckpoint,       ///< force an async checkpoint of the node's cells now
+    kCrashWithDisk,    ///< crash; synced bytes survive, unsynced tail is torn
+    kCrashLosingDisk,  ///< crash AND media loss: both files vanish
+    kRecoverFromDisk,  ///< restart: rejoin restores from checkpoint + WAL
+  };
   Kind kind{Kind::kCrash};
   std::uint64_t after_ns{0};  ///< virtual delay from run start
   NodeId node{0};             ///< crash / restart target
@@ -76,6 +92,22 @@ struct ChaosEvent {
                                        NodeId to) {
     return ChaosEvent{Kind::kHeal, after_ns, 0, from, to};
   }
+  [[nodiscard]] static ChaosEvent checkpoint(std::uint64_t after_ns,
+                                             NodeId node) {
+    return ChaosEvent{Kind::kCheckpoint, after_ns, node, 0, 0};
+  }
+  [[nodiscard]] static ChaosEvent crash_with_disk(std::uint64_t after_ns,
+                                                  NodeId node) {
+    return ChaosEvent{Kind::kCrashWithDisk, after_ns, node, 0, 0};
+  }
+  [[nodiscard]] static ChaosEvent crash_losing_disk(std::uint64_t after_ns,
+                                                    NodeId node) {
+    return ChaosEvent{Kind::kCrashLosingDisk, after_ns, node, 0, 0};
+  }
+  [[nodiscard]] static ChaosEvent recover_from_disk(std::uint64_t after_ns,
+                                                    NodeId node) {
+    return ChaosEvent{Kind::kRecoverFromDisk, after_ns, node, 0, 0};
+  }
 };
 
 /// Owner-protocol scenario. scripts[i] runs as node i's application task;
@@ -92,6 +124,14 @@ struct CausalScenarioConfig {
   std::chrono::microseconds heartbeat_suspect_after{20000};
   std::vector<std::vector<ScriptOp>> scripts;
   std::vector<ChaosEvent> chaos;
+  /// Durable persistence over one scenario-owned MemVfs: checkpoints + WAL
+  /// survive crash/restart events within the run (and only within it — the
+  /// vfs dies with the scenario), deterministically under the scheduler.
+  /// Required by the kCheckpoint/kCrashWithDisk/kCrashLosingDisk/
+  /// kRecoverFromDisk chaos kinds; implies failover for the restart path.
+  bool persist{false};
+  /// Checkpoint every N WAL appends (0 = only explicit kCheckpoint events).
+  std::uint32_t checkpoint_every{0};
   SimOptions sim{};
   bool trace{true};
   /// When non-empty, arm a FlightRecorder with this artifact base directory:

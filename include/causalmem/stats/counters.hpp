@@ -38,6 +38,8 @@ enum class Counter : std::size_t {
   kWriteRemote,          ///< write certified by a remote owner
   kInvalidationApplied,  ///< one cached entry invalidated (any reason)
   kDiscard,              ///< one cached entry discarded (replacement/liveness)
+  kStaleInstallSkipped,  ///< read reply served before a mid-flight owner
+                         ///< merge: value returned but not cached
 
   // --- busy-wait accounting (E1 separates these from protocol cost) ---
   kSpinRefetch,          ///< a wait(B) poll that re-fetched from the owner
@@ -67,6 +69,19 @@ enum class Counter : std::size_t {
   kFoSyncReply,          ///< peer answered a restart resync request
   kFoRequestTimeout,     ///< one owner request round expired at its deadline
   kFoUnreachable,        ///< an operation exhausted its retries (Unreachable)
+
+  // --- durable persistence (persist/*). Recovery-class like fo.*: all zero
+  // on the fault-free path with persistence off, and never message counters
+  // (the paper's 2n+6 accounting is untouched) ---
+  kPersistWalAppend,      ///< one WAL record appended at an owner apply point
+  kPersistWalReplayed,    ///< one WAL record replayed at restart
+  kPersistWalTruncated,   ///< a torn/corrupt WAL tail was detected and cut
+  kPersistCheckpoint,     ///< one checkpoint written (atomic replace)
+  kPersistCkptRejected,   ///< a checkpoint failed validation: discarded
+  kPersistRestoredCells,  ///< owned cells restored from checkpoint + WAL
+  kPersistCatchupRequest, ///< writestamp-bounded catch-up request sent
+  kPersistCatchupReply,   ///< catch-up request served (fresher or not)
+  kPersistCatchupFresher, ///< catch-up reply carried a strictly fresher cell
 
   kCounterCount,
 };
@@ -114,6 +129,15 @@ inline constexpr std::size_t kNumLatencyMetrics =
     case Counter::kFoSyncReply:
     case Counter::kFoRequestTimeout:
     case Counter::kFoUnreachable:
+    case Counter::kPersistWalAppend:
+    case Counter::kPersistWalReplayed:
+    case Counter::kPersistWalTruncated:
+    case Counter::kPersistCheckpoint:
+    case Counter::kPersistCkptRejected:
+    case Counter::kPersistRestoredCells:
+    case Counter::kPersistCatchupRequest:
+    case Counter::kPersistCatchupReply:
+    case Counter::kPersistCatchupFresher:
       return true;
     default:
       return false;

@@ -9,6 +9,7 @@
 #include "causalmem/obs/clock.hpp"
 #include "causalmem/obs/flight_recorder.hpp"
 #include "causalmem/obs/trace.hpp"
+#include "causalmem/persist/store.hpp"
 
 namespace causalmem {
 
@@ -38,7 +39,8 @@ CausalNode::CausalNode(NodeId id, std::size_t n, const Ownership& ownership,
       stats_(stats),
       cfg_(config),
       observer_(observer),
-      vt_(n) {
+      vt_(n),
+      served_merges_(n) {
   CM_EXPECTS(id < n);
   CM_EXPECTS(cfg_.page_size > 0);
   CM_EXPECTS(cfg_.cache_capacity_pages > 0);
@@ -215,6 +217,7 @@ OpStatus CausalNode::try_write(Addr x, Value v) {
     c.value = v;
     c.stamp = vt_;
     c.tag = tag;
+    persist_apply(x, c);
     stats_.bump(Counter::kWriteLocal);
     const OpTiming done = op_start.close();
     record_op_done(stats_, tr, LatencyMetric::kWriteNs,
@@ -445,6 +448,15 @@ void CausalNode::on_message(const Message& m) {
     case MsgType::kRecoverReply:
       on_recover_reply(m);
       return;
+    case MsgType::kCatchupRequest:
+      serve_catchup(m);
+      return;
+    case MsgType::kCatchupReply:
+      // Same election bookkeeping as a RECOVER_REPLY: an accepted reply is
+      // a fresher candidate, a rejected one just checks the peer off.
+      if (m.accepted) stats_.bump(Counter::kPersistCatchupFresher);
+      on_recover_reply(m);
+      return;
     default:
       CM_UNREACHABLE("unexpected message type at causal node");
   }
@@ -506,11 +518,32 @@ void CausalNode::serve_write(const Message& m) {
     // Deadline-retry idempotency: a retried WRITE whose first copy already
     // landed (the reply was lost or late) must not re-install — the stored
     // stamp is the *merged* clock, so re-applying the issue stamp could
-    // regress it. Same tag, or a stamp our cell strictly dominates, means
-    // "already applied here (or overwritten by a causal successor)": just
-    // re-ack. Fault-free runs never take this branch (tags are unique and
-    // a first-time write's stamp is never before the current cell's).
-    const bool already = cur.tag == m.tag || m.stamp.before(cur.stamp);
+    // regress it.
+    //
+    // Two writes from the SAME writer are ordered exactly by their tag seq
+    // (one writer's issue stamps are pointwise monotone), so a smaller or
+    // equal seq means "applied here before, and possibly since overwritten
+    // by the writer's own later write": re-ack. A larger seq MUST install,
+    // even when our cell's stamp dominates the incoming issue stamp — the
+    // clock counts write ATTEMPTS at issue time, and a writer's increment
+    // for write B leaks through its own owner-side replies to third
+    // parties faster than B travels its FIFO channel; a third party's
+    // unrelated write can then carry B's component into our merged cell
+    // stamp while B is still in flight. Classifying B by stamp here would
+    // silently drop the newest write in its writer's program order and
+    // leave the overwritten predecessor readable forever (stale-read
+    // violation, reproduced by the async property stress configs).
+    //
+    // For DIFFERENT writers the stamp test stands: a first-time write
+    // whose issue stamp our cell strictly dominates is concurrent with the
+    // cell, and dropping it is observably an immediate overwrite — nobody
+    // can have read it, and its writer reading the standing value later is
+    // a legal serialization of concurrent writes.
+    const bool same_writer = !cur.tag.is_initial() &&
+                             cur.tag.writer == m.tag.writer;
+    const bool already =
+        cur.tag == m.tag || (same_writer ? m.tag.seq < cur.tag.seq
+                                         : m.stamp.before(cur.stamp));
     if (!already && cfg_.conflict == ConflictPolicy::kOwnerWins &&
         cur.tag.writer == id_ && cur.stamp.concurrent_with(m.stamp)) {
       // Section 4.2: a remote write concurrent with a value the owner itself
@@ -522,6 +555,12 @@ void CausalNode::serve_write(const Message& m) {
       cur.value = m.value;
       cur.stamp = vt_;  // M_i[x] := (v, VT_i) with the merged clock
       cur.tag = m.tag;
+      // The installed value is now locally readable; its causal past (the
+      // writer's issue stamp) feeds the mid-flight stale-install guard.
+      served_merges_.update(m.stamp);
+      // Durability point: the apply is on disk before the reply leaves, so
+      // a crash after the writer unblocks can always replay it.
+      persist_apply(m.addr, cur);
       // The owner-side take-effect point of the remote write — the middle
       // node of the correlated flow (send -> recv -> apply -> reply).
       if (obs::Tracer* t = stats_.tracer()) {
@@ -532,9 +571,16 @@ void CausalNode::serve_write(const Message& m) {
       // The remote write is a causal interaction: invalidate cached values
       // that are now provably overwritable (M_i[y].VT < VT_i).
       invalidate_cache(vt_, page_of(m.addr), m.trace_id);
+    } else {
+      // The request's value was NOT installed (idempotent re-ack, shadowed
+      // duplicate, or owner-wins rejection). Tell the writer what actually
+      // stands so its recovery log records a value that exists, not one
+      // that was never certified — the reply tag stays the REQUEST tag for
+      // the writer's own-write bookkeeping.
+      rep.cells.push_back(CellUpdate{m.addr, cur.value, cur.tag});
     }
     rep.stamp = vt_;
-    rep.value = accepted ? m.value : cur.value;
+    rep.value = accepted && !already ? m.value : cur.value;
     stats_.bump(Counter::kMsgWriteReply);
   }
   rep.type = MsgType::kWriteReply;
@@ -592,7 +638,26 @@ void CausalNode::complete_pending(const Message& m) {
     // FIFO-behind our WRITE at the owner, so this terminates (a rejected
     // write lowers the requirement when its W_REPLY resolves).
     const auto own = own_writes_.find(page_of(m.addr));
-    if (own != own_writes_.end() && m.stamp[id_] < own->second.required()) {
+    bool predates_own_write =
+        own != own_writes_.end() && m.stamp[id_] < own->second.required();
+    // The stamp test alone is not leak-proof: the reply stamp is the
+    // owner-side join, which sibling cells and reply-borne clock leakage
+    // can inflate past our seq while the addressed cell itself still holds
+    // one of our OLDER writes (possible only across failover re-elections,
+    // hence page_size == 1 — without failover the reply is FIFO-ordered
+    // behind every own write it must cover). Tags cannot be inflated: our
+    // own write below the page requirement can never legally be read
+    // after the newer write was issued (own writes are totally ordered).
+    if (!predates_own_write && own != own_writes_.end() &&
+        cfg_.page_size == 1) {
+      for (const CellUpdate& cell : m.cells) {
+        if (cell.addr == m.addr && cell.tag.writer == id_ &&
+            cell.tag.seq < own->second.required()) {
+          predates_own_write = true;
+        }
+      }
+    }
+    if (predates_own_write) {
       Message req;
       req.type = MsgType::kRead;
       req.from = id_;
@@ -617,7 +682,15 @@ void CausalNode::complete_pending(const Message& m) {
     // clock and release any flush() waiter.
     vt_.update(m.stamp);
     CM_ASSERT_MSG(m.accepted, "async write rejected (policy forbids this)");
-    log_observe(m.addr, Cell{m.value, m.stamp, m.tag});
+    // A reply carrying a cell means OUR value was not installed (shadowed
+    // duplicate): log the standing cell the owner reported, never a value
+    // that exists nowhere — the recovery log feeds elections.
+    if (m.cells.empty()) {
+      log_observe(m.addr, Cell{m.value, m.stamp, m.tag});
+    } else {
+      log_observe(m.addr, Cell{m.cells.front().value, m.stamp,
+                               m.cells.front().tag});
+    }
     pending_.erase(it);
     CM_ASSERT(outstanding_async_ > 0);
     if (--outstanding_async_ == 0) flush_cv_.notify_all();
@@ -625,6 +698,7 @@ void CausalNode::complete_pending(const Message& m) {
   }
   std::promise<Message> prom = std::move(it->second.reply);
   const std::uint64_t op_start_ns = it->second.start_ns;
+  const VectorClock serve_snapshot = std::move(it->second.serve_snapshot);
   pending_.erase(it);
 
   // Apply the reply HERE, on the delivery thread, so the install/sweep is
@@ -650,10 +724,34 @@ void CausalNode::complete_pending(const Message& m) {
     }
     const Cell chosen = cp.cells[m.addr - page_base(pg)];
     log_observe(m.addr, chosen);
+    // Mid-flight staleness: the reply was SERVED at some owner-side point,
+    // but lands here after any number of local events. If a WRITE service
+    // (or recovery election) installed a value into this node's memory
+    // while the READ was in flight, and that install's causal past is not
+    // covered by the reply stamp, then this reply's cells may already be
+    // overwritten in the past of something a sibling thread can read
+    // locally — and the install below would land AFTER the sweep that
+    // should have dropped it. Returning the value is still safe (it was
+    // ordered before those installs at the owner and this thread observed
+    // nothing in between), but the copy must not be CACHED.
+    bool serve_stale = false;
+    for (std::size_t k = 0; k < n_; ++k) {
+      if (served_merges_[k] > std::max(serve_snapshot[k], m.stamp[k])) {
+        serve_stale = true;
+      }
+    }
     if (!cfg_.read_through) {
-      invalidate_cache(m.stamp, pg, m.trace_id);
-      install_page(pg, std::move(cp));
-      evict_over_capacity();
+      if (serve_stale) {
+        // Sweep with no exemption — the pre-existing copy of pg (if any)
+        // gets no fresh replacement, so it must not outlive the threshold.
+        invalidate_cache(m.stamp, kNoPage, m.trace_id);
+        stats_.bump(Counter::kStaleInstallSkipped);
+      } else {
+        invalidate_cache(m.stamp, pg, m.trace_id);
+        served_merges_.update(m.stamp);
+        install_page(pg, std::move(cp));
+        evict_over_capacity();
+      }
     }
     // The read returns the post-merge cell and is observed at its effect
     // point, so the recorded per-node order is the order effects happened.
@@ -684,12 +782,26 @@ void CausalNode::complete_pending(const Message& m) {
         cur->stamp = m.stamp;
         if (cfg_.page_size == 1) pit->second.stamp = m.stamp;
       }
-      log_observe(m.addr, Cell{m.value, m.stamp, m.tag});
+      // A reply carrying a cell reports the standing value (our write was
+      // recognized but not installed): the recovery log must record what
+      // exists, not what was shadowed.
+      if (m.cells.empty()) {
+        log_observe(m.addr, Cell{m.value, m.stamp, m.tag});
+      } else {
+        log_observe(m.addr, Cell{m.cells.front().value, m.stamp,
+                                 m.cells.front().tag});
+      }
     } else {
       // Owner-wins resolution rejected the write: drop the local copy (if
       // it is still this write) so a later read fetches the favored value.
       if (cur != nullptr && cur->tag == m.tag) {
         erase_page(pit);
+      }
+      // The favored value the owner reported is certified state we have
+      // now observed — election material like any other reply.
+      if (!m.cells.empty()) {
+        log_observe(m.addr, Cell{m.cells.front().value, m.stamp,
+                                 m.cells.front().tag});
       }
     }
   }
@@ -707,12 +819,50 @@ void CausalNode::attach_failover(FailoverDirectory* dir) {
   CM_EXPECTS_MSG(cfg_.page_size == 1,
                  "failover requires the per-location protocol (page_size 1)");
   failover_ = dir;
+  if (persist_ != nullptr) failover_->set_durable(id_, true);
+}
+
+void CausalNode::attach_persist(persist::Store* store) {
+  CM_EXPECTS(store != nullptr);
+  persist_ = store;
+  // Durable nodes are preferred failover successors (either attach order).
+  if (failover_ != nullptr) failover_->set_durable(id_, true);
+}
+
+void CausalNode::persist_apply(Addr x, const Cell& c) {
+  if (persist_ == nullptr) return;
+  persist_->append(persist::DurableCell{x, c.value, c.tag, c.stamp},
+                   write_seq_);
+  if (persist_->checkpoint_due()) checkpoint_locked();
+}
+
+bool CausalNode::checkpoint_locked() {
+  std::vector<persist::DurableCell> cells;
+  cells.reserve(owned_.size());
+  for (const auto& [addr, c] : owned_) {
+    cells.push_back(persist::DurableCell{addr, c.value, c.tag, c.stamp});
+  }
+  const bool ok = persist_->checkpoint(cells, vt_, write_seq_);
+  if (obs::Tracer* t = stats_.tracer()) {
+    t->record(obs::TraceEventKind::kCheckpoint, 0, kNoNode, cells.size(),
+              &vt_);
+  }
+  return ok;
+}
+
+bool CausalNode::checkpoint_now() {
+  std::unique_lock lock(mu_);
+  if (persist_ == nullptr) return false;
+  return checkpoint_locked();
 }
 
 bool CausalNode::page_ready_locally(std::uint64_t pg) const {
-  return failover_ == nullptr ||
-         failover_->base_owner(page_base(pg)) == id_ ||
-         recovered_pages_.contains(pg);
+  if (failover_ == nullptr) return true;
+  if (recovered_pages_.contains(pg)) return true;
+  // An incarnation that lost its disk serves nothing it didn't re-elect:
+  // base ownership no longer implies having the page's state.
+  if (lost_disk_epoch_) return false;
+  return failover_->base_owner(page_base(pg)) == id_;
 }
 
 bool CausalNode::await_reply(std::future<Message>& fut, std::uint64_t rid,
@@ -823,6 +973,34 @@ void CausalNode::serve_recover(const Message& m) {
   transport_.send(std::move(rep));
 }
 
+void CausalNode::serve_catchup(const Message& m) {
+  Message rep;
+  {
+    std::unique_lock lock(mu_);
+    rep.accepted = false;
+    rep.stamp = VectorClock(n_);
+    // serve_recover's source (the monotone observation log), filtered by
+    // the requester's durable bound: a copy the bound already covers would
+    // lose its election anyway, so the reply stays payload-free. The same
+    // deterministic fresher_stamp order decides both, so "peer sends" and
+    // "requester would elect" agree exactly.
+    if (auto it = recovery_log_.find(m.addr);
+        it != recovery_log_.end() && fresher_stamp(it->second.stamp, m.stamp)) {
+      rep.accepted = true;
+      rep.value = it->second.value;
+      rep.stamp = it->second.stamp;
+      rep.tag = it->second.tag;
+    }
+    stats_.bump(Counter::kPersistCatchupReply);
+  }
+  rep.type = MsgType::kCatchupReply;
+  rep.from = id_;
+  rep.to = m.from;
+  rep.request_id = m.request_id;
+  rep.addr = m.addr;
+  transport_.send(std::move(rep));
+}
+
 void CausalNode::on_recover_reply(const Message& m) {
   std::unique_lock lock(mu_);
   const std::uint64_t pg = page_of(m.addr);
@@ -859,14 +1037,32 @@ void CausalNode::begin_or_join_recovery(std::uint64_t pg, const Message& m,
       rec.has_candidate = true;
     }
     for (NodeId p : failover_->live_peers(id_)) rec.expected.insert(p);
+    // With durable storage and a seed, the election becomes a writestamp-
+    // bounded catch-up: peers send a full copy only when theirs would beat
+    // the seed, so a restored page costs payload-free round trips instead
+    // of one full copy per peer. (Without persist the plain RECOVER poll is
+    // kept even when a seed exists — identical outcome, and the recovery
+    // counter accounting of existing deployments stays untouched.)
+    const bool bounded = persist_ != nullptr && rec.has_candidate;
+    if (bounded) {
+      if (obs::Tracer* t = stats_.tracer()) {
+        t->record(obs::TraceEventKind::kCatchup, 0, kNoNode, page_base(pg),
+                  &rec.best.stamp);
+      }
+    }
     for (const NodeId p : rec.expected) {
       Message req;
-      req.type = MsgType::kRecover;
+      req.type = bounded ? MsgType::kCatchupRequest : MsgType::kRecover;
       req.from = id_;
       req.to = p;
       req.request_id = 0;  // routed by type, not by pending slot
       req.addr = page_base(pg);
-      stats_.bump(Counter::kFoRecoverRequest);
+      if (bounded) {
+        req.stamp = rec.best.stamp;
+        stats_.bump(Counter::kPersistCatchupRequest);
+      } else {
+        stats_.bump(Counter::kFoRecoverRequest);
+      }
       transport_.send(std::move(req));
     }
   } else {
@@ -903,6 +1099,11 @@ void CausalNode::finish_recovery(std::uint64_t pg,
     Cell& c = owned_cell(base);
     c = rec.best;
     vt_.update(rec.best.stamp);
+    // The elected value is now locally readable (mid-flight guard input).
+    served_merges_.update(rec.best.stamp);
+    // The election winner is an owner apply like any other: durable before
+    // the deferred requests (and their replies) go out.
+    persist_apply(base, c);
     // Taking over the page is a causal interaction like serving a WRITE:
     // our cached copies that the winner's past overwrites must go.
     invalidate_cache(vt_, pg);
@@ -954,9 +1155,58 @@ bool CausalNode::rejoin() {
     // The clock restarts from the stable write counter: our own component
     // must stay ahead of every write this incarnation will issue (tags are
     // {id, ++write_seq_}), and the peers' components are re-learned below.
+    lost_disk_epoch_ = false;
+    persist::RecoveredState durable;
+    if (persist_ != nullptr) {
+      // Honest crash: with durable storage the in-memory cells do NOT
+      // survive the incarnation — the transport-crash model's "memory
+      // survives" stand-in is replaced by a real reload. Everything this
+      // incarnation may serve comes from checkpoint + WAL, complete for
+      // every acknowledged write under sync_every_append (every owner apply
+      // was on disk before its reply left, and a down owner certifies
+      // nothing while down).
+      owned_.clear();
+      durable = persist_->recover();
+      write_seq_ = std::max(write_seq_, durable.write_seq);
+      if (obs::Tracer* t = stats_.tracer()) {
+        t->record(obs::TraceEventKind::kWalReplay, 0, kNoNode,
+                  durable.wal_records, &durable.vt);
+      }
+      if (!durable.any()) {
+        // Nothing durable came back (media loss, or a crash before the
+        // first apply): serving base-owned pages from conjured initial
+        // cells could roll back values peers already read, so every page
+        // must first win its election (see page_ready_locally).
+        lost_disk_epoch_ = true;
+      }
+    }
     std::vector<std::uint64_t> comps(n_, 0);
     comps[id_] = write_seq_;
     vt_ = VectorClock(comps);
+    if (persist_ != nullptr) {
+      // vt_ must dominate the stamp of every restored (= applied) cell;
+      // durable.vt is exactly that join.
+      vt_.update(durable.vt);
+      for (persist::DurableCell& dc : durable.cells) {
+        const std::uint64_t pg = page_of(dc.addr);
+        if (failover_->owner(dc.addr) != id_) {
+          // The page migrated away while we were down — its successor is
+          // authoritative now. The durable copy still seeds the observation
+          // log: if the successor dies before anyone re-reads the page, the
+          // next election can be won from here instead of losing the data.
+          log_observe(dc.addr, Cell{dc.value, dc.stamp, dc.tag});
+          continue;
+        }
+        Cell restored{dc.value, std::move(dc.stamp), dc.tag};
+        log_observe(dc.addr, restored);
+        owned_[dc.addr] = std::move(restored);
+        if (failover_->base_owner(page_base(pg)) != id_) {
+          // A page acquired by failover in a previous incarnation: restored
+          // state stands in for the election it already won.
+          recovered_pages_.insert(pg);
+        }
+      }
+    }
     for (const NodeId p : failover_->live_peers(id_)) {
       const std::uint64_t rid = next_rid_++;
       std::future<Message> fut =
@@ -1106,6 +1356,7 @@ std::future<Message> CausalNode::register_pending(std::uint64_t rid,
   it->second.async = async;
   it->second.start_ns = start_ns;
   it->second.trace_id = trace_id;
+  it->second.serve_snapshot = served_merges_;
   return it->second.reply.get_future();
 }
 

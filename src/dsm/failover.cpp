@@ -39,6 +39,7 @@ FailoverDirectory::FailoverDirectory(std::unique_ptr<Ownership> base,
   reroute_ = std::vector<std::atomic<NodeId>>(n_);
   for (auto& r : reroute_) r.store(kNoNode, std::memory_order_relaxed);
   down_ = std::vector<std::atomic<bool>>(n_);
+  durable_ = std::vector<std::atomic<bool>>(n_);
   last_alive_ = std::vector<std::atomic<std::uint64_t>>(n_);
   const std::uint64_t now = obs::now_ns();
   for (auto& t : last_alive_) t.store(now, std::memory_order_relaxed);
@@ -78,13 +79,26 @@ bool FailoverDirectory::suspect(NodeId suspect, NodeId reporter) {
   }
   std::scoped_lock lock(mu_);
   if (down_[suspect].load(std::memory_order_acquire)) return false;
-  // Deterministic successor: the next node in ring order that is alive.
+  // Deterministic successor: the next live DURABLE node in ring order when
+  // one exists (its checkpoint + WAL survive a later crash of the successor
+  // itself), otherwise the next live node. Both passes are ring scans, so
+  // every node computing the successor independently agrees.
   NodeId successor = kNoNode;
   for (std::size_t step = 1; step < n_; ++step) {
     const NodeId cand = static_cast<NodeId>((suspect + step) % n_);
-    if (!down_[cand].load(std::memory_order_acquire)) {
+    if (!down_[cand].load(std::memory_order_acquire) &&
+        durable_[cand].load(std::memory_order_acquire)) {
       successor = cand;
       break;
+    }
+  }
+  if (successor == kNoNode) {
+    for (std::size_t step = 1; step < n_; ++step) {
+      const NodeId cand = static_cast<NodeId>((suspect + step) % n_);
+      if (!down_[cand].load(std::memory_order_acquire)) {
+        successor = cand;
+        break;
+      }
     }
   }
   if (successor == kNoNode) return false;  // nobody left to take over
@@ -120,6 +134,11 @@ void FailoverDirectory::mark_restarted(NodeId id) {
   down_[id].store(false, std::memory_order_release);
   epoch_.fetch_add(1, std::memory_order_acq_rel);
   // reroute_[id] is deliberately kept: migrated ownership never reverts.
+}
+
+void FailoverDirectory::set_durable(NodeId id, bool durable) {
+  CM_EXPECTS(id < n_);
+  durable_[id].store(durable, std::memory_order_release);
 }
 
 // --------------------------------------------------------------------------

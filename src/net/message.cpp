@@ -21,6 +21,8 @@ const char* msg_type_name(MsgType t) noexcept {
     case MsgType::kSyncReply: return "SYNC_REPLY";
     case MsgType::kRecover: return "RECOVER";
     case MsgType::kRecoverReply: return "RECOVER_REPLY";
+    case MsgType::kCatchupRequest: return "CATCHUP";
+    case MsgType::kCatchupReply: return "CATCHUP_REPLY";
   }
   return "?";
 }

@@ -63,6 +63,11 @@ void FlightRecorder::set_vclock_probe(
   vclock_probe_ = std::move(probe);
 }
 
+void FlightRecorder::set_extra_artifact(std::string filename,
+                                        std::function<std::string()> provider) {
+  extra_artifacts_.emplace_back(std::move(filename), std::move(provider));
+}
+
 void FlightRecorder::add_counter_trigger(
     std::string name, std::function<bool(const StatsRegistry&)> pred) {
   counter_triggers_.push_back({std::move(name), std::move(pred)});
@@ -226,6 +231,13 @@ bool FlightRecorder::write_artifact(const FlightTrigger& t,
     if (!write_file(dir / "state.json", std::move(w).str())) return false;
   }
 
+  // Registered extra artifacts (e.g. the persist layer's persist.json).
+  // Best-effort: a failing provider write drops that file, not the dump.
+  std::vector<std::string> extra_written;
+  for (const auto& [name, provider] : extra_artifacts_) {
+    if (write_file(dir / name, provider())) extra_written.push_back(name);
+  }
+
   // manifest.json last: its presence marks a complete artifact.
   {
     JsonWriter w;
@@ -247,6 +259,7 @@ bool FlightRecorder::write_artifact(const FlightTrigger& t,
     if (has_trace) w.value("trace.json");
     if (has_metrics) w.value("metrics.json");
     w.value("state.json");
+    for (const std::string& name : extra_written) w.value(name);
     w.end_array();
     w.end_object();
     if (!write_file(dir / "manifest.json", std::move(w).str())) return false;

@@ -1,0 +1,234 @@
+#include "causalmem/persist/vfs.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+
+namespace causalmem::persist {
+
+// --------------------------------------------------------------------------
+// RealVfs
+// --------------------------------------------------------------------------
+
+namespace {
+
+class Fd {
+ public:
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+  [[nodiscard]] int get() const noexcept { return fd_; }
+  [[nodiscard]] bool ok() const noexcept { return fd_ >= 0; }
+
+ private:
+  int fd_;
+};
+
+bool write_all(int fd, std::span<const std::byte> data) {
+  const auto* p = reinterpret_cast<const char*>(data.data());
+  std::size_t left = data.size();
+  while (left > 0) {
+    const ssize_t n = ::write(fd, p, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += n;
+    left -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+bool RealVfs::read_file(const std::string& path, std::vector<std::byte>& out) {
+  Fd fd(::open(path.c_str(), O_RDONLY | O_CLOEXEC));
+  if (!fd.ok()) return false;
+  out.clear();
+  std::byte buf[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd.get(), buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return true;
+    out.insert(out.end(), buf, buf + n);
+  }
+}
+
+bool RealVfs::write_file_atomic(const std::string& path,
+                                std::span<const std::byte> data) {
+  const std::string tmp = path + ".tmp";
+  {
+    Fd fd(::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644));
+    if (!fd.ok()) return false;
+    if (!write_all(fd.get(), data)) return false;
+    if (::fsync(fd.get()) != 0) return false;
+  }
+  return ::rename(tmp.c_str(), path.c_str()) == 0;
+}
+
+bool RealVfs::append(const std::string& path, std::span<const std::byte> data,
+                     bool sync) {
+  Fd fd(::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0644));
+  if (!fd.ok()) return false;
+  if (!write_all(fd.get(), data)) return false;
+  return !sync || ::fsync(fd.get()) == 0;
+}
+
+bool RealVfs::sync(const std::string& path) {
+  Fd fd(::open(path.c_str(), O_WRONLY | O_CLOEXEC));
+  if (!fd.ok()) return false;
+  return ::fsync(fd.get()) == 0;
+}
+
+bool RealVfs::truncate(const std::string& path, std::uint64_t size) {
+  return ::truncate(path.c_str(), static_cast<off_t>(size)) == 0;
+}
+
+bool RealVfs::remove(const std::string& path) {
+  return ::unlink(path.c_str()) == 0 || errno == ENOENT;
+}
+
+bool RealVfs::exists(const std::string& path) {
+  struct stat st{};
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+bool RealVfs::mkdirs(const std::string& dir) {
+  std::string partial;
+  partial.reserve(dir.size());
+  for (std::size_t i = 0; i <= dir.size(); ++i) {
+    if (i < dir.size() && dir[i] != '/') {
+      partial.push_back(dir[i]);
+      continue;
+    }
+    if (i < dir.size()) partial.push_back('/');
+    if (partial.empty() || partial == "/") continue;
+    if (::mkdir(partial.c_str(), 0755) != 0 && errno != EEXIST) return false;
+  }
+  return true;
+}
+
+// --------------------------------------------------------------------------
+// MemVfs
+// --------------------------------------------------------------------------
+
+bool MemVfs::read_file(const std::string& path, std::vector<std::byte>& out) {
+  std::lock_guard lock(mu_);
+  const auto it = files_.find(path);
+  if (it == files_.end()) return false;
+  out = it->second.data;
+  return true;
+}
+
+bool MemVfs::write_file_atomic(const std::string& path,
+                               std::span<const std::byte> data) {
+  std::lock_guard lock(mu_);
+  File& f = files_[path];
+  f.data.assign(data.begin(), data.end());
+  f.synced = f.data.size();  // the rename is the durability point
+  return true;
+}
+
+bool MemVfs::append(const std::string& path, std::span<const std::byte> data,
+                    bool sync) {
+  std::lock_guard lock(mu_);
+  File& f = files_[path];
+  f.data.insert(f.data.end(), data.begin(), data.end());
+  if (sync) f.synced = f.data.size();
+  return true;
+}
+
+bool MemVfs::sync(const std::string& path) {
+  std::lock_guard lock(mu_);
+  const auto it = files_.find(path);
+  if (it == files_.end()) return false;
+  it->second.synced = it->second.data.size();
+  return true;
+}
+
+bool MemVfs::truncate(const std::string& path, std::uint64_t size) {
+  std::lock_guard lock(mu_);
+  const auto it = files_.find(path);
+  if (it == files_.end()) return false;
+  File& f = it->second;
+  if (size < f.data.size()) f.data.resize(size);
+  if (f.synced > f.data.size()) f.synced = f.data.size();
+  return true;
+}
+
+bool MemVfs::remove(const std::string& path) {
+  std::lock_guard lock(mu_);
+  files_.erase(path);
+  return true;
+}
+
+bool MemVfs::exists(const std::string& path) {
+  std::lock_guard lock(mu_);
+  return files_.contains(path);
+}
+
+bool MemVfs::mkdirs(const std::string&) { return true; }
+
+void MemVfs::drop_unsynced(const std::string& path) {
+  std::lock_guard lock(mu_);
+  const auto it = files_.find(path);
+  if (it == files_.end()) return;
+  it->second.data.resize(it->second.synced);
+}
+
+void MemVfs::crash() {
+  std::lock_guard lock(mu_);
+  for (auto& [path, f] : files_) f.data.resize(f.synced);
+}
+
+void MemVfs::lose_disk() {
+  std::lock_guard lock(mu_);
+  files_.clear();
+}
+
+bool MemVfs::corrupt(const std::string& path, std::uint64_t offset,
+                     std::uint8_t bit) {
+  std::lock_guard lock(mu_);
+  const auto it = files_.find(path);
+  if (it == files_.end() || offset >= it->second.data.size() || bit > 7) {
+    return false;
+  }
+  it->second.data[offset] ^= static_cast<std::byte>(1u << bit);
+  return true;
+}
+
+std::uint64_t MemVfs::file_size(const std::string& path) const {
+  std::lock_guard lock(mu_);
+  const auto it = files_.find(path);
+  return it == files_.end() ? 0 : it->second.data.size();
+}
+
+std::uint64_t MemVfs::synced_size(const std::string& path) const {
+  std::lock_guard lock(mu_);
+  const auto it = files_.find(path);
+  return it == files_.end() ? 0 : it->second.synced;
+}
+
+std::vector<std::string> MemVfs::list() const {
+  std::lock_guard lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(files_.size());
+  for (const auto& [path, f] : files_) out.push_back(path);
+  return out;
+}
+
+Vfs& default_vfs() {
+  static RealVfs vfs;
+  return vfs;
+}
+
+}  // namespace causalmem::persist

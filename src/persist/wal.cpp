@@ -1,0 +1,100 @@
+#include "causalmem/persist/wal.hpp"
+
+#include "causalmem/common/crc32.hpp"
+
+namespace causalmem::persist {
+
+namespace {
+
+std::vector<std::byte> encode_record(const WalRecord& rec) {
+  ByteWriter payload;
+  put_cell(payload, rec.cell);
+  payload.put(rec.write_seq);
+  ByteWriter frame;
+  frame.put_count(payload.size());
+  frame.put(crc32(payload.bytes()));
+  frame.put_bytes(payload.bytes());
+  return std::move(frame).take();
+}
+
+}  // namespace
+
+std::vector<std::byte> wal_header(NodeId node, std::size_t n) {
+  ByteWriter w;
+  const auto* magic = reinterpret_cast<const std::byte*>(kWalMagic.data());
+  w.put_bytes({magic, kWalMagic.size()});
+  w.put(node);
+  w.put(static_cast<std::uint32_t>(n));
+  w.put(crc32(w.bytes()));
+  return std::move(w).take();
+}
+
+WalReplay replay_wal(Vfs& vfs, const std::string& path, NodeId expect_node,
+                     std::size_t expect_n) {
+  WalReplay out;
+  std::vector<std::byte> data;
+  if (!vfs.read_file(path, data)) return out;
+  out.file_present = true;
+
+  // Header: magic + node + n, all CRC-guarded. Any mismatch means the file
+  // as a whole is untrusted — no record from it may be replayed.
+  const std::vector<std::byte> expect_header = wal_header(expect_node, expect_n);
+  if (data.size() < expect_header.size() ||
+      !std::equal(expect_header.begin(), expect_header.end(), data.begin())) {
+    out.truncated_bytes = data.size();
+    return out;
+  }
+  out.header_valid = true;
+  out.valid_bytes = expect_header.size();
+
+  std::size_t pos = expect_header.size();
+  while (data.size() - pos >= 8) {
+    std::uint32_t len = 0;
+    std::uint32_t crc = 0;
+    std::memcpy(&len, data.data() + pos, 4);
+    std::memcpy(&crc, data.data() + pos + 4, 4);
+    if (len > data.size() - pos - 8) break;  // torn: frame over-runs file
+    const std::span<const std::byte> payload{data.data() + pos + 8, len};
+    if (crc32(payload) != crc) break;  // corrupt payload
+    SafeReader r(payload);
+    WalRecord rec;
+    if (!r.get_cell(rec.cell, expect_n) || !r.get(rec.write_seq) ||
+        !r.exhausted()) {
+      break;  // CRC-colliding garbage — still rejected, still truncated
+    }
+    out.records.push_back(std::move(rec));
+    pos += 8 + len;
+    out.valid_bytes = pos;
+  }
+  out.truncated_bytes = data.size() - out.valid_bytes;
+  return out;
+}
+
+WalWriter::WalWriter(Vfs& vfs, std::string path, NodeId node, std::size_t n,
+                     bool sync_each)
+    : vfs_(vfs),
+      path_(std::move(path)),
+      node_(node),
+      n_(n),
+      sync_each_(sync_each) {}
+
+bool WalWriter::ensure_header() {
+  if (vfs_.exists(path_)) return true;
+  return vfs_.append(path_, wal_header(node_, n_), /*sync=*/true);
+}
+
+bool WalWriter::append(const WalRecord& rec) {
+  if (!ensure_header()) return false;
+  const std::vector<std::byte> frame = encode_record(rec);
+  if (!vfs_.append(path_, frame, sync_each_)) return false;
+  appended_bytes_ += frame.size();
+  return true;
+}
+
+bool WalWriter::reset() {
+  appended_bytes_ = 0;
+  if (!vfs_.remove(path_)) return false;
+  return vfs_.append(path_, wal_header(node_, n_), /*sync=*/true);
+}
+
+}  // namespace causalmem::persist

@@ -8,6 +8,8 @@
 #include "causalmem/dsm/system.hpp"
 #include "causalmem/history/recorder.hpp"
 #include "causalmem/obs/trace.hpp"
+#include "causalmem/persist/store.hpp"
+#include "causalmem/persist/vfs.hpp"
 
 namespace causalmem::sim {
 
@@ -109,14 +111,32 @@ void run_chaos_script(SystemT& sys, SimScheduler& sched, ChaosState& st,
     }
     switch (ev.kind) {
       case ChaosEvent::Kind::kCrash:
+      case ChaosEvent::Kind::kCrashWithDisk:
+      case ChaosEvent::Kind::kCrashLosingDisk:
         st.crashed[ev.node] = 1;
         sys.sim_transport()->crash_node(ev.node);
+        if constexpr (requires { sys.store(ev.node); }) {
+          if (persist::Store* s = sys.store(ev.node)) {
+            // The process died here: unsynced tail bytes are torn off, and
+            // a media loss takes the files with it.
+            s->simulate_crash();
+            if (ev.kind == ChaosEvent::Kind::kCrashLosingDisk) s->lose_disk();
+          }
+        }
         break;
       case ChaosEvent::Kind::kRestart:
+      case ChaosEvent::Kind::kRecoverFromDisk:
         // rejoin parks awaiting peer resyncs; only after it returns is the
-        // node's workload released against recovered state.
+        // node's workload released against recovered state. With a store
+        // attached, rejoin restores owned cells from checkpoint + WAL
+        // first, so the two kinds differ only in intent at the call site.
         sys.restart_node(ev.node);
         st.crashed[ev.node] = 0;
+        break;
+      case ChaosEvent::Kind::kCheckpoint:
+        if constexpr (requires { sys.node(ev.node).checkpoint_now(); }) {
+          (void)sys.node(ev.node).checkpoint_now();
+        }
         break;
       case ChaosEvent::Kind::kPartition:
         sys.sim_transport()->set_partition(ev.from, ev.to, true);
@@ -164,13 +184,31 @@ ExecutionResult run_causal_scenario(const CausalScenarioConfig& cfg,
                                     Strategy& strategy, ScenarioOutcome* out) {
   CM_EXPECTS_MSG(cfg.scripts.size() <= cfg.nodes, "more scripts than nodes");
   for (const ChaosEvent& ev : cfg.chaos) {
-    CM_EXPECTS_MSG(ev.kind != ChaosEvent::Kind::kRestart || cfg.failover,
+    CM_EXPECTS_MSG((ev.kind != ChaosEvent::Kind::kRestart &&
+                    ev.kind != ChaosEvent::Kind::kRecoverFromDisk) ||
+                       cfg.failover,
                    "restart chaos requires failover");
+    CM_EXPECTS_MSG((ev.kind != ChaosEvent::Kind::kCheckpoint &&
+                    ev.kind != ChaosEvent::Kind::kCrashWithDisk &&
+                    ev.kind != ChaosEvent::Kind::kCrashLosingDisk &&
+                    ev.kind != ChaosEvent::Kind::kRecoverFromDisk) ||
+                       cfg.persist,
+                   "persist chaos requires CausalScenarioConfig::persist");
   }
   SimScheduler sched(cfg.sim);
   Recorder recorder(cfg.nodes);
+  // Scenario-owned disk: declared before the system so nodes can append to
+  // their stores until the transport stops.
+  persist::MemVfs vfs;
   SystemOptions opts;
   opts.sim = &sched;
+  if (cfg.persist) {
+    opts.persist.enabled = true;
+    opts.persist.dir = "sim-persist";
+    opts.persist.checkpoint_every = cfg.checkpoint_every;
+    opts.persist.sync_every_append = true;
+    opts.persist.vfs = &vfs;
+  }
   opts.trace.enabled = cfg.trace;
   if (!cfg.flight_dir.empty()) {
     opts.flight.enabled = true;
@@ -193,10 +231,19 @@ ExecutionResult run_causal_scenario(const CausalScenarioConfig& cfg,
     if (cfg.scripts[i].empty()) continue;
     sched.add_task(
         "p" + std::to_string(i),
-        [&sys, &st, &script = cfg.scripts[i], i, bounded] {
+        [&sys, &sched, &st, &script = cfg.scripts[i], i, bounded, base_ns] {
           CausalNode& node = sys.node(i);
           for (const ScriptOp& op : script) {
             if (!await_alive(st, i)) return;
+            if (op.kind == ScriptOp::Kind::kSleep) {
+              const std::uint64_t due =
+                  base_ns + static_cast<std::uint64_t>(op.value);
+              while (sched.now_ns() < due) {
+                coop::park([&sched, due] { return sched.now_ns() >= due; },
+                           due, "script_sleep");
+              }
+              continue;
+            }
             if (op.kind == ScriptOp::Kind::kWrite) {
               if (bounded) {
                 (void)node.try_write(op.addr, op.value);

@@ -22,6 +22,7 @@ const char* counter_name(Counter c) noexcept {
     case Counter::kWriteRemote: return "write.remote";
     case Counter::kInvalidationApplied: return "cache.invalidated";
     case Counter::kDiscard: return "cache.discarded";
+    case Counter::kStaleInstallSkipped: return "cache.stale_install_skipped";
     case Counter::kSpinRefetch: return "spin.refetch";
     case Counter::kSpinTransition: return "spin.transition";
     case Counter::kNetRetransmit: return "net.retransmit";
@@ -43,6 +44,15 @@ const char* counter_name(Counter c) noexcept {
     case Counter::kFoSyncReply: return "fo.sync_reply";
     case Counter::kFoRequestTimeout: return "fo.request_timeout";
     case Counter::kFoUnreachable: return "fo.unreachable";
+    case Counter::kPersistWalAppend: return "persist.wal_append";
+    case Counter::kPersistWalReplayed: return "persist.wal_replayed";
+    case Counter::kPersistWalTruncated: return "persist.wal_truncated";
+    case Counter::kPersistCheckpoint: return "persist.checkpoint";
+    case Counter::kPersistCkptRejected: return "persist.ckpt_rejected";
+    case Counter::kPersistRestoredCells: return "persist.restored_cells";
+    case Counter::kPersistCatchupRequest: return "persist.catchup_request";
+    case Counter::kPersistCatchupReply: return "persist.catchup_reply";
+    case Counter::kPersistCatchupFresher: return "persist.catchup_fresher";
     case Counter::kCounterCount: break;
   }
   return "unknown";
