@@ -13,6 +13,7 @@
 #include "causalmem/dsm/memory.hpp"
 #include "causalmem/dsm/observer.hpp"
 #include "causalmem/dsm/ownership.hpp"
+#include "causalmem/history/online_checker.hpp"
 #include "causalmem/net/fault_injection.hpp"
 #include "causalmem/net/inmem_transport.hpp"
 #include "causalmem/net/reliable_channel.hpp"
@@ -69,6 +70,17 @@ struct FailoverOptions {
   HeartbeatConfig heartbeat_config{};
 };
 
+/// Online streaming causal checking (docs/CHECKING.md): chain an
+/// OnlineChecker in front of the user observer so every operation flows
+/// through a StreamingCausalChecker while the system runs. The first
+/// violation is latched and — when the flight recorder is armed — filed
+/// from the shutdown path (deferred: observer callbacks run under node
+/// locks, a dump probes them). Inspect via DsmSystem::online_checker().
+struct OnlineCheckOptions {
+  bool enabled{false};
+  StreamingOptions checker{};
+};
+
 struct SystemOptions {
   /// Injected per-message latency (in-memory transport only).
   LatencyModel latency{};
@@ -108,6 +120,8 @@ struct SystemOptions {
   TraceOptions trace{};
   /// Anomaly-triggered flight recorder; see FlightOptions.
   FlightOptions flight{};
+  /// Online streaming causal checking; see OnlineCheckOptions.
+  OnlineCheckOptions online_check{};
   /// Deterministic simulation mode: run on a SimTransport driven by this
   /// scheduler (see sim/scheduler.hpp and docs/SIMULATION.md). Excludes
   /// use_tcp, latency models, random faults, fault_layer and reliable —
@@ -162,6 +176,12 @@ class DsmSystem {
       recent_ops_ =
           std::make_unique<obs::RecentOpsObserver>(*flight_, observer);
       observer = recent_ops_.get();
+    }
+    if (options.online_check.enabled) {
+      online_ = std::make_unique<OnlineChecker>(
+          n, options.online_check.checker, observer);
+      if (flight_ != nullptr) online_->set_flight_recorder(flight_.get());
+      observer = online_.get();
     }
     std::unique_ptr<Transport> transport;
     if (options.sim != nullptr) {
@@ -297,6 +317,10 @@ class DsmSystem {
   /// when this is called; application threads join first.
   void shutdown() {
     if (heartbeat_ != nullptr) heartbeat_->stop();
+    // End the online-check stream first: a latched violation files with the
+    // flight recorder while the transport (trace rings, counters, clocks)
+    // is still alive to snapshot.
+    if (online_ != nullptr) online_->finish();
     transport_->shutdown();
   }
 
@@ -378,6 +402,13 @@ class DsmSystem {
     return flight_.get();
   }
 
+  /// The online streaming checker, or nullptr when options.online_check is
+  /// off. Tests call finish() after application threads join (shutdown()
+  /// does it too), then ok() / violation() / stats().
+  [[nodiscard]] OnlineChecker* online_checker() noexcept {
+    return online_.get();
+  }
+
  private:
   template <typename C>
   static Addr page_size_of(const C& config) {
@@ -395,6 +426,7 @@ class DsmSystem {
   std::unique_ptr<obs::TraceHub> trace_;
   std::unique_ptr<obs::FlightRecorder> flight_;
   std::unique_ptr<obs::RecentOpsObserver> recent_ops_;
+  std::unique_ptr<OnlineChecker> online_;
   std::unique_ptr<Ownership> ownership_;
   std::unique_ptr<Transport> transport_;
   // Non-owning views into the transport stack (bottom to top).

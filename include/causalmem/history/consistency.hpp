@@ -10,6 +10,7 @@
 #include <string>
 
 #include "causalmem/history/history.hpp"
+#include "causalmem/history/streaming_checker.hpp"
 
 namespace causalmem {
 
@@ -30,5 +31,29 @@ struct ConsistencyReport {
 /// `pram_max_states` bounds the per-reader PRAM state search.
 [[nodiscard]] ConsistencyReport check_consistency_hierarchy(
     const History& history, std::size_t pram_max_states = 1'000'000);
+
+struct StreamingHierarchyOptions {
+  std::size_t pram_max_states{1'000'000};
+  /// The bounded PRAM search is super-linear in the history; above this many
+  /// total ops it is skipped — `pram` stays true, `pram_decided` turns
+  /// false, matching the existing "undecided is not a violation" contract.
+  std::size_t pram_op_limit{20'000};
+  StreamingOptions checker{};
+};
+
+/// Same verdict contract as check_consistency_hierarchy, with the causal
+/// stage served by StreamingCausalChecker (linear in the history) instead
+/// of the brute-force Definition-1 oracle — this is what makes 10^5–10^6-op
+/// histories checkable. The slow-memory stage is linear and always runs;
+/// PRAM runs below `pram_op_limit`. docs/CHECKING.md derives why the
+/// streaming causal verdict agrees with the brute-force one.
+[[nodiscard]] ConsistencyReport check_consistency_hierarchy_streaming(
+    const History& history, const StreamingHierarchyOptions& options = {});
+
+/// Brute-force hierarchy below `streaming_from` total ops (byte-identical
+/// diagnoses for existing small scopes, which the sim determinism suite
+/// relies on), streaming hierarchy at or above it.
+[[nodiscard]] ConsistencyReport check_consistency_hierarchy_auto(
+    const History& history, std::size_t streaming_from = 4096);
 
 }  // namespace causalmem

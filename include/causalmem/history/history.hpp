@@ -76,7 +76,16 @@ struct History {
 /// matching write resolves to the distinguished initial write).
 class HistoryBuilder {
  public:
-  explicit HistoryBuilder(std::size_t n) { h_.per_process.resize(n); }
+  explicit HistoryBuilder(std::size_t n) : seq_(n, 0) {
+    h_.per_process.resize(n);
+  }
+
+  /// Pre-sizes every process sequence — one allocation up front instead of
+  /// geometric regrows when scripting large histories.
+  HistoryBuilder& reserve(std::size_t ops_per_process) {
+    for (auto& seq : h_.per_process) seq.reserve(ops_per_process);
+    return *this;
+  }
 
   HistoryBuilder& write(NodeId p, Addr x, Value v);
   HistoryBuilder& read(NodeId p, Addr x, Value v);
@@ -87,7 +96,7 @@ class HistoryBuilder {
 
  private:
   History h_;
-  std::vector<std::uint64_t> seq_ = std::vector<std::uint64_t>(64, 0);
+  std::vector<std::uint64_t> seq_;  ///< per-process write tag counters
 };
 
 }  // namespace causalmem

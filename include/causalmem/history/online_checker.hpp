@@ -1,0 +1,132 @@
+// OnlineChecker: an OpObserver that feeds every completed operation through
+// a StreamingCausalChecker WHILE the system runs, instead of recording a
+// History and checking post-hoc. For a 10^6-op run this replaces the
+// Recorder's O(ops) history copy with the checker's bounded live state —
+// the memory shape that makes million-op property runs and soak tests
+// practical (docs/CHECKING.md, docs/OBSERVABILITY.md).
+//
+// Flight-recorder integration is DEFERRED: observer callbacks run under the
+// node's operation lock, and a flight dump probes every node's vector clock
+// (taking node locks) — firing inline could self-deadlock. The first
+// violation is latched here; finish() or poll_flight() — called outside any
+// operation, e.g. after application threads join, or from DsmSystem's
+// shutdown path — files it with the recorder while the system is still
+// alive enough to snapshot trace rings, counters and clocks.
+#pragma once
+
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "causalmem/dsm/observer.hpp"
+#include "causalmem/history/streaming_checker.hpp"
+#include "causalmem/obs/flight_recorder.hpp"
+
+namespace causalmem {
+
+class OnlineChecker final : public OpObserver {
+ public:
+  /// `next` (optional) receives every op after the checker consumed it, so
+  /// the online check composes with a Recorder or RecentOpsObserver chain.
+  explicit OnlineChecker(std::size_t n, StreamingOptions opts = {},
+                         OpObserver* next = nullptr)
+      : checker_(n, opts), next_(next) {}
+
+  /// Arms deferred flight-recorder triggering; see the header comment.
+  void set_flight_recorder(obs::FlightRecorder* fr) {
+    std::scoped_lock lock(mu_);
+    flight_ = fr;
+  }
+
+  void on_read(NodeId node, Addr x, Value v, const WriteTag& tag,
+               const OpTiming& timing) override {
+    {
+      std::scoped_lock lock(mu_);
+      checker_.on_read(node, x, v, tag);
+    }
+    if (next_ != nullptr) next_->on_read(node, x, v, tag, timing);
+  }
+
+  void on_write(NodeId node, Addr x, Value v, const WriteTag& tag,
+                bool applied, const OpTiming& timing) override {
+    {
+      std::scoped_lock lock(mu_);
+      checker_.on_write(node, x, v, tag);
+    }
+    if (next_ != nullptr) next_->on_write(node, x, v, tag, applied, timing);
+  }
+
+  /// End of stream: classifies parked reads and files any latched violation
+  /// with the flight recorder. Call after application threads join, while
+  /// the system is still alive. Idempotent.
+  void finish() {
+    std::optional<StreamingViolation> fire;
+    obs::FlightRecorder* fr = nullptr;
+    {
+      std::scoped_lock lock(mu_);
+      if (!checker_.finished()) checker_.finish();
+      fire = pending_fire();
+      fr = flight_;
+    }
+    if (fire.has_value() && fr != nullptr) file_violation(*fr, *fire);
+  }
+
+  /// Files a latched mid-run violation with the flight recorder without
+  /// ending the stream. Safe to call periodically from a driver loop.
+  void poll_flight() {
+    std::optional<StreamingViolation> fire;
+    obs::FlightRecorder* fr = nullptr;
+    {
+      std::scoped_lock lock(mu_);
+      fire = pending_fire();
+      fr = flight_;
+    }
+    if (fire.has_value() && fr != nullptr) file_violation(*fr, *fire);
+  }
+
+  [[nodiscard]] bool ok() const {
+    std::scoped_lock lock(mu_);
+    return checker_.causal_ok();
+  }
+
+  [[nodiscard]] std::optional<StreamingViolation> violation() const {
+    std::scoped_lock lock(mu_);
+    return checker_.first_violation();
+  }
+
+  [[nodiscard]] StreamingStats stats() const {
+    std::scoped_lock lock(mu_);
+    return checker_.stats();
+  }
+
+  /// The underlying checker. Call only after application threads joined.
+  [[nodiscard]] const StreamingCausalChecker& checker() const {
+    return checker_;
+  }
+
+ private:
+  [[nodiscard]] std::optional<StreamingViolation> pending_fire() {
+    // mu_ held. One-shot: the flight recorder latches anyway, but skipping
+    // repeat calls keeps poll_flight cheap on the happy path.
+    if (flight_fired_ || !checker_.first_violation().has_value()) {
+      return std::nullopt;
+    }
+    flight_fired_ = true;
+    return checker_.first_violation();
+  }
+
+  static void file_violation(obs::FlightRecorder& fr,
+                             const StreamingViolation& v) {
+    fr.on_violation("online causal violation: p" + std::to_string(v.op.proc) +
+                    "[" + std::to_string(v.op.index) + "] " +
+                    bad_pattern_name(v.pattern) + ": " + v.detail);
+  }
+
+  mutable std::mutex mu_;
+  StreamingCausalChecker checker_;
+  OpObserver* next_{nullptr};
+  obs::FlightRecorder* flight_{nullptr};
+  bool flight_fired_{false};
+};
+
+}  // namespace causalmem

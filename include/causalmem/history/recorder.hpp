@@ -1,9 +1,15 @@
 // Recorder: an OpObserver that captures a live execution as a History for
 // post-hoc checking. Implementations invoke the observer in each node's
 // program order; a single mutex keeps cross-node appends safe.
+//
+// Sized for big histories: pass `reserve_per_process` so a 10^6-op run
+// costs one allocation per process instead of log(n) geometric regrows
+// (and the regrow copies) under the lock, and move the history out with
+// take_history() instead of copying megabytes through history().
 #pragma once
 
 #include <mutex>
+#include <utility>
 
 #include "causalmem/dsm/observer.hpp"
 #include "causalmem/history/history.hpp"
@@ -12,13 +18,19 @@ namespace causalmem {
 
 class Recorder final : public OpObserver {
  public:
-  explicit Recorder(std::size_t n) { history_.per_process.resize(n); }
+  explicit Recorder(std::size_t n, std::size_t reserve_per_process = 0) {
+    history_.per_process.resize(n);
+    if (reserve_per_process != 0) {
+      for (auto& seq : history_.per_process) seq.reserve(reserve_per_process);
+    }
+  }
 
   void on_read(NodeId node, Addr x, Value v, const WriteTag& tag,
                const OpTiming& timing) override {
     std::scoped_lock lock(mu_);
     history_.per_process[node].push_back(Operation{
         OpKind::kRead, node, x, v, tag, true, timing.start_ns, timing.end_ns});
+    ++count_;
   }
 
   void on_write(NodeId node, Addr x, Value v, const WriteTag& tag,
@@ -28,6 +40,7 @@ class Recorder final : public OpObserver {
                                                    tag, applied,
                                                    timing.start_ns,
                                                    timing.end_ns});
+    ++count_;
   }
 
   /// Snapshot of the execution so far. Call after application threads join.
@@ -36,16 +49,27 @@ class Recorder final : public OpObserver {
     return history_;
   }
 
+  /// Moves the recorded execution out (the recorder keeps its process count
+  /// but is empty afterwards). For histories big enough that history()'s
+  /// copy would dominate — call after application threads join.
+  [[nodiscard]] History take_history() {
+    std::scoped_lock lock(mu_);
+    History out = std::move(history_);
+    history_ = History{};
+    history_.per_process.resize(out.per_process.size());
+    count_ = 0;
+    return out;
+  }
+
   [[nodiscard]] std::size_t op_count() const {
     std::scoped_lock lock(mu_);
-    std::size_t n = 0;
-    for (const auto& s : history_.per_process) n += s.size();
-    return n;
+    return count_;
   }
 
  private:
   mutable std::mutex mu_;
   History history_;
+  std::size_t count_{0};
 };
 
 }  // namespace causalmem

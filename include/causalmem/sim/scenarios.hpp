@@ -139,6 +139,9 @@ struct CausalScenarioConfig {
   /// observability state (correlated trace, counters, clocks, recent ops)
   /// there before the system is torn down.
   std::string flight_dir;
+  /// Also chain an OnlineChecker (streaming causal check during the run, in
+  /// addition to the post-hoc hierarchy verdict); see docs/CHECKING.md.
+  bool online_check{false};
 };
 
 /// Broadcast-memory scenario (no owners, no chaos: replicas are symmetric
@@ -151,6 +154,8 @@ struct BroadcastScenarioConfig {
   bool trace{true};
   /// Same contract as CausalScenarioConfig::flight_dir.
   std::string flight_dir;
+  /// Same contract as CausalScenarioConfig::online_check.
+  bool online_check{false};
 };
 
 /// Everything one execution observed, serialized deterministically — the

@@ -43,4 +43,46 @@ ConsistencyReport check_consistency_hierarchy(const History& history,
   return rep;
 }
 
+ConsistencyReport check_consistency_hierarchy_streaming(
+    const History& history, const StreamingHierarchyOptions& options) {
+  ConsistencyReport rep;
+  const auto res = StreamingCausalChecker::check(history, options.checker);
+  if (!res.causal) {
+    rep.causal = false;
+    rep.reason = "causal violation: " +
+                 describe(history, res.first->op, res.first->detail);
+    return rep;
+  }
+  if (auto v = check_slow_consistency(history)) {
+    rep.slow = false;
+    rep.reason =
+        "slow-memory violation: " + describe(history, v->read, v->reason);
+    return rep;
+  }
+  if (history.total_ops() > options.pram_op_limit) {
+    rep.pram_decided = false;
+    return rep;
+  }
+  switch (check_pram_consistency(history, options.pram_max_states)) {
+    case ScResult::kConsistent:
+      break;
+    case ScResult::kInconsistent:
+      rep.pram = false;
+      rep.reason = "PRAM violation (no per-reader serialization exists)";
+      break;
+    case ScResult::kUndecided:
+      rep.pram_decided = false;
+      break;
+  }
+  return rep;
+}
+
+ConsistencyReport check_consistency_hierarchy_auto(const History& history,
+                                                   std::size_t streaming_from) {
+  if (history.total_ops() < streaming_from) {
+    return check_consistency_hierarchy(history);
+  }
+  return check_consistency_hierarchy_streaming(history);
+}
+
 }  // namespace causalmem

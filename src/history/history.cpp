@@ -1,6 +1,7 @@
 #include "causalmem/history/history.hpp"
 
 #include <sstream>
+#include <unordered_map>
 
 namespace causalmem {
 
@@ -48,31 +49,62 @@ HistoryBuilder& HistoryBuilder::read(NodeId p, Addr x, Value v) {
   return *this;
 }
 
+namespace {
+
+struct AddrValueKey {
+  Addr addr;
+  Value value;
+  friend bool operator==(const AddrValueKey&, const AddrValueKey&) = default;
+};
+
+struct AddrValueHash {
+  std::size_t operator()(const AddrValueKey& k) const noexcept {
+    return std::hash<Addr>{}(k.addr) * 1000003 +
+           std::hash<Value>{}(k.value);
+  }
+};
+
+}  // namespace
+
 History HistoryBuilder::build() const {
   History out = h_;
+  // Resolve by (addr, value) through one index pass: the paper's examples
+  // keep write values unique per location, and the old per-read scan was
+  // quadratic — ruinous for the 10^5-op histories the streaming-checker
+  // suites build. A duplicated (addr, value) only aborts if a read actually
+  // needs it, same contract as the scan.
+  struct Resolved {
+    WriteTag tag{};
+    bool ambiguous{false};
+  };
+  std::unordered_map<AddrValueKey, Resolved, AddrValueHash> writes;
+  std::size_t write_count = 0;
+  for (const auto& seq : out.per_process) {
+    for (const Operation& o : seq) write_count += o.kind == OpKind::kWrite;
+  }
+  writes.reserve(write_count);
+  for (const auto& seq : out.per_process) {
+    for (const Operation& o : seq) {
+      if (o.kind != OpKind::kWrite) continue;
+      auto [it, inserted] =
+          writes.try_emplace(AddrValueKey{o.addr, o.value}, Resolved{o.tag});
+      if (!inserted) it->second.ambiguous = true;
+    }
+  }
   for (auto& seq : out.per_process) {
     for (Operation& o : seq) {
       if (o.kind != OpKind::kRead) continue;
-      // Resolve by (addr, value): the paper's examples keep write values
-      // unique per location.
-      bool found = false;
-      for (const auto& wseq : out.per_process) {
-        for (const auto& w : wseq) {
-          if (w.kind == OpKind::kWrite && w.addr == o.addr &&
-              w.value == o.value) {
-            CM_EXPECTS_MSG(!found,
-                           "ambiguous reads-from: duplicate write value");
-            o.tag = w.tag;
-            found = true;
-          }
-        }
+      const auto it = writes.find(AddrValueKey{o.addr, o.value});
+      if (it != writes.end()) {
+        CM_EXPECTS_MSG(!it->second.ambiguous,
+                       "ambiguous reads-from: duplicate write value");
+        o.tag = it->second.tag;
+        continue;
       }
-      if (!found) {
-        CM_EXPECTS_MSG(
-            o.value == kInitialValue,
-            "read of a value no write produced (and not the initial 0)");
-        o.tag = WriteTag{};  // distinguished initial write
-      }
+      CM_EXPECTS_MSG(
+          o.value == kInitialValue,
+          "read of a value no write produced (and not the initial 0)");
+      o.tag = WriteTag{};  // distinguished initial write
     }
   }
   return out;

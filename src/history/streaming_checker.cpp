@@ -1,0 +1,551 @@
+#include "causalmem/history/streaming_checker.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "causalmem/common/expect.hpp"
+
+namespace causalmem {
+
+const char* bad_pattern_name(BadPattern p) noexcept {
+  switch (p) {
+    case BadPattern::kThinAirRead: return "ThinAirRead";
+    case BadPattern::kCyclicCO: return "CyclicCO";
+    case BadPattern::kWriteCOInitRead: return "WriteCOInitRead";
+    case BadPattern::kWriteCORead: return "WriteCORead";
+    case BadPattern::kWriteHBInitRead: return "WriteHBInitRead";
+    case BadPattern::kWriteHBRead: return "WriteHBRead";
+    case BadPattern::kCyclicCF: return "CyclicCF";
+  }
+  return "?";
+}
+
+ViolationClass violation_class_of(BadPattern p) noexcept {
+  switch (p) {
+    case BadPattern::kThinAirRead: return ViolationClass::kThinAir;
+    case BadPattern::kCyclicCO: return ViolationClass::kFuture;
+    case BadPattern::kWriteCOInitRead:
+    case BadPattern::kWriteCORead:
+    case BadPattern::kWriteHBInitRead:
+    case BadPattern::kWriteHBRead: return ViolationClass::kStale;
+    case BadPattern::kCyclicCF: return ViolationClass::kConvergence;
+  }
+  return ViolationClass::kStale;
+}
+
+ViolationClass classify_causal_reason(std::string_view reason) {
+  if (reason.find("no write in the execution") != std::string_view::npos) {
+    return ViolationClass::kThinAir;
+  }
+  if (reason.find("causal future") != std::string_view::npos) {
+    return ViolationClass::kFuture;
+  }
+  // "stale read ...: its write was overwritten" and the hierarchy-prefixed
+  // forms all land here; stale is also the safe default for unknown text.
+  return ViolationClass::kStale;
+}
+
+StreamingCausalChecker::StreamingCausalChecker(std::size_t nprocs_hint,
+                                               StreamingOptions opts)
+    : opts_(opts) {
+  clocks_.resize(nprocs_hint);
+  for (auto& c : clocks_) c.assign(nprocs_hint, 0);
+  pending_.resize(nprocs_hint);
+  blocked_.assign(nprocs_hint, 0);
+  min_frontier_.assign(nprocs_hint, 0);
+}
+
+void StreamingCausalChecker::ensure_proc(NodeId p) {
+  if (p < clocks_.size()) return;
+  clocks_.resize(p + 1);
+  pending_.resize(p + 1);
+  blocked_.resize(p + 1, 0);
+  // A newly admitted process has an all-zero clock, so the global min
+  // frontier collapses to zero until it advances — GC just pauses.
+  min_frontier_.assign(min_frontier_.size(), 0);
+  min_frontier_.resize(p + 1, 0);
+}
+
+void StreamingCausalChecker::set_component(std::vector<std::uint64_t>& v,
+                                           std::size_t i,
+                                           std::uint64_t value) {
+  if (i >= v.size()) v.resize(i + 1, 0);
+  v[i] = value;
+}
+
+void StreamingCausalChecker::merge_clock(
+    std::vector<std::uint64_t>& into, const std::vector<std::uint64_t>& from) {
+  if (from.size() > into.size()) into.resize(from.size(), 0);
+  for (std::size_t i = 0; i < from.size(); ++i) {
+    into[i] = std::max(into[i], from[i]);
+  }
+}
+
+void StreamingCausalChecker::kill_min(std::vector<std::uint64_t>& kill,
+                                      std::size_t q, std::uint64_t n) {
+  if (q >= kill.size()) kill.resize(q + 1, kNoKill);
+  kill[q] = std::min(kill[q], n);
+}
+
+int StreamingCausalChecker::kill_hit(const std::vector<std::uint64_t>& kill,
+                                     const std::vector<std::uint64_t>& pre) {
+  for (std::size_t q = 0; q < kill.size(); ++q) {
+    if (kill[q] != kNoKill && kill[q] <= at(pre, q)) {
+      return static_cast<int>(q);
+    }
+  }
+  return -1;
+}
+
+void StreamingCausalChecker::on_write(NodeId p, Addr x, Value v,
+                                      const WriteTag& tag) {
+  Operation op;
+  op.kind = OpKind::kWrite;
+  op.proc = p;
+  op.addr = x;
+  op.value = v;
+  op.tag = tag;
+  on_op(op);
+}
+
+void StreamingCausalChecker::on_read(NodeId p, Addr x, Value v,
+                                     const WriteTag& tag) {
+  Operation op;
+  op.kind = OpKind::kRead;
+  op.proc = p;
+  op.addr = x;
+  op.value = v;
+  op.tag = tag;
+  on_op(op);
+}
+
+void StreamingCausalChecker::on_op(const Operation& op) {
+  CM_EXPECTS_MSG(!finished_, "on_op after finish()");
+  ensure_proc(op.proc);
+  ++stats_.ops_seen;
+  pending_[op.proc].push_back(op);
+  ++stats_.pending_ops;
+  stats_.peak_pending = std::max(stats_.peak_pending, stats_.pending_ops);
+  if (blocked_[op.proc] == 0) drain_from(op.proc);
+}
+
+void StreamingCausalChecker::drain_from(NodeId first) {
+  // Iterative worklist: completing a write may unpark reads at other
+  // processes, whose processing may unpark further processes.
+  std::deque<NodeId> work{first};
+  while (!work.empty()) {
+    const NodeId q = work.front();
+    work.pop_front();
+    if (blocked_[q] != 0) blocked_[q] = 0;
+    auto& queue = pending_[q];
+    while (!queue.empty()) {
+      const Operation& head = queue.front();
+      if (head.kind == OpKind::kRead && !head.tag.is_initial()) {
+        const TagKey key{head.addr, head.tag};
+        if (!writes_.contains(key) && !is_tombstoned(head.tag)) {
+          // Source not processed yet: park this process until it is (or
+          // finish() classifies the wait as ThinAirRead / CyclicCO).
+          blocked_[q] = 1;
+          waiters_[key].push_back(q);
+          break;
+        }
+      }
+      Operation op = std::move(queue.front());
+      queue.pop_front();
+      --stats_.pending_ops;
+      process_op(op);
+      if (op.kind == OpKind::kWrite) {
+        if (const auto it = waiters_.find(TagKey{op.addr, op.tag});
+            it != waiters_.end()) {
+          for (const NodeId s : it->second) work.push_back(s);
+          waiters_.erase(it);
+        }
+      }
+    }
+  }
+}
+
+void StreamingCausalChecker::process_op(const Operation& op) {
+  if (op.kind == OpKind::kRead) {
+    process_read(op);
+  } else {
+    process_write(op);
+  }
+  ++stats_.ops_processed;
+  if (opts_.gc_interval != 0 && ++ops_since_gc_ >= opts_.gc_interval) {
+    ops_since_gc_ = 0;
+    gc();
+  }
+}
+
+void StreamingCausalChecker::process_read(const Operation& op) {
+  const NodeId q = op.proc;
+  auto& V = clocks_[q];
+  const std::uint64_t n = self_count(q) + 1;
+  const OpRef ref{q, static_cast<std::size_t>(n - 1)};
+
+  // pre(r): the clock BEFORE merging the read's own reads-from edge — every
+  // other causal path into r runs through its program-order predecessor, so
+  // this is exactly Definition 1's "own edge excluded" relation.
+  WriteRec* src = nullptr;
+  if (op.tag.is_initial()) {
+    if (const auto it = init_kill_.find(op.addr); it != init_kill_.end()) {
+      if (const int kq = kill_hit(it->second.cc, V); kq >= 0) {
+        std::ostringstream oss;
+        oss << "stale read " << op.to_string()
+            << ": a write of x" << op.addr
+            << " by p" << kq << " precedes this read of the initial value";
+        record(ref, BadPattern::kWriteCOInitRead, oss.str());
+      } else if (const int kr = kill_hit(it->second.cm, V); kr >= 0) {
+        std::ostringstream oss;
+        oss << "stale read " << op.to_string() << ": p" << kr
+            << " already read a written value of x" << op.addr
+            << " inside this read's causal past";
+        record(ref, BadPattern::kWriteHBInitRead, oss.str());
+      }
+    }
+  } else {
+    const TagKey key{op.addr, op.tag};
+    if (is_tombstoned(op.tag)) {
+      std::ostringstream oss;
+      oss << "stale read " << op.to_string()
+          << ": its write was overwritten in every process's causal past";
+      record(ref, BadPattern::kWriteCORead, oss.str());
+    } else {
+      src = &writes_.at(key);  // drain_from guarantees presence
+      if (co_before(*src, V)) {
+        if (const int kq = kill_hit(src->kill_cc, V); kq >= 0) {
+          std::ostringstream oss;
+          oss << "stale read " << op.to_string()
+              << ": its write was overwritten — intervening write of x"
+              << op.addr << " at p" << kq << " with w *-> m *-> r";
+          record(ref, BadPattern::kWriteCORead, oss.str());
+        } else if (const int kr = kill_hit(src->kill_cm, V); kr >= 0) {
+          std::ostringstream oss;
+          oss << "stale read " << op.to_string()
+              << ": its write was overwritten — intervening read of x"
+              << op.addr << " at p" << kr << " with w *-> m *-> r";
+          record(ref, BadPattern::kWriteHBRead, oss.str());
+        }
+      }
+      if (opts_.track_ccv) note_cf_edges(op, *src, V);
+    }
+  }
+
+  if (src != nullptr && !src->clock_dropped) merge_clock(V, src->clock);
+  set_component(V, q, n);
+
+  // This read as an intervener: it kills (at the hb/CM level) every live
+  // write of x with another tag inside its causal past.
+  kill_scan(op.addr, op.tag, /*is_write=*/false, q, n);
+  if (!op.tag.is_initial()) {
+    kill_min(init_kill_[op.addr].cm, q, n);
+  }
+}
+
+void StreamingCausalChecker::process_write(const Operation& op) {
+  const NodeId q = op.proc;
+  auto& V = clocks_[q];
+  const std::uint64_t n = self_count(q) + 1;
+  set_component(V, q, n);
+
+  kill_scan(op.addr, op.tag, /*is_write=*/true, q, n);
+  kill_min(init_kill_[op.addr].cc, q, n);
+
+  const auto [it, inserted] = writes_.try_emplace(TagKey{op.addr, op.tag});
+  if (!inserted || is_tombstoned(op.tag)) {
+    // Non-differentiated input (duplicate tag): keep the first write, like
+    // CausalChecker's write_of.emplace. The DSM never produces this.
+    ++stats_.duplicate_tags;
+    if (inserted) writes_.erase(it);
+    return;
+  }
+  WriteRec& rec = it->second;
+  rec.tag = op.tag;
+  rec.proc = q;
+  rec.num = n;
+  rec.value = op.value;
+  rec.clock = V;
+  by_addr_[op.addr].push_back(&rec);
+  stats_.live_writes = writes_.size();
+  stats_.peak_live_writes =
+      std::max(stats_.peak_live_writes, stats_.live_writes);
+}
+
+void StreamingCausalChecker::kill_scan(Addr addr, const WriteTag& value_tag,
+                                       bool is_write, NodeId q,
+                                       std::uint64_t n) {
+  const auto it = by_addr_.find(addr);
+  if (it == by_addr_.end()) return;
+  const auto& clk = clocks_[q];  // now includes this op itself
+  for (WriteRec* w : it->second) {
+    if (w->tag == value_tag) continue;  // same value confirms, not kills
+    if (!co_before(*w, clk)) continue;  // killer must causally follow w
+    kill_min(is_write ? w->kill_cc : w->kill_cm, q, n);
+  }
+}
+
+void StreamingCausalChecker::note_cf_edges(
+    const Operation& read, WriteRec& src,
+    const std::vector<std::uint64_t>& pre) {
+  // Conflict (cf) edges: reading w2 while another write w1 of x sits in the
+  // read's causal past demands arbitration w1 < w2. An edge contradicting
+  // co, or a cf 2-cycle, is a CCv violation (longer cycles are out of this
+  // check's reach — ccv_decided() stays honest about saturation instead).
+  const auto it = by_addr_.find(read.addr);
+  if (it == by_addr_.end()) return;
+  for (WriteRec* w1 : it->second) {
+    if (w1->tag == src.tag) continue;
+    if (!co_before(*w1, pre)) continue;  // not in the read's causal past
+    // w1 -> co -> w2 already implies the arbitration order; no edge needed.
+    if (!src.clock_dropped && at(src.clock, w1->proc) >= w1->num) continue;
+    if (src.clock_dropped && w1->clock_dropped) continue;  // unknowable; skip
+    // Contradiction with co: the read's source precedes w1 causally, yet
+    // arbitration needs w1 before the source.
+    if (!w1->clock_dropped && at(w1->clock, src.proc) >= src.num) {
+      const std::uint64_t n = self_count(read.proc) + 1;
+      std::ostringstream oss;
+      oss << "convergence conflict at " << read.to_string()
+          << ": arbitration needs w" << w1->proc << "#" << w1->num
+          << " before the write read, but causal order has it after";
+      record(OpRef{read.proc, static_cast<std::size_t>(n - 1)},
+             BadPattern::kCyclicCF, oss.str());
+      continue;
+    }
+    // cf 2-cycle: some earlier read demanded the opposite arbitration.
+    if (std::find(w1->cf_before.begin(), w1->cf_before.end(), src.tag) !=
+        w1->cf_before.end()) {
+      const std::uint64_t n = self_count(read.proc) + 1;
+      std::ostringstream oss;
+      oss << "convergence conflict at " << read.to_string()
+          << ": two processes observed writes of x" << read.addr
+          << " in opposite orders";
+      record(OpRef{read.proc, static_cast<std::size_t>(n - 1)},
+             BadPattern::kCyclicCF, oss.str());
+      continue;
+    }
+    if (std::find(src.cf_before.begin(), src.cf_before.end(), w1->tag) !=
+        src.cf_before.end()) {
+      continue;  // edge already known
+    }
+    if (src.cf_before.size() >= opts_.ccv_edges_per_write) {
+      src.ccv_saturated = true;
+      ccv_decided_ = false;
+      continue;
+    }
+    src.cf_before.push_back(w1->tag);
+  }
+}
+
+void StreamingCausalChecker::record(OpRef ref, BadPattern pattern,
+                                    std::string detail) {
+  ++pattern_counts_[static_cast<std::size_t>(pattern)];
+  StreamingViolation v{ref, pattern, std::move(detail)};
+  if (pattern == BadPattern::kCyclicCF) {
+    ccv_bad_ = true;
+  } else {
+    if (!first_causal_.has_value()) first_causal_ = v;
+    if (pattern != BadPattern::kWriteHBInitRead &&
+        pattern != BadPattern::kWriteHBRead && !first_cc_.has_value()) {
+      first_cc_ = v;
+    }
+  }
+  if (violations_.size() < opts_.max_recorded) {
+    violations_.push_back(std::move(v));
+  }
+}
+
+void StreamingCausalChecker::gc() {
+  // Refresh the global min frontier: a write dominated by EVERY process's
+  // clock can never again be merged usefully (its clock is already below
+  // each V_q) and is co-before every future operation.
+  const std::size_t procs = clocks_.size();
+  min_frontier_.assign(procs, kNoKill);
+  for (std::size_t q = 0; q < procs; ++q) {
+    for (std::size_t i = 0; i < procs; ++i) {
+      min_frontier_[i] = std::min(min_frontier_[i], at(clocks_[q], i));
+    }
+  }
+  for (auto& [addr, list] : by_addr_) {
+    for (std::size_t i = 0; i < list.size();) {
+      WriteRec* w = list[i];
+      if (!w->clock_dropped) {
+        bool dominated = true;
+        for (std::size_t c = 0; c < w->clock.size() && dominated; ++c) {
+          dominated = w->clock[c] <= at(min_frontier_, c);
+        }
+        if (dominated) {
+          w->clock.clear();
+          w->clock.shrink_to_fit();
+          w->clock_dropped = true;
+          ++stats_.gc_clock_drops;
+        }
+      }
+      bool tombstoned = false;
+      if (w->clock_dropped && !w->kill_cc.empty()) {
+        // Tombstone once a co-later write of x exists in EVERY process's
+        // past: any future read of w is then stale by construction, so the
+        // record can shrink to its tag.
+        tombstoned = true;
+        for (std::size_t s = 0; s < procs && tombstoned; ++s) {
+          bool covered = false;
+          for (std::size_t c = 0; c < w->kill_cc.size() && !covered; ++c) {
+            covered = w->kill_cc[c] != kNoKill &&
+                      w->kill_cc[c] <= at(clocks_[s], c);
+          }
+          tombstoned = covered;
+        }
+      }
+      if (tombstoned) {
+        const TagKey key{addr, w->tag};
+        list[i] = list.back();
+        list.pop_back();
+        add_tombstone(w->tag);
+        writes_.erase(key);
+        ++stats_.gc_tombstoned;
+      } else {
+        ++i;
+      }
+    }
+  }
+  stats_.live_writes = writes_.size();
+  stats_.tombstones = tombstone_count_;
+  refresh_memory_estimate();
+}
+
+bool StreamingCausalChecker::is_tombstoned(const WriteTag& tag) const {
+  const auto it = tombstones_.find(tag.writer);
+  if (it == tombstones_.end()) return false;
+  return tag.seq <= it->second.watermark ||
+         it->second.pending.contains(tag.seq);
+}
+
+void StreamingCausalChecker::add_tombstone(const WriteTag& tag) {
+  TombTracker& t = tombstones_[tag.writer];
+  ++tombstone_count_;
+  if (tag.seq == t.watermark + 1) {
+    ++t.watermark;
+    while (t.pending.erase(t.watermark + 1) != 0) ++t.watermark;
+  } else {
+    t.pending.insert(tag.seq);
+  }
+}
+
+void StreamingCausalChecker::refresh_memory_estimate() {
+  const std::size_t procs = clocks_.size();
+  std::uint64_t bytes = 0;
+  bytes += static_cast<std::uint64_t>(procs) * procs * sizeof(std::uint64_t);
+  // Live writes: record + clock/kill vectors (worst-case procs-sized each)
+  // + map node + by_addr slot. Tombstones: set node only.
+  bytes += stats_.live_writes *
+           (sizeof(WriteRec) + 3 * procs * sizeof(std::uint64_t) + 64);
+  for (const auto& [writer, t] : tombstones_) {
+    bytes += sizeof(TombTracker) + 32 +
+             t.pending.size() * (sizeof(std::uint64_t) + 32);
+  }
+  bytes += stats_.pending_ops * sizeof(Operation);
+  stats_.approx_bytes = bytes;
+  stats_.peak_approx_bytes = std::max(stats_.peak_approx_bytes, bytes);
+}
+
+void StreamingCausalChecker::finish() {
+  if (finished_) return;
+  finished_ = true;
+  if (opts_.gc_interval != 0) gc();
+  refresh_memory_estimate();
+
+  // Anything still parked lost its race with the end of the stream. Each
+  // blocked process's head is a read waiting on a write that either never
+  // arrived anywhere (ThinAirRead) or arrived behind ANOTHER blocked read —
+  // and since every stalled process is stalled on a read, following the
+  // "whose write am I waiting for" chain must close a cycle (CyclicCO).
+  const std::size_t procs = pending_.size();
+  auto arrived_unprocessed = [&](const TagKey& key) -> NodeId {
+    for (NodeId p = 0; p < procs; ++p) {
+      for (const Operation& o : pending_[p]) {
+        if (o.kind == OpKind::kWrite && o.addr == key.addr &&
+            o.tag == key.tag) {
+          return p;
+        }
+      }
+    }
+    return kNoNode;
+  };
+
+  std::vector<std::uint8_t> classified(procs, 0);
+  for (NodeId q = 0; q < procs; ++q) {
+    if (pending_[q].empty() || classified[q] != 0) continue;
+    // Walk the waiting chain from q; chain members whose write DID arrive
+    // point at the process holding it.
+    std::vector<NodeId> path;
+    std::vector<std::uint8_t> on_path(procs, 0);
+    NodeId cur = q;
+    while (true) {
+      const Operation& head = pending_[cur].front();
+      CM_EXPECTS(head.kind == OpKind::kRead && !head.tag.is_initial());
+      const TagKey key{head.addr, head.tag};
+      const OpRef ref{cur, static_cast<std::size_t>(self_count(cur))};
+      const NodeId holder = arrived_unprocessed(key);
+      if (holder == kNoNode) {
+        std::ostringstream oss;
+        oss << "read returned a value no write in the execution produced: "
+            << head.to_string();
+        record(ref, BadPattern::kThinAirRead, oss.str());
+        for (const NodeId p : path) classified[p] = 1;
+        classified[cur] = 1;
+        break;
+      }
+      if (on_path[holder] != 0 || classified[holder] != 0) {
+        // Chain closed (or merged into an already-diagnosed cycle): the
+        // blocked reads form a program-order/reads-from cycle.
+        std::ostringstream oss;
+        oss << "read from the causal future: " << head.to_string()
+            << " causally precedes the write it read from";
+        record(ref, BadPattern::kCyclicCO, oss.str());
+        for (const NodeId p : path) classified[p] = 1;
+        classified[cur] = 1;
+        break;
+      }
+      on_path[cur] = 1;
+      path.push_back(cur);
+      cur = holder;
+    }
+  }
+}
+
+StreamingCausalChecker::Result StreamingCausalChecker::check(
+    const History& h, StreamingOptions opts) {
+  StreamingCausalChecker c(h.process_count(), opts);
+  c.feed(h);
+  c.finish();
+  Result res;
+  res.cc = c.cc_ok();
+  res.causal = c.causal_ok();
+  res.ccv = c.ccv_ok();
+  res.ccv_decided = c.ccv_decided();
+  res.first = c.first_violation();
+  res.stats = c.stats();
+  return res;
+}
+
+void StreamingCausalChecker::feed(const History& h) {
+  // Round-robin across processes rather than process-major: the verdict is
+  // feeding-order invariant (deferral parks forward references), but the GC
+  // frontier is min-over-processes — feeding one process to completion first
+  // pins the other components at zero and no write can be collected until
+  // the very end. Interleaving approximates the real-time order an online
+  // run would see, which is what keeps live state bounded.
+  std::vector<std::size_t> next(h.per_process.size(), 0);
+  std::size_t remaining = h.total_ops();
+  while (remaining > 0) {
+    for (NodeId p = 0; p < h.per_process.size(); ++p) {
+      if (next[p] >= h.per_process[p].size()) continue;
+      Operation o = h.per_process[p][next[p]++];
+      o.proc = p;  // trust the history's structure over the op field
+      on_op(o);
+      --remaining;
+    }
+  }
+}
+
+}  // namespace causalmem

@@ -153,7 +153,11 @@ template <typename SystemT>
 ExecutionResult finish_run(RunReport report, const Recorder& recorder,
                            SystemT& sys, ScenarioOutcome* out) {
   History hist = recorder.history();
-  const ConsistencyReport cons = check_consistency_hierarchy(hist);
+  // Auto mode: the brute-force hierarchy below the size threshold (its
+  // diagnoses are byte-stable, which the determinism suite asserts), the
+  // streaming hierarchy above it — long scripted scenarios and deep
+  // explorer walks spend their budget exploring, not checking.
+  const ConsistencyReport cons = check_consistency_hierarchy_auto(hist);
   ExecutionResult res;
   res.consistent = cons.ok();
   if (!cons.ok()) {
@@ -163,6 +167,19 @@ ExecutionResult finish_run(RunReport report, const Recorder& recorder,
     if (obs::FlightRecorder* fr = sys.flight_recorder()) {
       fr->on_violation(cons.reason);
       res.flight_artifact = fr->artifact_path();
+    }
+  }
+  if (OnlineChecker* oc = sys.online_checker()) {
+    // cfg.online_check ran a StreamingCausalChecker over the same op stream
+    // the recorder saw. Its verdict and the post-hoc one must agree — a
+    // disagreement is a checker bug, reported as loudly as a protocol bug.
+    oc->finish();
+    if (oc->ok() != cons.causal) {
+      res.consistent = false;
+      res.violation += std::string(res.violation.empty() ? "" : "; ") +
+                       "online/post-hoc causal checker disagreement: online=" +
+                       (oc->ok() ? "clean" : "violating") +
+                       " post-hoc=" + (cons.causal ? "clean" : "violating");
     }
   }
   if (out != nullptr) {
@@ -220,6 +237,7 @@ ExecutionResult run_causal_scenario(const CausalScenarioConfig& cfg,
   opts.failover.heartbeat = cfg.heartbeat;
   opts.failover.heartbeat_config.interval = cfg.heartbeat_interval;
   opts.failover.heartbeat_config.suspect_after = cfg.heartbeat_suspect_after;
+  opts.online_check.enabled = cfg.online_check;
   DsmSystem<CausalNode> sys(cfg.nodes, cfg.config, opts, nullptr, &recorder);
 
   ChaosState st;
@@ -289,6 +307,7 @@ ExecutionResult run_broadcast_scenario(const BroadcastScenarioConfig& cfg,
     opts.flight.recorder.artifact_dir = cfg.flight_dir;
     opts.flight.recorder.run_label = "broadcast_scenario";
   }
+  opts.online_check.enabled = cfg.online_check;
   DsmSystem<BroadcastNode> sys(cfg.nodes, cfg.config, opts, nullptr,
                                &recorder);
 

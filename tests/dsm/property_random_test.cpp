@@ -11,10 +11,14 @@
 #include <string>
 #include <thread>
 
+#include <cstdlib>
+
 #include "causalmem/common/rng.hpp"
 #include "causalmem/dsm/causal/node.hpp"
 #include "causalmem/dsm/system.hpp"
 #include "causalmem/history/causal_checker.hpp"
+#include "causalmem/history/consistency.hpp"
+#include "causalmem/history/streaming_checker.hpp"
 #include "causalmem/obs/flight_recorder.hpp"
 #include "causalmem/history/recorder.hpp"
 #include "causalmem/sim/scenarios.hpp"
@@ -85,6 +89,17 @@ TEST_P(CausalPropertyTest, RandomExecutionIsCausallyConsistent) {
           flight_artifact = fr->artifact_path();
         }
       }
+      // Differential cross-validation on real protocol histories: the
+      // streaming checker must agree with the brute Definition-1 oracle on
+      // every configuration of the sweep (its small-scope half; the
+      // BigHistory suite below covers the 10^5..10^6-op scale brute force
+      // cannot reach).
+      const auto stream = StreamingCausalChecker::check(h);
+      ASSERT_EQ(stream.causal, !violation.has_value())
+          << pc.name << " seed=" << seed
+          << ": streaming/brute verdict disagreement"
+          << (violation.has_value() ? " (brute: " + violation->reason + ")"
+                                    : "");
     }
     ASSERT_FALSE(violation.has_value())
         << pc.name << " seed=" << seed << ": " << violation->reason
@@ -232,6 +247,81 @@ INSTANTIATE_TEST_SUITE_P(
       return info.param.name;
     });
 
+// --- big-history property run --------------------------------------------
+//
+// The sweep above keeps histories small enough for the brute oracle; this
+// suite drives the real protocol at the scale only the streaming checker can
+// reach. The online checker rides the observer chain during the run, so a
+// violation is caught at the op that commits it (and, were the flight
+// recorder armed, dumped with live state). Default is ~10^5 total ops;
+// CI's big-history job sets CAUSALMEM_BIG_HISTORY_OPS=333334 per node for
+// the 10^6-op acceptance run.
+TEST(BigHistory, OnlineCheckedThreadedRunAtScale) {
+  const int ops_per_node = [] {
+    if (const char* env = std::getenv("CAUSALMEM_BIG_HISTORY_OPS")) {
+      return static_cast<int>(std::strtol(env, nullptr, 10));
+    }
+    return 33'334;
+  }();
+  constexpr std::size_t kNodes = 3;
+  constexpr std::size_t kAddrs = 64;
+  const std::uint64_t total =
+      static_cast<std::uint64_t>(ops_per_node) * kNodes;
+
+  // Post-hoc cross-validation needs the whole history in memory; keep the
+  // recorder (and the second checking pass) for the default size and rely
+  // on the online verdict alone at the 10^6 scale.
+  const bool record = total <= 200'000;
+  Recorder recorder(kNodes);
+
+  SystemOptions options;
+  options.online_check.enabled = true;
+  DsmSystem<CausalNode> sys(kNodes, {}, options, nullptr,
+                            record ? &recorder : nullptr);
+  {
+    std::vector<std::jthread> threads;
+    for (NodeId p = 0; p < kNodes; ++p) {
+      threads.emplace_back([&sys, p, ops_per_node] {
+        Rng rng(0xB16'41570ULL + p * 104729);
+        SharedMemory& mem = sys.memory(p);
+        for (int i = 0; i < ops_per_node; ++i) {
+          const Addr a = rng.next_below(kAddrs);
+          if (rng.next_double() < 0.4) {
+            mem.write(a, static_cast<Value>(rng.next() >> 8));
+          } else {
+            (void)mem.read(a);
+          }
+        }
+        mem.flush();
+      });
+    }
+  }
+
+  OnlineChecker* oc = sys.online_checker();
+  ASSERT_NE(oc, nullptr);
+  oc->finish();
+  ASSERT_TRUE(oc->ok())
+      << "online causal violation in a " << total << "-op run: "
+      << (oc->violation().has_value() ? oc->violation()->detail : "<none>");
+  const StreamingStats st = oc->stats();
+  EXPECT_EQ(st.ops_seen, total);
+  EXPECT_EQ(st.ops_processed, total);
+  EXPECT_EQ(st.pending_ops, 0u);
+  // The point of streaming: state must stay a small fraction of the
+  // history. The bound is deliberately loose — it exists to catch a GC
+  // regression (unbounded growth), not to pin the constant.
+  EXPECT_LT(st.peak_approx_bytes, 64u << 20)
+      << "streaming checker state grew past 64 MiB on " << total << " ops";
+
+  if (record) {
+    const History h = recorder.history();
+    const ConsistencyReport cons = check_consistency_hierarchy_auto(h);
+    EXPECT_TRUE(cons.causal) << cons.reason;
+    EXPECT_EQ(cons.causal, oc->ok())
+        << "online and post-hoc verdicts disagree on the same run";
+  }
+}
+
 // --- deterministic-simulation seed matrix --------------------------------
 //
 // The thread-based sweep above explores whatever interleavings the OS
@@ -285,6 +375,90 @@ TEST(CausalSimProperty, RandomWalkSeedMatrixCheckerClean) {
                                 << "\nschedule:\n"
                                 << res.report.schedule.to_text();
   }
+}
+
+/// Deep sim matrix: much longer scripts than the 6-op cases above, with the
+/// online streaming checker running during the schedule in addition to the
+/// post-hoc hierarchy (finish_run fails loudly if the two verdicts ever
+/// disagree). Script length scales with CAUSALMEM_BIG_SIM_OPS for the CI
+/// big-history job.
+TEST(CausalSimProperty, DeepRandomWalkOnlineCheckedSeedMatrix) {
+  const std::size_t ops_per_node = [] {
+    if (const char* env = std::getenv("CAUSALMEM_BIG_SIM_OPS")) {
+      return static_cast<std::size_t>(std::strtoull(env, nullptr, 10));
+    }
+    // The brute hierarchy is super-linear in this size range; large env
+    // overrides cross the auto-dispatch threshold into the streaming
+    // hierarchy, so CI-scale runs are cheap again.
+    return static_cast<std::size_t>(30);
+  }();
+  for (std::uint64_t seed = 1; seed <= 24; ++seed) {
+    Rng rng(seed * 0xD1B54A32D192ED03ULL + 7);
+    sim::CausalScenarioConfig cfg;
+    cfg.nodes = 3;
+    cfg.online_check = true;
+    cfg.scripts.resize(cfg.nodes);
+    for (auto& script : cfg.scripts) {
+      for (std::size_t i = 0; i < ops_per_node; ++i) {
+        const Addr a = static_cast<Addr>(rng.next_below(6));
+        if (rng.next_double() < 0.45) {
+          script.push_back(
+              sim::ScriptOp::write(a, static_cast<Value>(rng.next() >> 8)));
+        } else {
+          script.push_back(sim::ScriptOp::read(a));
+        }
+      }
+    }
+    sim::RandomWalkStrategy walk(seed);
+    const sim::ExecutionResult res = sim::run_causal_scenario(cfg, walk);
+    ASSERT_TRUE(res.report.ok())
+        << "seed " << seed << ": " << res.report.error;
+    ASSERT_TRUE(res.consistent) << "seed " << seed << ": " << res.violation;
+  }
+}
+
+/// Same shape over the broadcast memory with vector-clock delivery gating.
+/// Gated broadcast delivers causally, but concurrent writes are applied
+/// last-delivery-wins without arbitration, so longer schedules can (and do)
+/// produce genuine read-kill violations — a replica overwrites its own newer
+/// value with a concurrent remote write and later reads resurrect it. This
+/// matrix is therefore a *differential* test, not a cleanliness test: the
+/// online streaming checker and the post-hoc hierarchy must agree on every
+/// verdict (finish_run appends a "disagreement" marker when they split), and
+/// the deterministic scheduler must reproduce at least one violating seed.
+TEST(CausalSimProperty, DeepBroadcastRandomWalkCheckersAgree) {
+  std::size_t violating = 0;
+  for (std::uint64_t seed = 1; seed <= 24; ++seed) {
+    Rng rng(seed * 0xA24BAED4963EE407ULL + 3);
+    sim::BroadcastScenarioConfig cfg = sim::small_scope_broadcast(true);
+    cfg.online_check = true;
+    cfg.scripts.assign(cfg.nodes, {});
+    for (auto& script : cfg.scripts) {
+      for (int i = 0; i < 40; ++i) {
+        const Addr a = static_cast<Addr>(rng.next_below(4));
+        if (rng.next_double() < 0.45) {
+          script.push_back(
+              sim::ScriptOp::write(a, static_cast<Value>(rng.next() >> 8)));
+        } else {
+          script.push_back(sim::ScriptOp::read(a));
+        }
+      }
+    }
+    sim::RandomWalkStrategy walk(seed);
+    const sim::ExecutionResult res = sim::run_broadcast_scenario(cfg, walk);
+    ASSERT_TRUE(res.report.ok())
+        << "seed " << seed << ": " << res.report.error;
+    if (!res.consistent) {
+      ASSERT_EQ(res.violation.find("disagreement"), std::string::npos)
+          << "seed " << seed
+          << ": online and post-hoc checkers split: " << res.violation;
+      ++violating;
+    }
+  }
+  EXPECT_GE(violating, 1u)
+      << "expected the deterministic matrix to reproduce at least one "
+         "concurrent-write inversion in the unarbitrated broadcast memory";
+  EXPECT_LT(violating, 24u) << "every seed violating suggests a checker bug";
 }
 
 TEST(CausalSimProperty, ChaosCrashRestartSeedMatrixCheckerClean) {
