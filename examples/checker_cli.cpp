@@ -8,13 +8,17 @@
 //       Brute-force hierarchy over a complete trace (stdin when no file).
 //       Exact diagnoses and per-read live sets; fine up to ~10^3 ops.
 //
-//   checker_cli --streaming [trace-file]
+//   checker_cli --streaming [--procs N] [trace-file]
 //       Incremental mode: each line is fed to the StreamingCausalChecker as
 //       it is read, so the verdict engine's state stays bounded (GC'd write
 //       table + vector clocks) no matter how long the trace is. Prints the
 //       CC / CM / CCv verdicts, the first violation, and the checker's
 //       memory statistics. The (addr, value) -> write-tag resolver map is
 //       the CLI's own memory floor — the checker underneath stays bounded.
+//       The checker's GC is only sound over a COMPLETE process set, so the
+//       process count is pre-scanned from a trace file (or declared with
+//       --procs for stdin); streaming from stdin without --procs is still
+//       exact, but runs with GC disabled.
 //
 //   checker_cli --schedule <scenario> <schedule-file>
 //       Replays a `# causalmem-schedule-v1` artifact (written by
@@ -40,7 +44,9 @@
 //     w 1 2 4
 //     r 2 2 4
 //     r 2 0 2
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -75,7 +81,7 @@ const char* verdict(ScResult r) {
 int usage() {
   std::fprintf(stderr,
                "usage: checker_cli [trace-file]\n"
-               "       checker_cli --streaming [trace-file]\n"
+               "       checker_cli --streaming [--procs N] [trace-file]\n"
                "       checker_cli --schedule <scenario> <schedule-file>\n"
                "scenarios: causal | broadcast | broadcast-ungated\n");
   return 2;
@@ -128,8 +134,27 @@ void print_violation(const StreamingViolation& v) {
               v.op.index, bad_pattern_name(v.pattern), v.detail.c_str());
 }
 
-int run_streaming(std::istream& in) {
-  StreamingCausalChecker checker;
+/// Counts the processes a trace mentions, so the streaming checker can be
+/// constructed with the complete process set — the declaration its GC needs
+/// ("collectable" quantifies over every process, which is unknowable while
+/// new processes may still appear).
+std::size_t scan_process_count(std::istream& in) {
+  std::size_t procs = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    std::istringstream ls(line);
+    char kind = 0;
+    if (!(ls >> kind) || kind == '#') continue;
+    unsigned long proc = 0;
+    if ((kind == 'w' || kind == 'r') && (ls >> proc)) {
+      procs = std::max(procs, static_cast<std::size_t>(proc) + 1);
+    }
+  }
+  return procs;
+}
+
+int run_streaming(std::istream& in, std::size_t nprocs) {
+  StreamingCausalChecker checker(nprocs);
   TagResolver tags;
   std::uint64_t reads = 0, writes = 0;
   std::size_t lineno = 0;
@@ -146,6 +171,13 @@ int run_streaming(std::istream& in) {
     if ((kind != 'w' && kind != 'r') || !(ls >> proc >> addr >> value)) {
       std::fprintf(stderr, "line %zu: cannot parse '%s'\n", lineno,
                    line.c_str());
+      return 2;
+    }
+    if (nprocs > 0 && proc >= nprocs) {
+      std::fprintf(stderr,
+                   "line %zu: process %lu outside the declared set of %zu "
+                   "(--procs too small?)\n",
+                   lineno, proc, nprocs);
       return 2;
     }
     const auto p = static_cast<NodeId>(proc);
@@ -195,6 +227,10 @@ int run_streaming(std::istream& in) {
       static_cast<unsigned long long>(st.peak_live_writes),
       static_cast<unsigned long long>(st.tombstones),
       static_cast<unsigned long long>(st.peak_approx_bytes));
+  if (nprocs == 0) {
+    std::printf("note: process count undeclared (stdin input): checker GC "
+                "was off; pass --procs N to bound live state\n");
+  }
   return checker.causal_ok() ? 0 : 1;
 }
 
@@ -236,10 +272,15 @@ int run_schedule(const std::string& scenario, const char* path) {
 
 int main(int argc, char** argv) {
   bool streaming = false;
+  std::size_t procs = 0;
   const char* input = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--streaming") == 0) {
       streaming = true;
+    } else if (std::strcmp(argv[i], "--procs") == 0) {
+      if (i + 1 >= argc) return usage();
+      procs = std::strtoul(argv[++i], nullptr, 10);
+      if (procs == 0) return usage();
     } else if (std::strcmp(argv[i], "--schedule") == 0) {
       if (i + 2 >= argc) return usage();
       return run_schedule(argv[i + 1], argv[i + 2]);
@@ -263,7 +304,16 @@ int main(int argc, char** argv) {
     in = &file;
   }
 
-  if (streaming) return run_streaming(*in);
+  if (streaming) {
+    if (procs == 0 && input != nullptr) {
+      // A file can be pre-scanned for the complete process set, which keeps
+      // the checker's GC active (sound only over a closed set of processes).
+      procs = scan_process_count(file);
+      file.clear();
+      file.seekg(0);
+    }
+    return run_streaming(*in, procs);
+  }
 
   const auto parsed = parse_trace(*in);
   if (const auto* err = std::get_if<TraceParseError>(&parsed)) {

@@ -43,7 +43,11 @@
 // would be a no-op), and once additionally overwritten in every process's
 // past it becomes a tombstone (any future read of it is a violation by
 // construction). Tombstone tags are retained so such reads are classified
-// exactly; see docs/CHECKING.md for the memory model.
+// exactly; see docs/CHECKING.md for the memory model. Both judgments
+// quantify over EVERY process, so GC only collects when the process set was
+// declared complete at construction (nprocs_hint > 0); with an open process
+// set the checker stays exact but uncollected (memory grows with the write
+// count, as with gc_interval=0). GC never changes verdicts.
 #pragma once
 
 #include <cstddef>
@@ -97,7 +101,9 @@ struct StreamingViolation {
 
 struct StreamingOptions {
   /// Processed ops between garbage-collection sweeps (0 disables GC —
-  /// verdicts are identical, memory just grows with the write count).
+  /// verdicts are identical, memory just grows with the write count). GC
+  /// additionally requires the process count declared at construction
+  /// (nprocs_hint > 0); it silently stays idle on an open process set.
   std::uint32_t gc_interval{64};
   /// Maintain the best-effort CCv conflict check (small extra cost per
   /// read; disable for pure-throughput runs).
@@ -126,8 +132,13 @@ struct StreamingStats {
 
 class StreamingCausalChecker {
  public:
-  /// `nprocs_hint` pre-sizes the per-process tables; processes beyond the
-  /// hint are admitted on first use (the clock tables grow as needed).
+  /// `nprocs_hint` > 0 declares the COMPLETE process set, which is what
+  /// licenses garbage collection (its "dominated by every process"
+  /// judgments need a closed set). With the default 0 the set stays open:
+  /// processes are admitted on first use, verdicts are identical, but GC
+  /// never collects. A process appearing beyond a declared set demotes the
+  /// checker back to the open-set regime — a contract violation (abort)
+  /// once GC has already dropped state, since that cannot be undone.
   explicit StreamingCausalChecker(std::size_t nprocs_hint = 0,
                                   StreamingOptions opts = {});
 
@@ -276,6 +287,10 @@ class StreamingCausalChecker {
 
   StreamingOptions opts_;
   bool finished_{false};
+  /// True while the construction-time process count is known complete; GC
+  /// collection (clock drops, tombstones) is gated on it. Cleared by a late
+  /// process admission (see ensure_proc).
+  bool procs_declared_{false};
 
   // Per-process state. clocks_[q][i] counts i-ops in q's causal past; the
   // self component doubles as the processed-op count.

@@ -47,7 +47,7 @@ ViolationClass classify_causal_reason(std::string_view reason) {
 
 StreamingCausalChecker::StreamingCausalChecker(std::size_t nprocs_hint,
                                                StreamingOptions opts)
-    : opts_(opts) {
+    : opts_(opts), procs_declared_(nprocs_hint > 0) {
   clocks_.resize(nprocs_hint);
   for (auto& c : clocks_) c.assign(nprocs_hint, 0);
   pending_.resize(nprocs_hint);
@@ -57,11 +57,21 @@ StreamingCausalChecker::StreamingCausalChecker(std::size_t nprocs_hint,
 
 void StreamingCausalChecker::ensure_proc(NodeId p) {
   if (p < clocks_.size()) return;
+  // GC's judgments quantify over EVERY process ("dominated by all",
+  // "overwritten in everyone's past"); they are unsound the moment a process
+  // outside the set they saw appears with an empty causal past. Admitting a
+  // late process therefore demotes the checker to the open-set regime (no
+  // further collection, verdicts unaffected) — and is a caller contract
+  // violation once collection has already happened, because the dropped
+  // clocks and tombstoned records cannot be rebuilt.
+  CM_EXPECTS_MSG(stats_.gc_clock_drops == 0 && stats_.gc_tombstoned == 0,
+                 "process admitted after GC already dropped state: construct "
+                 "StreamingCausalChecker with the full process count, or set "
+                 "gc_interval=0");
+  procs_declared_ = false;
   clocks_.resize(p + 1);
   pending_.resize(p + 1);
   blocked_.resize(p + 1, 0);
-  // A newly admitted process has an all-zero clock, so the global min
-  // frontier collapses to zero until it advances — GC just pauses.
   min_frontier_.assign(min_frontier_.size(), 0);
   min_frontier_.resize(p + 1, 0);
 }
@@ -356,6 +366,14 @@ void StreamingCausalChecker::record(OpRef ref, BadPattern pattern,
 }
 
 void StreamingCausalChecker::gc() {
+  if (!procs_declared_) {
+    // Open process set (no nprocs at construction, or a late admission):
+    // "dominated by every process" is unknowable while new processes may
+    // still appear, so collection is off — verdicts are unaffected and
+    // memory grows with the write count, exactly as with gc_interval=0.
+    refresh_memory_estimate();
+    return;
+  }
   // Refresh the global min frontier: a write dominated by EVERY process's
   // clock can never again be merged usefully (its clock is already below
   // each V_q) and is co-before every future operation.
@@ -456,9 +474,13 @@ void StreamingCausalChecker::finish() {
 
   // Anything still parked lost its race with the end of the stream. Each
   // blocked process's head is a read waiting on a write that either never
-  // arrived anywhere (ThinAirRead) or arrived behind ANOTHER blocked read —
-  // and since every stalled process is stalled on a read, following the
-  // "whose write am I waiting for" chain must close a cycle (CyclicCO).
+  // arrived anywhere (ThinAirRead) or arrived behind ANOTHER blocked read.
+  // Following the "whose write am I waiting for" chain either closes a
+  // po ∪ rf cycle (CyclicCO) or dead-ends in a thin-air read. Processes
+  // queued BEHIND such a chain are collateral: their reads' writes exist
+  // and are valid, they were just never processed — no diagnosis of their
+  // own (recording one would break the differential contract on histories
+  // whose only defect is the upstream ThinAirRead).
   const std::size_t procs = pending_.size();
   auto arrived_unprocessed = [&](const TagKey& key) -> NodeId {
     for (NodeId p = 0; p < procs; ++p) {
@@ -472,6 +494,8 @@ void StreamingCausalChecker::finish() {
     return kNoNode;
   };
 
+  constexpr std::uint8_t kCycle = 1;       // diagnosed member of a cycle
+  constexpr std::uint8_t kCollateral = 2;  // parked behind one, or thin air
   std::vector<std::uint8_t> classified(procs, 0);
   for (NodeId q = 0; q < procs; ++q) {
     if (pending_[q].empty() || classified[q] != 0) continue;
@@ -491,19 +515,38 @@ void StreamingCausalChecker::finish() {
         oss << "read returned a value no write in the execution produced: "
             << head.to_string();
         record(ref, BadPattern::kThinAirRead, oss.str());
-        for (const NodeId p : path) classified[p] = 1;
-        classified[cur] = 1;
+        for (const NodeId p : path) classified[p] = kCollateral;
+        classified[cur] = kCollateral;
         break;
       }
-      if (on_path[holder] != 0 || classified[holder] != 0) {
-        // Chain closed (or merged into an already-diagnosed cycle): the
-        // blocked reads form a program-order/reads-from cycle.
+      if (on_path[holder] != 0) {
+        // Chain closed on itself: the blocked reads from `holder` onward
+        // form a program-order/reads-from cycle; any prefix fed into it.
         std::ostringstream oss;
         oss << "read from the causal future: " << head.to_string()
             << " causally precedes the write it read from";
         record(ref, BadPattern::kCyclicCO, oss.str());
-        for (const NodeId p : path) classified[p] = 1;
-        classified[cur] = 1;
+        bool in_cycle = false;
+        for (const NodeId p : path) {
+          in_cycle = in_cycle || p == holder;
+          classified[p] = in_cycle ? kCycle : kCollateral;
+        }
+        classified[cur] = kCycle;
+        break;
+      }
+      if (classified[holder] != 0) {
+        // Merged into an already-classified chain. Only a genuine cycle
+        // propagates a diagnosis to the read blocked directly behind it;
+        // merging into a thin-air-blocked (or collateral) chain is not a
+        // violation — that read's write exists.
+        if (classified[holder] == kCycle) {
+          std::ostringstream oss;
+          oss << "read from the causal future: " << head.to_string()
+              << " reads from a write queued behind a causal cycle";
+          record(ref, BadPattern::kCyclicCO, oss.str());
+        }
+        for (const NodeId p : path) classified[p] = kCollateral;
+        classified[cur] = kCollateral;
         break;
       }
       on_path[cur] = 1;

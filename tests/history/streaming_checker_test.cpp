@@ -359,6 +359,97 @@ TEST(StreamingChecker, SyntheticGeneratorIsCausallyConsistent) {
   }
 }
 
+TEST(StreamingChecker, OpenProcessSetNeverCollectsAndStaysSound) {
+  // Regression: GC's "dominated by / overwritten in every process's past"
+  // judgments are unsound while the process set is still open. With the
+  // default nprocs_hint=0, a process-major feed of >gc_interval p0 ops used
+  // to tombstone w(x,1) against procs={p0} alone; p1 — admitted later with
+  // an empty causal past — then legally read it and was reported stale.
+  HistoryBuilder b(2);
+  b.write(0, 0, 1).write(0, 0, 2);
+  for (int i = 0; i < 130; ++i) b.write(0, 1, 100 + i);
+  b.read(1, 0, 1);  // legal: p1 never observed w(x,2)
+  const History h = b.build();
+  ASSERT_FALSE(CausalChecker(h).check().has_value());
+
+  StreamingCausalChecker c;  // open process set, default GC interval
+  for (NodeId p = 0; p < h.process_count(); ++p) {
+    for (const Operation& o : h.per_process[p]) c.on_op(o);
+  }
+  c.finish();
+  EXPECT_TRUE(c.causal_ok()) << c.first_violation()->detail;
+  EXPECT_EQ(c.stats().gc_clock_drops, 0u);
+  EXPECT_EQ(c.stats().gc_tombstoned, 0u);
+}
+
+TEST(StreamingChecker, LateAdmissionBeforeAnyDropDisablesGc) {
+  // A process beyond the declared set, admitted before GC dropped anything,
+  // demotes the checker to the open-set regime: later sweeps collect
+  // nothing, and the late process's stale-looking-but-legal read stays
+  // clean despite many crossed GC intervals.
+  StreamingOptions opts;
+  opts.gc_interval = 4;
+  StreamingCausalChecker c(1, opts);
+  c.on_write(0, 0, 1, WriteTag{0, 1});
+  c.on_write(0, 0, 2, WriteTag{0, 2});
+  c.on_read(1, 0, 1, WriteTag{0, 1});  // late admission; legal read of w1
+  for (std::uint64_t i = 0; i < 40; ++i) {
+    c.on_write(0, 1, static_cast<Value>(100 + i), WriteTag{0, 3 + i});
+  }
+  c.finish();
+  EXPECT_TRUE(c.causal_ok());
+  EXPECT_EQ(c.stats().gc_clock_drops, 0u);
+  EXPECT_EQ(c.stats().gc_tombstoned, 0u);
+}
+
+TEST(StreamingChecker, DeclaredProcessSetStillCollects) {
+  // The same shape with the process count declared up front: GC fires, and
+  // the verdict is unchanged (w(x,1) cannot be tombstoned because p1's
+  // clock never dominates w(x,2)).
+  HistoryBuilder b(2);
+  b.write(0, 0, 1).write(0, 0, 2);
+  for (int i = 0; i < 130; ++i) b.write(0, 1, 100 + i);
+  b.read(1, 0, 1);
+  const History h = b.build();
+  const auto res = StreamingCausalChecker::check(h);
+  EXPECT_TRUE(res.causal);
+}
+
+TEST(StreamingChecker, ReadBehindThinAirChainIsNotCyclic) {
+  // Regression: p1 parks on a thin-air read with a valid write queued
+  // behind it; p2's read of that write is collateral of the thin air, not a
+  // causal cycle. finish() used to diagnose it as CyclicCO ("read from the
+  // causal future") even though the read's write exists and the read is
+  // valid.
+  StreamingCausalChecker c(3);
+  c.on_read(1, 0, 42, WriteTag{9, 9});  // no such write anywhere
+  c.on_write(1, 1, 5, WriteTag{1, 1});  // valid, but queued behind it
+  c.on_read(2, 1, 5, WriteTag{1, 1});   // waits on the queued write
+  c.finish();
+  EXPECT_FALSE(c.cc_ok());
+  EXPECT_EQ(c.violation_count(BadPattern::kThinAirRead), 1u);
+  EXPECT_EQ(c.violation_count(BadPattern::kCyclicCO), 0u);
+  ASSERT_TRUE(c.first_violation().has_value());
+  EXPECT_EQ(c.first_violation()->pattern, BadPattern::kThinAirRead);
+  EXPECT_EQ(c.first_violation()->op, (OpRef{1, 0}));
+}
+
+TEST(StreamingChecker, ReadBehindGenuineCycleIsDiagnosed) {
+  // p0 and p1 form the 2-process po ∪ rf cycle; p2 reads p0's parked write.
+  // The direct merge into a genuine cycle IS diagnosed (the write it reads
+  // is stuck behind the cycle), unlike the thin-air collateral above.
+  StreamingCausalChecker c(3);
+  c.on_read(0, 1, 2, WriteTag{1, 1});
+  c.on_write(0, 0, 1, WriteTag{0, 1});
+  c.on_read(1, 0, 1, WriteTag{0, 1});
+  c.on_write(1, 1, 2, WriteTag{1, 1});
+  c.on_read(2, 0, 1, WriteTag{0, 1});
+  c.finish();
+  EXPECT_FALSE(c.cc_ok());
+  EXPECT_EQ(c.violation_count(BadPattern::kCyclicCO), 2u);
+  EXPECT_EQ(c.violation_count(BadPattern::kThinAirRead), 0u);
+}
+
 TEST(StreamingChecker, ClassifierMapsBruteReasons) {
   EXPECT_EQ(classify_causal_reason(
                 "read returned a value no write in the execution produced"),
